@@ -1,0 +1,188 @@
+//! Shared corpus-level precomputation for all baselines.
+
+use rustc_hash::{FxHashMap, FxHashSet};
+
+use iuad_corpus::{Corpus, PaperId};
+use iuad_text::{centroid, cosine, tokenize_filtered, train_sgns, Embeddings, SgnsConfig, Vocab};
+
+/// Corpus-level state shared by the baselines: title vocabulary and
+/// embeddings, co-author-name embeddings (the "anonymised network
+/// embedding"), per-paper vectors, and venue statistics.
+#[derive(Debug)]
+pub struct BaselineContext {
+    /// Title vocabulary (stop words removed).
+    pub vocab: Vocab,
+    /// Title keyword ids per paper.
+    pub paper_keywords: Vec<Vec<u32>>,
+    /// Title-embedding centroid per paper.
+    pub title_vec: Vec<Vec<f32>>,
+    /// Co-author-name embedding centroid per paper (names as tokens,
+    /// co-author lists as sentences — the ANON-style graph signal).
+    pub coauthor_vec: Vec<Vec<f32>>,
+    /// Deduplicated co-author name ids per paper.
+    pub coauthor_names: Vec<Vec<u32>>,
+    /// `venue per paper` and corpus venue frequencies.
+    pub paper_venue: Vec<u32>,
+    /// Papers per venue.
+    pub venue_freq: Vec<u32>,
+    /// Inverted index: name id → papers mentioning it.
+    pub papers_of_name: FxHashMap<u32, Vec<PaperId>>,
+    /// Co-author-name embeddings (ANON's network signal at name level).
+    pub name_emb: Embeddings,
+}
+
+impl BaselineContext {
+    /// Build the context (deterministic in `seed`).
+    pub fn build(corpus: &Corpus, embedding_dim: usize, seed: u64) -> Self {
+        // Title side.
+        let tokenized: Vec<Vec<String>> = corpus
+            .papers
+            .iter()
+            .map(|p| tokenize_filtered(&p.title))
+            .collect();
+        let vocab = Vocab::build(tokenized.iter().cloned());
+        let paper_keywords: Vec<Vec<u32>> = tokenized
+            .iter()
+            .map(|doc| vocab.encode(doc.iter().map(String::as_str)))
+            .collect();
+        let title_emb = train_sgns(
+            &paper_keywords,
+            vocab.len(),
+            &SgnsConfig {
+                dim: embedding_dim,
+                epochs: 4,
+                seed,
+                ..Default::default()
+            },
+        );
+        let title_vec: Vec<Vec<f32>> = paper_keywords
+            .iter()
+            .map(|kws| centroid(&title_emb, kws))
+            .collect();
+
+        // Co-author side: each co-author list is a "sentence" of name ids.
+        let coauthor_names: Vec<Vec<u32>> = corpus
+            .papers
+            .iter()
+            .map(|p| {
+                let mut ns: Vec<u32> = p.authors.iter().map(|n| n.0).collect();
+                ns.sort_unstable();
+                ns.dedup();
+                ns
+            })
+            .collect();
+        let name_emb = train_sgns(
+            &coauthor_names,
+            corpus.num_names(),
+            &SgnsConfig {
+                dim: embedding_dim,
+                epochs: 4,
+                window: 8, // co-author lists are unordered: wide window
+                seed: seed.wrapping_add(1),
+                ..Default::default()
+            },
+        );
+        let coauthor_vec: Vec<Vec<f32>> = coauthor_names
+            .iter()
+            .map(|ns| centroid(&name_emb, ns))
+            .collect();
+
+        let mut venue_freq = vec![0u32; corpus.num_venues()];
+        for p in &corpus.papers {
+            venue_freq[p.venue.index()] += 1;
+        }
+        let mut papers_of_name: FxHashMap<u32, Vec<PaperId>> = FxHashMap::default();
+        for (pid, names) in coauthor_names.iter().enumerate() {
+            for &n in names {
+                papers_of_name.entry(n).or_default().push(PaperId::from(pid));
+            }
+        }
+
+        BaselineContext {
+            vocab,
+            paper_keywords,
+            title_vec,
+            coauthor_vec,
+            coauthor_names,
+            paper_venue: corpus.papers.iter().map(|p| p.venue.0).collect(),
+            venue_freq,
+            papers_of_name,
+            name_emb,
+        }
+    }
+
+    /// Cosine similarity between two name embeddings.
+    pub fn name_embedding_cosine(&self, a: u32, b: u32) -> f64 {
+        cosine(self.name_emb.get(a), self.name_emb.get(b))
+    }
+
+    /// Co-authors of `paper` excluding `name` (the ego view of one mention).
+    pub fn coauthors_excluding(&self, paper: PaperId, name: u32) -> Vec<u32> {
+        self.coauthor_names[paper.index()]
+            .iter()
+            .copied()
+            .filter(|&n| n != name)
+            .collect()
+    }
+
+    /// Jaccard similarity of two papers' co-author sets, excluding the
+    /// target name itself.
+    pub fn coauthor_jaccard(&self, a: PaperId, b: PaperId, excluding: u32) -> f64 {
+        let sa: FxHashSet<u32> = self
+            .coauthors_excluding(a, excluding)
+            .into_iter()
+            .collect();
+        let sb: FxHashSet<u32> = self
+            .coauthors_excluding(b, excluding)
+            .into_iter()
+            .collect();
+        if sa.is_empty() && sb.is_empty() {
+            return 0.0;
+        }
+        let inter = sa.intersection(&sb).count() as f64;
+        let union = (sa.len() + sb.len()) as f64 - inter;
+        inter / union
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+
+    #[test]
+    fn context_dimensions_consistent() {
+        let c = testutil::corpus();
+        let ctx = BaselineContext::build(&c, 16, 1);
+        assert_eq!(ctx.title_vec.len(), c.papers.len());
+        assert_eq!(ctx.coauthor_vec.len(), c.papers.len());
+        assert_eq!(ctx.paper_venue.len(), c.papers.len());
+        assert_eq!(ctx.venue_freq.iter().sum::<u32>() as usize, c.papers.len());
+    }
+
+    #[test]
+    fn inverted_index_is_complete() {
+        let c = testutil::corpus();
+        let ctx = BaselineContext::build(&c, 16, 1);
+        for (pid, names) in ctx.coauthor_names.iter().enumerate() {
+            for &n in names {
+                assert!(ctx.papers_of_name[&n].contains(&PaperId::from(pid)));
+            }
+        }
+    }
+
+    #[test]
+    fn coauthor_jaccard_basics() {
+        let c = testutil::corpus();
+        let ctx = BaselineContext::build(&c, 16, 1);
+        let p = PaperId(0);
+        let name = c.papers[0].authors[0].0;
+        // Identical papers have Jaccard 1 unless the exclusion empties them.
+        let j = ctx.coauthor_jaccard(p, p, name);
+        if ctx.coauthors_excluding(p, name).is_empty() {
+            assert_eq!(j, 0.0);
+        } else {
+            assert_eq!(j, 1.0);
+        }
+    }
+}

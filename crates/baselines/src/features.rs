@@ -1,0 +1,97 @@
+//! Pairwise paper features for the supervised baselines, following
+//! Treeratpituk & Giles (JCDL 2009): co-author, title, venue, and year
+//! evidence for "are these two papers by the same person?".
+
+use iuad_corpus::{Corpus, PaperId};
+use iuad_text::cosine;
+
+use crate::context::BaselineContext;
+
+/// Number of pairwise features.
+pub const NUM_PAIR_FEATURES: usize = 7;
+
+/// Feature vector for a paper pair `(a, b)` under target name `name`:
+///
+/// 0. co-author Jaccard (target excluded)
+/// 1. shared co-author count
+/// 2. title embedding cosine
+/// 3. title keyword overlap (Dice)
+/// 4. same venue indicator
+/// 5. venue rarity bonus when shared (1/ln F_H)
+/// 6. absolute year gap (years)
+pub fn pair_features(
+    corpus: &Corpus,
+    ctx: &BaselineContext,
+    a: PaperId,
+    b: PaperId,
+    name: u32,
+) -> Vec<f64> {
+    let pa = a.index();
+    let pb = b.index();
+    let jac = ctx.coauthor_jaccard(a, b, name);
+    let shared = {
+        let ca = ctx.coauthors_excluding(a, name);
+        let cb = ctx.coauthors_excluding(b, name);
+        ca.iter().filter(|n| cb.contains(n)).count() as f64
+    };
+    let title_cos = cosine(&ctx.title_vec[pa], &ctx.title_vec[pb]);
+    let dice = {
+        let ka = &ctx.paper_keywords[pa];
+        let kb = &ctx.paper_keywords[pb];
+        if ka.is_empty() && kb.is_empty() {
+            0.0
+        } else {
+            let common = ka.iter().filter(|w| kb.contains(w)).count() as f64;
+            2.0 * common / (ka.len() + kb.len()) as f64
+        }
+    };
+    let same_venue = (ctx.paper_venue[pa] == ctx.paper_venue[pb]) as u8 as f64;
+    let venue_rarity = if same_venue > 0.0 {
+        let f = (ctx.venue_freq[ctx.paper_venue[pa] as usize] as f64).max(2.0);
+        1.0 / f.ln()
+    } else {
+        0.0
+    };
+    let year_gap = (corpus.papers[pa].year as f64 - corpus.papers[pb].year as f64).abs();
+    vec![jac, shared, title_cos, dice, same_venue, venue_rarity, year_gap]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+
+    #[test]
+    fn feature_vector_shape_and_finiteness() {
+        let c = testutil::corpus();
+        let ctx = BaselineContext::build(&c, 16, 6);
+        let name = c.papers[0].authors[0].0;
+        let f = pair_features(&c, &ctx, PaperId(0), PaperId(1), name);
+        assert_eq!(f.len(), NUM_PAIR_FEATURES);
+        assert!(f.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn self_pair_is_maximal_on_overlap_features() {
+        let c = testutil::corpus();
+        let ctx = BaselineContext::build(&c, 16, 6);
+        let name = c.papers[0].authors[0].0;
+        let f = pair_features(&c, &ctx, PaperId(0), PaperId(0), name);
+        assert!((f[2] - 1.0).abs() < 1e-9, "self title cosine");
+        assert!((f[3] - 1.0).abs() < 1e-9, "self dice");
+        assert_eq!(f[4], 1.0);
+        assert_eq!(f[6], 0.0);
+    }
+
+    #[test]
+    fn symmetric_in_arguments() {
+        let c = testutil::corpus();
+        let ctx = BaselineContext::build(&c, 16, 6);
+        let name = c.papers[0].authors[0].0;
+        let f1 = pair_features(&c, &ctx, PaperId(0), PaperId(5), name);
+        let f2 = pair_features(&c, &ctx, PaperId(5), PaperId(0), name);
+        for (a, b) in f1.iter().zip(&f2) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+}

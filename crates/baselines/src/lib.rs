@@ -1,0 +1,83 @@
+//! Comparison baselines (§VI-A3), reimplemented from their papers'
+//! descriptions on the shared substrates.
+//!
+//! Unsupervised (top-down: cluster the papers of each ambiguous name):
+//!
+//! * [`Anon`] — Zhang & Al Hasan (CIKM'17): network embedding over the
+//!   anonymised co-author graph + hierarchical agglomerative clustering;
+//! * [`NetE`] — Xu et al. (CIKM'18): multi-view paper embedding (titles,
+//!   co-authors, venues) + density clustering (DBSCAN stands in for
+//!   HDBSCAN, see DESIGN.md);
+//! * [`Aminer`] — Zhang et al. (KDD'18): global + local embeddings + HAC
+//!   (the human-in-the-loop component is out of scope for an offline
+//!   reproduction and omitted);
+//! * [`Ghost`] — Fan et al. (JDIQ'11): path-based co-author-graph
+//!   similarity + affinity propagation, structure only.
+//!
+//! Supervised ([`supervised`]): AdaBoost / RF / GBDT / XGBoost pairwise
+//! classifiers over Treeratpituk-&-Giles-style features, with transitive
+//! closure of positive pairs.
+//!
+//! All baselines implement [`Disambiguator`]: given one ambiguous name and
+//! its mentions, return dense cluster labels.
+
+#![warn(missing_docs)]
+
+mod aminer;
+mod anon;
+mod context;
+mod features;
+mod ghost;
+mod nete;
+pub mod supervised;
+
+pub use aminer::Aminer;
+pub use anon::Anon;
+pub use context::BaselineContext;
+pub use features::{pair_features, NUM_PAIR_FEATURES};
+pub use ghost::Ghost;
+pub use nete::NetE;
+pub use supervised::{SupervisedDisambiguator, SupervisedKind};
+
+use iuad_corpus::{Corpus, Mention, NameId};
+
+/// A per-name disambiguator: partitions the mentions of one ambiguous name
+/// into hypothesised authors.
+pub trait Disambiguator {
+    /// Short display name (Table III row label).
+    fn label(&self) -> &'static str;
+
+    /// Cluster `mentions` (all of one `name`); returns dense labels parallel
+    /// to `mentions`.
+    fn disambiguate(&self, corpus: &Corpus, name: NameId, mentions: &[Mention]) -> Vec<usize>;
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use iuad_corpus::CorpusConfig;
+
+    pub fn corpus() -> Corpus {
+        Corpus::generate(&CorpusConfig {
+            num_authors: 250,
+            num_papers: 900,
+            seed: 53,
+            ..Default::default()
+        })
+    }
+
+    /// Run a disambiguator over every ambiguous test name and return micro
+    /// metrics.
+    pub fn micro_eval<D: Disambiguator>(corpus: &Corpus, d: &D) -> iuad_eval::Metrics {
+        let ts = iuad_corpus::select_test_names(corpus, 2, 3, 50);
+        let mut conf = iuad_eval::Confusion::default();
+        for row in &ts.names {
+            let mentions = corpus.mentions_of_name(row.name);
+            let truth: Vec<u32> = mentions.iter().map(|m| corpus.truth_of(*m).0).collect();
+            let pred = d.disambiguate(corpus, row.name, &mentions);
+            assert_eq!(pred.len(), mentions.len());
+            conf.add(iuad_eval::pairwise_confusion(&pred, &truth));
+        }
+        conf.metrics()
+    }
+}

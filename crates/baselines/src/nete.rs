@@ -1,0 +1,109 @@
+//! NetE (Xu et al., CIKM 2018): a network-embedding based method that mines
+//! multiple relationships (co-authors, titles, venues) into one paper
+//! embedding, then clusters with density methods (HDBSCAN/AP in the paper;
+//! DBSCAN here — see DESIGN.md).
+
+use iuad_cluster::dbscan;
+use iuad_corpus::{Corpus, Mention, NameId};
+use iuad_text::cosine;
+
+use crate::context::BaselineContext;
+use crate::Disambiguator;
+
+/// The NetE baseline.
+#[derive(Debug)]
+pub struct NetE<'a> {
+    ctx: &'a BaselineContext,
+    /// DBSCAN ε on combined cosine distance.
+    pub eps: f64,
+    /// DBSCAN core-point threshold.
+    pub min_pts: usize,
+    /// Weight of the title view vs the co-author view in `[0,1]`.
+    pub title_weight: f64,
+}
+
+impl<'a> NetE<'a> {
+    /// With the baseline's default parameters.
+    pub fn new(ctx: &'a BaselineContext) -> Self {
+        Self {
+            ctx,
+            eps: 0.12,
+            min_pts: 3,
+            title_weight: 0.5,
+        }
+    }
+
+    /// Multi-view distance between two papers: a convex combination of the
+    /// title-embedding and co-author-embedding cosine distances, plus a
+    /// venue agreement discount.
+    fn distance(&self, a: usize, b: usize) -> f64 {
+        let dt = 1.0 - cosine(&self.ctx.title_vec[a], &self.ctx.title_vec[b]);
+        let dc = 1.0 - cosine(&self.ctx.coauthor_vec[a], &self.ctx.coauthor_vec[b]);
+        let mut d = self.title_weight * dt + (1.0 - self.title_weight) * dc;
+        if self.ctx.paper_venue[a] == self.ctx.paper_venue[b] {
+            d *= 0.8; // same venue: evidence of the same community
+        }
+        d
+    }
+}
+
+impl Disambiguator for NetE<'_> {
+    fn label(&self) -> &'static str {
+        "NetE"
+    }
+
+    fn disambiguate(&self, _corpus: &Corpus, _name: NameId, mentions: &[Mention]) -> Vec<usize> {
+        let papers: Vec<usize> = mentions.iter().map(|m| m.paper.index()).collect();
+        dbscan(
+            mentions.len(),
+            |i, j| self.distance(papers[i], papers[j]),
+            self.eps,
+            self.min_pts,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+
+    #[test]
+    fn produces_labels_and_signal() {
+        let c = testutil::corpus();
+        let ctx = BaselineContext::build(&c, 16, 3);
+        let nete = NetE::new(&ctx);
+        let m = testutil::micro_eval(&c, &nete);
+        assert!(m.f1 > 0.1, "NetE should produce signal: {m}");
+    }
+
+    #[test]
+    fn tiny_eps_yields_singletons() {
+        let c = testutil::corpus();
+        let ctx = BaselineContext::build(&c, 16, 3);
+        let mut nete = NetE::new(&ctx);
+        nete.eps = 1e-12;
+        let ts = iuad_corpus::select_test_names(&c, 2, 3, 1);
+        let mentions = c.mentions_of_name(ts.names[0].name);
+        let labels = nete.disambiguate(&c, ts.names[0].name, &mentions);
+        let mut uniq = labels.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), mentions.len());
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_nonnegative() {
+        let c = testutil::corpus();
+        let ctx = BaselineContext::build(&c, 16, 3);
+        let nete = NetE::new(&ctx);
+        for i in 0..10usize {
+            for j in 0..10usize {
+                let d1 = nete.distance(i, j);
+                let d2 = nete.distance(j, i);
+                assert!((d1 - d2).abs() < 1e-12);
+                assert!(d1 >= 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Supervised pairwise baselines (§VI-A3(ii)): train a classifier on
+//! labelled paper pairs from *training names*, predict pairs of the test
+//! name, and take the transitive closure of positive pairs as the
+//! clustering.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use iuad_corpus::{Corpus, Mention, NameId};
+use iuad_ensemble::{
+    AdaBoost, AdaBoostConfig, Classifier, Gbdt, GbdtConfig, RandomForest, RandomForestConfig,
+    XgBoost, XgBoostConfig,
+};
+use iuad_graph::UnionFind;
+
+use crate::context::BaselineContext;
+use crate::features::pair_features;
+use crate::Disambiguator;
+
+/// Which ensemble learner to train.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SupervisedKind {
+    /// SAMME-boosted stumps.
+    AdaBoost,
+    /// Gradient-boosted trees, logistic loss.
+    Gbdt,
+    /// Random forest.
+    RandomForest,
+    /// Second-order regularised boosting.
+    XgBoost,
+}
+
+impl SupervisedKind {
+    /// Table III row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SupervisedKind::AdaBoost => "AdaBoost",
+            SupervisedKind::Gbdt => "GBDT",
+            SupervisedKind::RandomForest => "RF",
+            SupervisedKind::XgBoost => "XGBoost",
+        }
+    }
+}
+
+enum Model {
+    Ada(AdaBoost),
+    Gbdt(Gbdt),
+    Rf(RandomForest),
+    Xgb(XgBoost),
+}
+
+impl Model {
+    fn predict(&self, x: &[f64]) -> bool {
+        match self {
+            Model::Ada(m) => m.predict(x),
+            Model::Gbdt(m) => m.predict(x),
+            Model::Rf(m) => m.predict(x),
+            Model::Xgb(m) => m.predict(x),
+        }
+    }
+}
+
+/// A trained supervised pairwise disambiguator.
+pub struct SupervisedDisambiguator<'a> {
+    ctx: &'a BaselineContext,
+    model: Model,
+    kind: SupervisedKind,
+}
+
+impl std::fmt::Debug for SupervisedDisambiguator<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SupervisedDisambiguator({})", self.kind.label())
+    }
+}
+
+/// Build a labelled pairwise training set from ground truth over
+/// `train_names` (names excluded from evaluation), balanced by downsampling
+/// the majority class, capped at `max_pairs`.
+pub fn training_pairs(
+    corpus: &Corpus,
+    ctx: &BaselineContext,
+    train_names: &[NameId],
+    max_pairs: usize,
+    seed: u64,
+) -> (Vec<Vec<f64>>, Vec<bool>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pos: Vec<Vec<f64>> = Vec::new();
+    let mut neg: Vec<Vec<f64>> = Vec::new();
+    for &name in train_names {
+        let mentions = corpus.mentions_of_name(name);
+        for i in 0..mentions.len() {
+            for j in (i + 1)..mentions.len() {
+                let same = corpus.truth_of(mentions[i]) == corpus.truth_of(mentions[j]);
+                let bucket = if same { &mut pos } else { &mut neg };
+                if bucket.len() < max_pairs {
+                    bucket.push(pair_features(
+                        corpus,
+                        ctx,
+                        mentions[i].paper,
+                        mentions[j].paper,
+                        name.0,
+                    ));
+                }
+            }
+        }
+    }
+    // Balance: downsample the larger class to at most 2× the smaller.
+    let cap = pos.len().min(neg.len()).max(1) * 2;
+    pos.shuffle(&mut rng);
+    neg.shuffle(&mut rng);
+    pos.truncate(cap);
+    neg.truncate(cap);
+    let mut xs = Vec::with_capacity(pos.len() + neg.len());
+    let mut ys = Vec::with_capacity(pos.len() + neg.len());
+    for p in pos {
+        xs.push(p);
+        ys.push(true);
+    }
+    for n in neg {
+        xs.push(n);
+        ys.push(false);
+    }
+    (xs, ys)
+}
+
+impl<'a> SupervisedDisambiguator<'a> {
+    /// Train `kind` on labelled pairs from `train_names`.
+    pub fn train(
+        corpus: &Corpus,
+        ctx: &'a BaselineContext,
+        kind: SupervisedKind,
+        train_names: &[NameId],
+        seed: u64,
+    ) -> Self {
+        let (xs, ys) = training_pairs(corpus, ctx, train_names, 20_000, seed);
+        assert!(!xs.is_empty(), "no training pairs from the given names");
+        let model = match kind {
+            SupervisedKind::AdaBoost => Model::Ada(AdaBoost::fit(
+                &xs,
+                &ys,
+                &AdaBoostConfig {
+                    rounds: 60,
+                    depth: 2,
+                    seed,
+                },
+            )),
+            SupervisedKind::Gbdt => Model::Gbdt(Gbdt::fit(&xs, &ys, &GbdtConfig::default())),
+            SupervisedKind::RandomForest => Model::Rf(RandomForest::fit(
+                &xs,
+                &ys,
+                &RandomForestConfig {
+                    seed,
+                    ..Default::default()
+                },
+            )),
+            SupervisedKind::XgBoost => {
+                Model::Xgb(XgBoost::fit(&xs, &ys, &XgBoostConfig::default()))
+            }
+        };
+        SupervisedDisambiguator { ctx, model, kind }
+    }
+}
+
+impl Disambiguator for SupervisedDisambiguator<'_> {
+    fn label(&self) -> &'static str {
+        self.kind.label()
+    }
+
+    fn disambiguate(&self, corpus: &Corpus, name: NameId, mentions: &[Mention]) -> Vec<usize> {
+        // Classify every pair; positive pairs merge transitively.
+        let n = mentions.len();
+        let mut uf = UnionFind::new(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let f = pair_features(
+                    corpus,
+                    self.ctx,
+                    mentions[i].paper,
+                    mentions[j].paper,
+                    name.0,
+                );
+                if self.model.predict(&f) {
+                    uf.union(i, j);
+                }
+            }
+        }
+        let roots: Vec<usize> = (0..n).map(|i| uf.find(i)).collect();
+        iuad_cluster::densify_labels(&roots)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+
+    fn split_names(corpus: &Corpus) -> (Vec<NameId>, Vec<NameId>) {
+        let ts = iuad_corpus::select_test_names(corpus, 2, 3, 100);
+        let names: Vec<NameId> = ts.names.iter().map(|r| r.name).collect();
+        let cut = names.len() / 2;
+        (names[cut..].to_vec(), names[..cut].to_vec())
+    }
+
+    #[test]
+    fn training_pairs_are_balanced_and_labelled() {
+        let c = testutil::corpus();
+        let ctx = BaselineContext::build(&c, 16, 7);
+        let (train, _) = split_names(&c);
+        let (xs, ys) = training_pairs(&c, &ctx, &train, 5_000, 1);
+        assert!(!xs.is_empty());
+        let pos = ys.iter().filter(|&&y| y).count();
+        let neg = ys.len() - pos;
+        assert!(pos > 0 && neg > 0);
+        assert!(pos <= neg.max(1) * 2 && neg <= pos.max(1) * 2, "{pos} vs {neg}");
+    }
+
+    #[test]
+    fn all_four_learners_train_and_cluster() {
+        let c = testutil::corpus();
+        let ctx = BaselineContext::build(&c, 16, 7);
+        let (train, eval) = split_names(&c);
+        for kind in [
+            SupervisedKind::AdaBoost,
+            SupervisedKind::Gbdt,
+            SupervisedKind::RandomForest,
+            SupervisedKind::XgBoost,
+        ] {
+            let d = SupervisedDisambiguator::train(&c, &ctx, kind, &train, 2);
+            let mentions = c.mentions_of_name(eval[0]);
+            let labels = d.disambiguate(&c, eval[0], &mentions);
+            assert_eq!(labels.len(), mentions.len(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn supervised_produces_signal() {
+        let c = testutil::corpus();
+        let ctx = BaselineContext::build(&c, 16, 7);
+        let (train, eval) = split_names(&c);
+        let d = SupervisedDisambiguator::train(&c, &ctx, SupervisedKind::RandomForest, &train, 3);
+        let mut conf = iuad_eval::Confusion::default();
+        for &name in &eval {
+            let mentions = c.mentions_of_name(name);
+            let truth: Vec<u32> = mentions.iter().map(|m| c.truth_of(*m).0).collect();
+            let pred = d.disambiguate(&c, name, &mentions);
+            conf.add(iuad_eval::pairwise_confusion(&pred, &truth));
+        }
+        let m = conf.metrics();
+        assert!(m.f1 > 0.3, "RF baseline too weak: {m}");
+    }
+}

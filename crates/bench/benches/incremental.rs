@@ -1,0 +1,35 @@
+//! Criterion bench for incremental single-paper disambiguation (Table VI:
+//! the paper reports < 50 ms per paper; the fitted model scores new papers
+//! without retraining).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use iuad_core::{Iuad, IuadConfig};
+use iuad_corpus::{Corpus, CorpusConfig};
+
+fn bench_incremental(c: &mut Criterion) {
+    let full = Corpus::generate(&CorpusConfig {
+        num_authors: 400,
+        num_papers: 1_600,
+        seed: 42,
+        ..Default::default()
+    });
+    let (base, tail) = full.split_tail(50);
+    let iuad = Iuad::fit(&base, &IuadConfig::default());
+
+    let mut group = c.benchmark_group("incremental");
+    group.sample_size(30);
+    group.bench_function("disambiguate_paper", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let (paper, _) = &tail[i % tail.len()];
+            i += 1;
+            for slot in 0..paper.authors.len() {
+                black_box(iuad.disambiguate(paper, slot));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental);
+criterion_main!(benches);

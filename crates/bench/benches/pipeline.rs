@@ -1,0 +1,24 @@
+//! Criterion bench for the full IUAD pipeline (the per-dataset cost behind
+//! Tables III/IV).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use iuad_core::{Iuad, IuadConfig};
+use iuad_corpus::{Corpus, CorpusConfig};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let corpus = Corpus::generate(&CorpusConfig {
+        num_authors: 300,
+        num_papers: 1_200,
+        seed: 42,
+        ..Default::default()
+    });
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("iuad_fit/1200", |b| {
+        b.iter(|| Iuad::fit(black_box(&corpus), &IuadConfig::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

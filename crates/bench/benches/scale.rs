@@ -1,0 +1,27 @@
+//! Criterion bench for the data-scale behaviour (Table V / Fig. 5 shape):
+//! IUAD fit time at growing corpus prefixes.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use iuad_core::{Iuad, IuadConfig};
+use iuad_corpus::{Corpus, CorpusConfig};
+
+fn bench_scale(c: &mut Criterion) {
+    let corpus = Corpus::generate(&CorpusConfig {
+        num_authors: 600,
+        num_papers: 3_000,
+        seed: 42,
+        ..Default::default()
+    });
+    let mut group = c.benchmark_group("scale");
+    group.sample_size(10);
+    for pct in [20usize, 60, 100] {
+        let sub = corpus.prefix(corpus.papers.len() * pct / 100);
+        group.bench_function(format!("iuad_fit/{pct}pct"), |b| {
+            b.iter(|| Iuad::fit(black_box(&sub), &IuadConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scale);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench for SCN construction (Stage 1 of Table V's cost).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use iuad_core::Scn;
+use iuad_corpus::{Corpus, CorpusConfig};
+
+fn bench_scn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scn");
+    group.sample_size(15);
+    for papers in [1_000usize, 3_000] {
+        let corpus = Corpus::generate(&CorpusConfig {
+            num_authors: papers / 5,
+            num_papers: papers,
+            seed: 42,
+            ..Default::default()
+        });
+        group.bench_function(format!("build/{papers}"), |b| {
+            b.iter(|| Scn::build(black_box(&corpus), 2))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scn);
+criterion_main!(benches);

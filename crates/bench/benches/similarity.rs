@@ -1,0 +1,52 @@
+//! Criterion bench for the six similarity functions (the per-pair cost of
+//! Fig. 6 and GCN construction) and similarity-cache construction.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use iuad_core::{CacheScope, ProfileContext, Scn, SimilarityEngine};
+use iuad_corpus::{Corpus, CorpusConfig};
+
+fn bench_similarity(c: &mut Criterion) {
+    let corpus = Corpus::generate(&CorpusConfig {
+        num_authors: 400,
+        num_papers: 1_600,
+        seed: 42,
+        ..Default::default()
+    });
+    let scn = Scn::build(&corpus, 2);
+    let ctx = ProfileContext::build(&corpus, 32, 101);
+
+    let mut group = c.benchmark_group("similarity");
+    group.sample_size(15);
+    group.bench_function("engine_build", |b| {
+        b.iter(|| {
+            SimilarityEngine::build(
+                black_box(&scn),
+                &ctx,
+                0.62,
+                2,
+                CacheScope::AmbiguousOnly,
+            )
+        })
+    });
+
+    let engine = SimilarityEngine::build(&scn, &ctx, 0.62, 2, CacheScope::AmbiguousOnly);
+    // All candidate pairs of the most ambiguous name.
+    let vs = scn
+        .by_name
+        .values()
+        .max_by_key(|vs| vs.len())
+        .expect("ambiguous name")
+        .clone();
+    group.bench_function("gamma_vector_per_pair", |b| {
+        let mut k = 0usize;
+        b.iter(|| {
+            let i = k % (vs.len() - 1);
+            k += 1;
+            black_box(engine.similarity(&ctx, vs[i], vs[i + 1]))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_similarity);
+criterion_main!(benches);

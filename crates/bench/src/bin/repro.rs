@@ -1,0 +1,88 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```sh
+//! cargo run --release -p iuad-bench --bin repro -- all
+//! cargo run --release -p iuad-bench --bin repro -- table3 fig6
+//! ```
+//!
+//! Artefact ids: `fig3 table2 table3 table4 table5 fig5 table6 fig6
+//! ablation-eta ablation-sampling ablation-split ablation-features`.
+
+use std::time::Instant;
+
+use iuad_bench::{benchmark_corpus, experiments};
+use iuad_corpus::Corpus;
+
+const ALL: [&str; 13] = [
+    "fig3",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "fig5",
+    "table6",
+    "fig6",
+    "ablation-eta",
+    "ablation-delta",
+    "ablation-sampling",
+    "ablation-split",
+    "ablation-features",
+];
+
+fn dispatch(id: &str, corpus: &Corpus) -> Option<String> {
+    let out = match id {
+        "fig3" => experiments::fig3::run(corpus),
+        "table2" => experiments::table2::run(corpus),
+        "table3" => experiments::table3::run(corpus),
+        "table4" => experiments::table4::run(corpus),
+        "table5" => experiments::table5::run(corpus),
+        "fig5" => experiments::fig5::run(corpus),
+        "table6" => experiments::table6::run(corpus),
+        "fig6" => experiments::fig6::run(corpus),
+        "ablation-eta" => experiments::ablations::run_eta(corpus),
+        "ablation-delta" => experiments::ablations::run_delta(corpus),
+        "ablation-sampling" => experiments::ablations::run_sampling(corpus),
+        "ablation-split" => experiments::ablations::run_split(corpus),
+        "ablation-features" => experiments::ablations::run_features(corpus),
+        _ => return None,
+    };
+    Some(out)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: repro <artefact>... | all\n  artefacts: {}", ALL.join(" "));
+        std::process::exit(2);
+    }
+    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+        ALL.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    eprintln!("generating benchmark corpus…");
+    let t0 = Instant::now();
+    let corpus = benchmark_corpus();
+    eprintln!(
+        "corpus ready in {:.1?}: {} papers / {} names / {} authors / {} mentions\n",
+        t0.elapsed(),
+        corpus.papers.len(),
+        corpus.num_names(),
+        corpus.num_authors(),
+        corpus.num_mentions()
+    );
+
+    for id in ids {
+        let start = Instant::now();
+        match dispatch(id, &corpus) {
+            Some(out) => {
+                println!("== {id} ({:.1?}) ==\n{out}", start.elapsed());
+            }
+            None => {
+                eprintln!("unknown artefact `{id}` — expected one of: {}", ALL.join(" "));
+                std::process::exit(2);
+            }
+        }
+    }
+}

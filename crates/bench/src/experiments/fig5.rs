@@ -1,0 +1,52 @@
+//! Figure 5: IUAD's four metrics as the data scale grows from 20% to 100%
+//! (precision stays high from the start; recall climbs with data).
+
+use iuad_core::{Iuad, IuadConfig};
+use iuad_corpus::Corpus;
+use iuad_eval::Table;
+use serde::Serialize;
+
+use crate::harness::SCALES;
+use crate::{eval_labels, split_train_test_names, write_results};
+
+#[derive(Serialize)]
+struct Row {
+    scale: f64,
+    micro_a: f64,
+    micro_p: f64,
+    micro_r: f64,
+    micro_f: f64,
+}
+
+/// Run Figure 5 and return the rendered output.
+pub fn run(corpus: &Corpus) -> String {
+    let mut rows = Vec::new();
+    for &scale in &SCALES {
+        let sub = corpus.prefix((corpus.papers.len() as f64 * scale) as usize);
+        let (test, _) = split_train_test_names(&sub, 50);
+        eprintln!("fig5: scale {:.0}%", scale * 100.0);
+        let iuad = Iuad::fit(&sub, &IuadConfig::default());
+        let m = eval_labels(&sub, &test, |name| iuad.labels_of_name(&sub, name));
+        rows.push(Row {
+            scale,
+            micro_a: m.accuracy,
+            micro_p: m.precision,
+            micro_r: m.recall,
+            micro_f: m.f1,
+        });
+    }
+
+    let mut t = Table::new(["Scale", "MicroA", "MicroP", "MicroR", "MicroF"]);
+    for r in &rows {
+        t.row([
+            format!("{:.0}%", r.scale * 100.0),
+            format!("{:.4}", r.micro_a),
+            format!("{:.4}", r.micro_p),
+            format!("{:.4}", r.micro_r),
+            format!("{:.4}", r.micro_f),
+        ]);
+    }
+    let out = t.render();
+    write_results("fig5", &rows, &out);
+    out
+}

@@ -1,0 +1,49 @@
+//! Table II: descriptive statistics of the testing dataset — the 50 most
+//! ambiguous names with author and paper counts.
+
+use iuad_corpus::Corpus;
+use iuad_eval::Table;
+use serde::Serialize;
+
+use crate::{split_train_test_names, write_results};
+
+#[derive(Serialize)]
+struct Row {
+    name: String,
+    authors_td: usize,
+    papers_td: usize,
+    papers_corpus: usize,
+}
+
+/// Run Table II and return the rendered output.
+pub fn run(corpus: &Corpus) -> String {
+    let (test, _) = split_train_test_names(corpus, 50);
+    let papers_by_name = corpus.papers_by_name();
+
+    let mut rows = Vec::new();
+    let mut t = Table::new(["Name", "#Authors TD", "#Papers TD", "#Papers corpus"]);
+    for r in &test.names {
+        let corpus_papers = papers_by_name.get(&r.name).map_or(0, Vec::len);
+        t.row([
+            r.name_string.clone(),
+            r.authors.len().to_string(),
+            r.num_papers.to_string(),
+            corpus_papers.to_string(),
+        ]);
+        rows.push(Row {
+            name: r.name_string.clone(),
+            authors_td: r.authors.len(),
+            papers_td: r.num_papers,
+            papers_corpus: corpus_papers,
+        });
+    }
+    t.row([
+        "Total".to_string(),
+        test.total_authors().to_string(),
+        test.total_papers().to_string(),
+        rows.iter().map(|r| r.papers_corpus).sum::<usize>().to_string(),
+    ]);
+    let out = t.render();
+    write_results("table2", &rows, &out);
+    out
+}

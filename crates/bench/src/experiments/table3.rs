@@ -1,0 +1,77 @@
+//! Table III: IUAD against four supervised and four unsupervised baselines
+//! on the testing names (MicroA / MicroP / MicroR / MicroF).
+
+use iuad_baselines::{
+    Aminer, Anon, BaselineContext, Disambiguator, Ghost, NetE, SupervisedDisambiguator,
+    SupervisedKind,
+};
+use iuad_core::{Iuad, IuadConfig};
+use iuad_corpus::Corpus;
+use iuad_eval::Table;
+
+use crate::{
+    eval_disambiguator, eval_labels, split_train_test_names, write_results, MethodResult,
+};
+
+/// Run Table III and return the rendered output.
+pub fn run(corpus: &Corpus) -> String {
+    let (test, train_names) = split_train_test_names(corpus, 50);
+    eprintln!(
+        "table3: {} test names, {} supervised-training names",
+        test.names.len(),
+        train_names.len()
+    );
+    let mut results: Vec<MethodResult> = Vec::new();
+
+    // --- Supervised baselines -------------------------------------------
+    let ctx = BaselineContext::build(corpus, 32, 77);
+    for kind in [
+        SupervisedKind::AdaBoost,
+        SupervisedKind::Gbdt,
+        SupervisedKind::RandomForest,
+        SupervisedKind::XgBoost,
+    ] {
+        eprintln!("table3: training {}", kind.label());
+        let d = SupervisedDisambiguator::train(corpus, &ctx, kind, &train_names, 7);
+        results.push(MethodResult::new(
+            kind.label(),
+            eval_disambiguator(corpus, &test, &d),
+        ));
+    }
+
+    // --- Unsupervised baselines ------------------------------------------
+    let anon = Anon::new(&ctx);
+    let nete = NetE::new(&ctx);
+    let aminer = Aminer::new(&ctx);
+    let ghost = Ghost::new(&ctx);
+    let unsup: Vec<&dyn Disambiguator> = vec![&anon, &nete, &aminer, &ghost];
+    for d in unsup {
+        eprintln!("table3: running {}", d.label());
+        results.push(MethodResult::new(
+            d.label(),
+            eval_disambiguator(corpus, &test, d),
+        ));
+    }
+
+    // --- IUAD -------------------------------------------------------------
+    eprintln!("table3: fitting IUAD");
+    let iuad = Iuad::fit(corpus, &IuadConfig::default());
+    results.push(MethodResult::new(
+        "IUAD",
+        eval_labels(corpus, &test, |name| iuad.labels_of_name(corpus, name)),
+    ));
+
+    let mut t = Table::new(["Algorithm", "MicroA", "MicroP", "MicroR", "MicroF"]);
+    for r in &results {
+        t.row([
+            r.label.clone(),
+            format!("{:.4}", r.micro_a),
+            format!("{:.4}", r.micro_p),
+            format!("{:.4}", r.micro_r),
+            format!("{:.4}", r.micro_f),
+        ]);
+    }
+    let out = t.render();
+    write_results("table3", &results, &out);
+    out
+}

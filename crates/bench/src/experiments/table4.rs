@@ -1,0 +1,74 @@
+//! Table IV: effect of the two stages — metrics after SCN construction
+//! alone vs after GCN construction, with the improvement row.
+
+use iuad_core::{Iuad, IuadConfig};
+use iuad_corpus::Corpus;
+use iuad_eval::Table;
+use serde::Serialize;
+
+use crate::{eval_labels, split_train_test_names, write_results};
+
+#[derive(Serialize)]
+struct Row {
+    metric: &'static str,
+    scn: f64,
+    gcn: f64,
+    improvement: f64,
+}
+
+/// Run Table IV and return the rendered output.
+pub fn run(corpus: &Corpus) -> String {
+    let (test, _) = split_train_test_names(corpus, 50);
+    eprintln!("table4: fitting IUAD");
+    let iuad = Iuad::fit(corpus, &IuadConfig::default());
+
+    let stage1 = iuad.stage1_assignments();
+    let m_scn = eval_labels(corpus, &test, |name| {
+        corpus
+            .mentions_of_name(name)
+            .iter()
+            .map(|m| stage1[m])
+            .collect()
+    });
+    let m_gcn = eval_labels(corpus, &test, |name| iuad.labels_of_name(corpus, name));
+
+    let rows = vec![
+        Row {
+            metric: "MicroA",
+            scn: m_scn.accuracy,
+            gcn: m_gcn.accuracy,
+            improvement: m_gcn.accuracy - m_scn.accuracy,
+        },
+        Row {
+            metric: "MicroP",
+            scn: m_scn.precision,
+            gcn: m_gcn.precision,
+            improvement: m_gcn.precision - m_scn.precision,
+        },
+        Row {
+            metric: "MicroR",
+            scn: m_scn.recall,
+            gcn: m_gcn.recall,
+            improvement: m_gcn.recall - m_scn.recall,
+        },
+        Row {
+            metric: "MicroF",
+            scn: m_scn.f1,
+            gcn: m_gcn.f1,
+            improvement: m_gcn.f1 - m_scn.f1,
+        },
+    ];
+
+    let mut t = Table::new(["Metric", "SCN", "GCN", "Improv."]);
+    for r in &rows {
+        t.row([
+            r.metric.to_string(),
+            format!("{:.4}", r.scn),
+            format!("{:.4}", r.gcn),
+            format!("{:+.4}", r.improvement),
+        ]);
+    }
+    let out = t.render();
+    write_results("table4", &rows, &out);
+    out
+}

@@ -1,0 +1,107 @@
+//! Table V: average wall-clock time per test-name disambiguation at
+//! 20/40/60/80/100% of the corpus, for the four unsupervised baselines and
+//! IUAD.
+//!
+//! Accounting: each method's total cost on a scale (shared precomputation +
+//! per-name clustering, or the full two-stage pipeline for IUAD) divided by
+//! the number of evaluated test names. This mirrors the paper's "average
+//! time cost per name disambiguation" and charges every method for the
+//! models it builds.
+
+use std::time::Instant;
+
+use iuad_baselines::{Aminer, Anon, BaselineContext, Disambiguator, Ghost, NetE};
+use iuad_core::{Iuad, IuadConfig};
+use iuad_corpus::Corpus;
+use iuad_eval::Table;
+use serde::Serialize;
+
+use crate::harness::SCALES;
+use crate::{split_train_test_names, write_results};
+
+#[derive(Serialize)]
+struct Row {
+    method: String,
+    scale: f64,
+    seconds_per_name: f64,
+}
+
+/// Run Table V and return the rendered output.
+pub fn run(corpus: &Corpus) -> String {
+    let mut rows: Vec<Row> = Vec::new();
+
+    for &scale in &SCALES {
+        let sub = corpus.prefix((corpus.papers.len() as f64 * scale) as usize);
+        let (test, _) = split_train_test_names(&sub, 50);
+        let n_names = test.names.len().max(1);
+        eprintln!(
+            "table5: scale {:.0}% — {} papers, {} test names",
+            scale * 100.0,
+            sub.papers.len(),
+            n_names
+        );
+
+        // Baselines: context build is shared; charge it once per method run
+        // (each published baseline trains its own embeddings).
+        let run_baseline = |mk: &dyn Fn(&BaselineContext) -> Box<dyn Disambiguator + '_>| -> f64 {
+            let start = Instant::now();
+            let ctx = BaselineContext::build(&sub, 32, 77);
+            let d = mk(&ctx);
+            for r in &test.names {
+                let mentions = sub.mentions_of_name(r.name);
+                let _ = d.disambiguate(&sub, r.name, &mentions);
+            }
+            start.elapsed().as_secs_f64() / n_names as f64
+        };
+
+        let per_method: Vec<(String, f64)> = vec![
+            (
+                "ANON".into(),
+                run_baseline(&|ctx| Box::new(Anon::new(ctx))),
+            ),
+            (
+                "NetE".into(),
+                run_baseline(&|ctx| Box::new(NetE::new(ctx))),
+            ),
+            (
+                "Aminer".into(),
+                run_baseline(&|ctx| Box::new(Aminer::new(ctx))),
+            ),
+            (
+                "GHOST".into(),
+                run_baseline(&|ctx| Box::new(Ghost::new(ctx))),
+            ),
+            ("IUAD".into(), {
+                let start = Instant::now();
+                let _iuad = Iuad::fit(&sub, &IuadConfig::default());
+                start.elapsed().as_secs_f64() / n_names as f64
+            }),
+        ];
+        for (method, secs) in per_method {
+            rows.push(Row {
+                method,
+                scale,
+                seconds_per_name: secs,
+            });
+        }
+    }
+
+    let mut t = Table::new(["Algorithm", "20%", "40%", "60%", "80%", "100%"]);
+    for method in ["ANON", "NetE", "Aminer", "GHOST", "IUAD"] {
+        let cells: Vec<String> = SCALES
+            .iter()
+            .map(|&s| {
+                rows.iter()
+                    .find(|r| r.method == method && r.scale == s)
+                    .map(|r| format!("{:.3}", r.seconds_per_name))
+                    .unwrap_or_default()
+            })
+            .collect();
+        let mut row = vec![method.to_string()];
+        row.extend(cells);
+        t.row(row);
+    }
+    let out = t.render();
+    write_results("table5", &rows, &out);
+    out
+}

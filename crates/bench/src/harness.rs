@@ -1,0 +1,183 @@
+//! Shared experiment plumbing: the benchmark corpus, evaluation loops, and
+//! result persistence.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+use iuad_baselines::Disambiguator;
+use iuad_corpus::{select_test_names, Corpus, CorpusConfig, NameId, TestSet};
+use iuad_eval::{pairwise_confusion, Confusion, Metrics};
+use serde::Serialize;
+
+/// The corpus every experiment runs on. ~2.4k authors / 12k papers keeps the
+/// full Table III sweep within minutes while exercising every code path; the
+/// paper's DBLP snapshot is ~53× more papers with the same mechanics.
+pub fn benchmark_corpus() -> Corpus {
+    Corpus::generate(&CorpusConfig {
+        num_authors: 2_400,
+        num_papers: 12_000,
+        seed: 42,
+        ..Default::default()
+    })
+}
+
+/// Standard data-scale grid (Table V / Fig. 5).
+#[derive(Debug, Clone, Copy)]
+pub struct BenchmarkScale(pub f64);
+
+/// The five scales of the paper.
+pub const SCALES: [f64; 5] = [0.2, 0.4, 0.6, 0.8, 1.0];
+
+/// One method's evaluation outcome (a Table III row).
+#[derive(Debug, Clone, Serialize)]
+pub struct MethodResult {
+    /// Row label.
+    pub label: String,
+    /// MicroA.
+    pub micro_a: f64,
+    /// MicroP.
+    pub micro_p: f64,
+    /// MicroR.
+    pub micro_r: f64,
+    /// MicroF.
+    pub micro_f: f64,
+}
+
+impl MethodResult {
+    /// Build from a label and metrics.
+    pub fn new(label: impl Into<String>, m: Metrics) -> Self {
+        Self {
+            label: label.into(),
+            micro_a: m.accuracy,
+            micro_p: m.precision,
+            micro_r: m.recall,
+            micro_f: m.f1,
+        }
+    }
+}
+
+/// Evaluate a labelling function over the test names with the paper's
+/// pairwise micro protocol.
+pub fn eval_labels(
+    corpus: &Corpus,
+    test: &TestSet,
+    mut labels_of: impl FnMut(NameId) -> Vec<usize>,
+) -> Metrics {
+    let mut conf = Confusion::default();
+    for row in &test.names {
+        let mentions = corpus.mentions_of_name(row.name);
+        let truth: Vec<u32> = mentions.iter().map(|m| corpus.truth_of(*m).0).collect();
+        let pred = labels_of(row.name);
+        assert_eq!(pred.len(), truth.len(), "label arity for {:?}", row.name);
+        conf.add(pairwise_confusion(&pred, &truth));
+    }
+    conf.metrics()
+}
+
+/// Evaluate a [`Disambiguator`] over the test names.
+pub fn eval_disambiguator<D: Disambiguator + ?Sized>(
+    corpus: &Corpus,
+    test: &TestSet,
+    d: &D,
+) -> Metrics {
+    eval_labels(corpus, test, |name| {
+        let mentions = corpus.mentions_of_name(name);
+        d.disambiguate(corpus, name, &mentions)
+    })
+}
+
+/// Split ambiguous names into an evaluation set (the Table II analogue) and
+/// a disjoint training set for the supervised baselines.
+///
+/// Selection is *stratified*: eligible names are sorted by ambiguity and the
+/// test set takes evenly spaced ranks, so it spans the full range from
+/// heavily shared names down to 2-author names — matching the paper's test
+/// set (2..16 authors per name, mean ≈ 6.7) rather than only the most
+/// extreme outliers.
+pub fn split_train_test_names(
+    corpus: &Corpus,
+    num_test: usize,
+) -> (TestSet, Vec<NameId>) {
+    let all = select_test_names(corpus, 2, 3, usize::MAX);
+    if all.names.is_empty() {
+        return (TestSet { names: Vec::new() }, Vec::new());
+    }
+    let k = num_test.min(all.names.len());
+    let mut picked = std::collections::BTreeSet::new();
+    for i in 0..k {
+        // Evenly spaced ranks over the ambiguity-sorted list.
+        let idx = if k == 1 {
+            0
+        } else {
+            i * (all.names.len() - 1) / (k - 1)
+        };
+        picked.insert(idx);
+    }
+    let test = TestSet {
+        names: picked.iter().map(|&i| all.names[i].clone()).collect(),
+    };
+    let train: Vec<NameId> = all
+        .names
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !picked.contains(i))
+        .map(|(_, r)| r.name)
+        .collect();
+    (test, train)
+}
+
+/// Append-write experiment rows as JSONL under `results/<name>.jsonl`
+/// (truncating any previous run) and the rendered table as
+/// `results/<name>.txt`.
+pub fn write_results<T: Serialize>(name: &str, rows: &[T], rendered: &str) {
+    let dir = PathBuf::from("results");
+    if std::fs::create_dir_all(&dir).is_err() {
+        return; // best-effort: experiments still print to stdout
+    }
+    if let Ok(mut f) = std::fs::File::create(dir.join(format!("{name}.jsonl"))) {
+        for row in rows {
+            if let Ok(line) = serde_json::to_string(row) {
+                let _ = writeln!(f, "{line}");
+            }
+        }
+    }
+    let _ = std::fs::write(dir.join(format!("{name}.txt")), rendered);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_is_disjoint() {
+        let c = Corpus::generate(&CorpusConfig {
+            num_authors: 300,
+            num_papers: 1000,
+            seed: 61,
+            ..Default::default()
+        });
+        let (test, train) = split_train_test_names(&c, 10);
+        for row in &test.names {
+            assert!(!train.contains(&row.name));
+        }
+    }
+
+    #[test]
+    fn eval_labels_perfect_oracle_scores_one() {
+        let c = Corpus::generate(&CorpusConfig {
+            num_authors: 300,
+            num_papers: 1000,
+            seed: 61,
+            ..Default::default()
+        });
+        let (test, _) = split_train_test_names(&c, 10);
+        let m = eval_labels(&c, &test, |name| {
+            c.mentions_of_name(name)
+                .iter()
+                .map(|m| c.truth_of(*m).0 as usize)
+                .collect()
+        });
+        assert_eq!(m.f1, 1.0);
+        assert_eq!(m.accuracy, 1.0);
+    }
+}

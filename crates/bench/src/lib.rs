@@ -1,0 +1,23 @@
+//! Benchmark harness: regenerates every table and figure of the paper's
+//! evaluation (§VI) on the synthetic corpus, plus the ablations DESIGN.md
+//! commits to.
+//!
+//! The `repro` binary drives the [`experiments`] modules:
+//!
+//! ```sh
+//! cargo run --release -p iuad-bench --bin repro -- all     # everything
+//! cargo run --release -p iuad-bench --bin repro -- table3  # one artefact
+//! ```
+//!
+//! Each experiment prints an aligned text table and writes JSONL rows under
+//! `results/` for EXPERIMENTS.md.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+mod harness;
+
+pub use harness::{
+    benchmark_corpus, eval_disambiguator, eval_labels, split_train_test_names, write_results,
+    BenchmarkScale, MethodResult,
+};

@@ -1,0 +1,212 @@
+//! Affinity propagation (Frey & Dueck, Science 2007).
+
+/// Affinity-propagation hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct ApConfig {
+    /// Damping factor in `[0.5, 1)`.
+    pub damping: f64,
+    /// Maximum message-passing iterations.
+    pub max_iters: usize,
+    /// Stop after this many iterations without exemplar changes.
+    pub convergence_iters: usize,
+    /// Self-similarity (preference). `None` = median of the similarities
+    /// (the standard default; fewer clusters with lower values).
+    pub preference: Option<f64>,
+}
+
+impl Default for ApConfig {
+    fn default() -> Self {
+        Self {
+            damping: 0.9,
+            max_iters: 200,
+            convergence_iters: 15,
+            preference: None,
+        }
+    }
+}
+
+/// Cluster by affinity propagation over a dense similarity matrix
+/// (row-major, `n×n`; larger = more similar). Returns dense labels.
+pub fn affinity_propagation(n: usize, similarity: &[f64], cfg: &ApConfig) -> Vec<usize> {
+    assert_eq!(similarity.len(), n * n, "similarity must be n×n");
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![0];
+    }
+    let mut s = similarity.to_vec();
+
+    // Preference on the diagonal.
+    let pref = cfg.preference.unwrap_or_else(|| {
+        let mut off: Vec<f64> = (0..n)
+            .flat_map(|i| (0..n).filter(move |&j| j != i).map(move |j| (i, j)))
+            .map(|(i, j)| similarity[i * n + j])
+            .collect();
+        off.sort_by(|a, b| a.total_cmp(b));
+        if off.is_empty() {
+            0.0
+        } else {
+            off[off.len() / 2]
+        }
+    });
+    for i in 0..n {
+        s[i * n + i] = pref;
+    }
+
+    let mut r = vec![0.0f64; n * n]; // responsibilities
+    let mut a = vec![0.0f64; n * n]; // availabilities
+    let mut last_exemplars: Vec<usize> = Vec::new();
+    let mut stable = 0usize;
+
+    for _ in 0..cfg.max_iters {
+        // Responsibilities: r(i,k) = s(i,k) - max_{k' != k} (a(i,k') + s(i,k')).
+        for i in 0..n {
+            let row = i * n;
+            let mut max1 = f64::NEG_INFINITY;
+            let mut max2 = f64::NEG_INFINITY;
+            let mut arg1 = 0usize;
+            for k in 0..n {
+                let v = a[row + k] + s[row + k];
+                if v > max1 {
+                    max2 = max1;
+                    max1 = v;
+                    arg1 = k;
+                } else if v > max2 {
+                    max2 = v;
+                }
+            }
+            for k in 0..n {
+                let cap = if k == arg1 { max2 } else { max1 };
+                let new_r = s[row + k] - cap;
+                r[row + k] = cfg.damping * r[row + k] + (1.0 - cfg.damping) * new_r;
+            }
+        }
+        // Availabilities: a(i,k) = min(0, r(k,k) + sum_{i' not in {i,k}} max(0, r(i',k)));
+        //                 a(k,k) = sum_{i' != k} max(0, r(i',k)).
+        for k in 0..n {
+            let mut pos_sum = 0.0;
+            for i in 0..n {
+                if i != k {
+                    pos_sum += r[i * n + k].max(0.0);
+                }
+            }
+            for i in 0..n {
+                let new_a = if i == k {
+                    pos_sum
+                } else {
+                    (r[k * n + k] + pos_sum - r[i * n + k].max(0.0)).min(0.0)
+                };
+                a[i * n + k] = cfg.damping * a[i * n + k] + (1.0 - cfg.damping) * new_a;
+            }
+        }
+
+        // Exemplars and convergence.
+        let exemplars: Vec<usize> = (0..n)
+            .filter(|&k| r[k * n + k] + a[k * n + k] > 0.0)
+            .collect();
+        if exemplars == last_exemplars && !exemplars.is_empty() {
+            stable += 1;
+            if stable >= cfg.convergence_iters {
+                break;
+            }
+        } else {
+            stable = 0;
+            last_exemplars = exemplars;
+        }
+    }
+
+    // Assignment: each point to the exemplar maximising a + r (itself if
+    // it is an exemplar); if none emerged, everything is one cluster.
+    let exemplars = if last_exemplars.is_empty() {
+        vec![0]
+    } else {
+        last_exemplars
+    };
+    let labels: Vec<usize> = (0..n)
+        .map(|i| {
+            if exemplars.contains(&i) {
+                return i;
+            }
+            *exemplars
+                .iter()
+                .max_by(|&&k1, &&k2| s[i * n + k1].total_cmp(&s[i * n + k2]))
+                .unwrap()
+        })
+        .collect();
+    crate::densify_labels(&labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Similarity = negative squared distance (the paper's AP convention).
+    fn sim_matrix(pts: &[f64]) -> Vec<f64> {
+        let n = pts.len();
+        let mut s = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                s[i * n + j] = -((pts[i] - pts[j]) * (pts[i] - pts[j]));
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn two_groups_found() {
+        let pts = vec![0.0, 0.1, 0.2, 10.0, 10.1, 10.2];
+        let s = sim_matrix(&pts);
+        let labels = affinity_propagation(pts.len(), &s, &ApConfig::default());
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_eq!(labels[4], labels[5]);
+        assert_ne!(labels[0], labels[3]);
+    }
+
+    #[test]
+    fn singleton_input() {
+        assert_eq!(affinity_propagation(1, &[0.0], &ApConfig::default()), vec![0]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(affinity_propagation(0, &[], &ApConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn low_preference_reduces_cluster_count() {
+        let pts = vec![0.0, 0.5, 1.0, 1.5, 2.0];
+        let s = sim_matrix(&pts);
+        let few = affinity_propagation(
+            pts.len(),
+            &s,
+            &ApConfig {
+                preference: Some(-100.0),
+                ..Default::default()
+            },
+        );
+        let many = affinity_propagation(
+            pts.len(),
+            &s,
+            &ApConfig {
+                preference: Some(-0.001),
+                ..Default::default()
+            },
+        );
+        let count = |ls: &[usize]| {
+            let mut u = ls.to_vec();
+            u.sort_unstable();
+            u.dedup();
+            u.len()
+        };
+        assert!(count(&few) <= count(&many));
+    }
+
+    #[test]
+    #[should_panic(expected = "n×n")]
+    fn wrong_matrix_size_rejected() {
+        let _ = affinity_propagation(3, &[0.0; 4], &ApConfig::default());
+    }
+}

@@ -1,0 +1,127 @@
+//! DBSCAN density clustering (Ester et al., KDD 1996).
+//!
+//! Stands in for the HDBSCAN step of the NetE baseline (see DESIGN.md):
+//! both produce density clusters plus noise; DBSCAN fixes the density scale
+//! with `eps` instead of deriving a hierarchy.
+
+/// Cluster `n` items by density. `dist` supplies pairwise distances; points
+/// with at least `min_pts` neighbours within `eps` (inclusive, counting the
+/// point itself) are core points. Returns dense labels where every noise
+/// point becomes its own singleton cluster — the natural reading for author
+/// disambiguation, where "noise" means "no evidence this paper joins any
+/// author".
+pub fn dbscan(
+    n: usize,
+    mut dist: impl FnMut(usize, usize) -> f64,
+    eps: f64,
+    min_pts: usize,
+) -> Vec<usize> {
+    const UNVISITED: usize = usize::MAX - 1;
+    let mut labels = vec![UNVISITED; n];
+
+    // Precompute neighbourhoods (O(n²): name-sized workloads).
+    let mut neighbours: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let v = dist(i, j);
+            if v <= eps {
+                neighbours[i].push(j);
+                neighbours[j].push(i);
+            }
+        }
+    }
+
+    let mut next_cluster = 0usize;
+    let mut queue = std::collections::VecDeque::new();
+    for start in 0..n {
+        if labels[start] != UNVISITED {
+            continue;
+        }
+        if neighbours[start].len() + 1 < min_pts {
+            labels[start] = usize::MAX; // provisional noise
+            continue;
+        }
+        // Grow a new cluster from this core point.
+        let cid = next_cluster;
+        next_cluster += 1;
+        labels[start] = cid;
+        queue.extend(neighbours[start].iter().copied());
+        while let Some(p) = queue.pop_front() {
+            if labels[p] == usize::MAX {
+                labels[p] = cid; // border point previously marked noise
+            }
+            if labels[p] != UNVISITED {
+                continue;
+            }
+            labels[p] = cid;
+            if neighbours[p].len() + 1 >= min_pts {
+                queue.extend(neighbours[p].iter().copied());
+            }
+        }
+    }
+    crate::densify_labels(&labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dist_of(pts: &[(f64, f64)]) -> impl FnMut(usize, usize) -> f64 + '_ {
+        move |i, j| {
+            let dx = pts[i].0 - pts[j].0;
+            let dy = pts[i].1 - pts[j].1;
+            (dx * dx + dy * dy).sqrt()
+        }
+    }
+
+    #[test]
+    fn two_blobs_and_noise() {
+        let mut pts = Vec::new();
+        for i in 0..5 {
+            pts.push((0.0 + 0.01 * i as f64, 0.0)); // blob A
+            pts.push((5.0 + 0.01 * i as f64, 5.0)); // blob B
+        }
+        pts.push((100.0, 100.0)); // outlier
+        let labels = dbscan(pts.len(), dist_of(&pts), 0.5, 3);
+        // Blob members share labels.
+        assert!(pts.len() == labels.len());
+        assert_eq!(labels[0], labels[2]);
+        assert_eq!(labels[1], labels[3]);
+        assert_ne!(labels[0], labels[1]);
+        // Outlier is its own cluster.
+        let outlier = labels[10];
+        assert_eq!(labels.iter().filter(|&&l| l == outlier).count(), 1);
+    }
+
+    #[test]
+    fn all_noise_when_eps_tiny() {
+        let pts: Vec<(f64, f64)> = (0..4).map(|i| (i as f64, 0.0)).collect();
+        let labels = dbscan(pts.len(), dist_of(&pts), 1e-9, 2);
+        let mut uniq = labels.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 4);
+    }
+
+    #[test]
+    fn chain_connects_through_cores() {
+        // Points 0..6 spaced 0.9 apart, eps=1.0, min_pts=2: one cluster.
+        let pts: Vec<(f64, f64)> = (0..6).map(|i| (0.9 * i as f64, 0.0)).collect();
+        let labels = dbscan(pts.len(), dist_of(&pts), 1.0, 2);
+        assert!(labels.iter().all(|&l| l == labels[0]));
+    }
+
+    #[test]
+    fn border_point_joins_cluster() {
+        // Dense core {0,1,2} + border point 3 within eps of the core but
+        // itself not core (min_pts = 3).
+        let pts = vec![(0.0, 0.0), (0.1, 0.0), (0.05, 0.1), (0.9, 0.0)];
+        let labels = dbscan(pts.len(), dist_of(&pts), 1.0, 3);
+        assert_eq!(labels[3], labels[0]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(dbscan(0, |_, _| 0.0, 1.0, 2).is_empty());
+    }
+}

@@ -1,0 +1,168 @@
+//! Hierarchical agglomerative clustering with Lance-Williams updates.
+
+/// Linkage criterion for merging clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Linkage {
+    /// Minimum pairwise distance.
+    Single,
+    /// Maximum pairwise distance.
+    Complete,
+    /// Size-weighted average distance (UPGMA).
+    Average,
+}
+
+/// Agglomerate `n` items with pairwise distances from `dist`, merging until
+/// the closest pair of clusters is farther than `threshold`. Returns dense
+/// labels `0..k`.
+///
+/// O(n³) worst case with an O(n²) matrix — the workloads here are the papers
+/// of a single ambiguous name (tens to a few hundred items), where this is
+/// faster than asymptotically better structures.
+pub fn hac(n: usize, mut dist: impl FnMut(usize, usize) -> f64, linkage: Linkage, threshold: f64) -> Vec<usize> {
+    if n == 0 {
+        return Vec::new();
+    }
+    // Dense symmetric distance matrix.
+    let mut d = vec![f64::INFINITY; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let v = dist(i, j);
+            debug_assert!(!v.is_nan(), "distance({i},{j}) is NaN");
+            d[i * n + j] = v;
+            d[j * n + i] = v;
+        }
+    }
+
+    let mut active: Vec<bool> = vec![true; n];
+    let mut size: Vec<usize> = vec![1; n];
+    // Each item's current cluster root (index into the matrix rows).
+    let mut member_root: Vec<usize> = (0..n).collect();
+
+    loop {
+        // Closest active pair.
+        let mut best = f64::INFINITY;
+        let mut pair = None;
+        for i in 0..n {
+            if !active[i] {
+                continue;
+            }
+            for j in (i + 1)..n {
+                if !active[j] {
+                    continue;
+                }
+                let v = d[i * n + j];
+                if v < best {
+                    best = v;
+                    pair = Some((i, j));
+                }
+            }
+        }
+        let Some((i, j)) = pair else { break };
+        if best > threshold {
+            break;
+        }
+        // Merge j into i (Lance-Williams).
+        for k in 0..n {
+            if !active[k] || k == i || k == j {
+                continue;
+            }
+            let dik = d[i * n + k];
+            let djk = d[j * n + k];
+            let merged = match linkage {
+                Linkage::Single => dik.min(djk),
+                Linkage::Complete => dik.max(djk),
+                Linkage::Average => {
+                    (size[i] as f64 * dik + size[j] as f64 * djk)
+                        / (size[i] + size[j]) as f64
+                }
+            };
+            d[i * n + k] = merged;
+            d[k * n + i] = merged;
+        }
+        active[j] = false;
+        size[i] += size[j];
+        for r in member_root.iter_mut() {
+            if *r == j {
+                *r = i;
+            }
+        }
+    }
+
+    crate::densify_labels(&member_root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_points() -> Vec<f64> {
+        // Two tight groups far apart: {0.0, 0.1, 0.2} and {10.0, 10.1}.
+        vec![0.0, 0.1, 0.2, 10.0, 10.1]
+    }
+
+    fn dist_of(pts: &[f64]) -> impl FnMut(usize, usize) -> f64 + '_ {
+        move |i, j| (pts[i] - pts[j]).abs()
+    }
+
+    #[test]
+    fn splits_two_groups() {
+        let pts = line_points();
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let labels = hac(pts.len(), dist_of(&pts), linkage, 1.0);
+            assert_eq!(labels[0], labels[1]);
+            assert_eq!(labels[1], labels[2]);
+            assert_eq!(labels[3], labels[4]);
+            assert_ne!(labels[0], labels[3], "{linkage:?}");
+        }
+    }
+
+    #[test]
+    fn zero_threshold_keeps_singletons() {
+        let pts = line_points();
+        let labels = hac(pts.len(), dist_of(&pts), Linkage::Average, -1.0);
+        let mut uniq = labels.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), pts.len());
+    }
+
+    #[test]
+    fn huge_threshold_merges_all() {
+        let pts = line_points();
+        let labels = hac(pts.len(), dist_of(&pts), Linkage::Single, 1e12);
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn single_vs_complete_on_chain() {
+        // Chain 0 - 1 - 2 - 3 with unit gaps: single linkage chains them all
+        // at threshold 1.5; complete linkage cannot (diameter grows).
+        let pts: Vec<f64> = vec![0.0, 1.0, 2.0, 3.0];
+        let single = hac(4, dist_of(&pts), Linkage::Single, 1.5);
+        assert!(single.iter().all(|&l| l == single[0]));
+        let complete = hac(4, dist_of(&pts), Linkage::Complete, 1.5);
+        let k = {
+            let mut u = complete.clone();
+            u.sort_unstable();
+            u.dedup();
+            u.len()
+        };
+        assert!(k >= 2, "complete linkage should not chain: {complete:?}");
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(hac(0, |_, _| 0.0, Linkage::Average, 1.0).is_empty());
+        assert_eq!(hac(1, |_, _| 0.0, Linkage::Average, 1.0), vec![0]);
+    }
+
+    #[test]
+    fn labels_are_dense() {
+        let pts = line_points();
+        let labels = hac(pts.len(), dist_of(&pts), Linkage::Average, 1.0);
+        let mut uniq = labels.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq, (0..uniq.len()).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,129 @@
+//! Lloyd's k-means with k-means++ seeding.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Cluster `points` (row vectors, equal length) into `k` clusters.
+/// Returns `(labels, centroids)`. Deterministic given `seed`.
+pub fn kmeans(
+    points: &[Vec<f64>],
+    k: usize,
+    max_iters: usize,
+    seed: u64,
+) -> (Vec<usize>, Vec<Vec<f64>>) {
+    let n = points.len();
+    if n == 0 || k == 0 {
+        return (Vec::new(), Vec::new());
+    }
+    let k = k.min(n);
+    let dim = points[0].len();
+    debug_assert!(points.iter().all(|p| p.len() == dim));
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let sq_dist = |a: &[f64], b: &[f64]| -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    };
+
+    // k-means++ seeding.
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..n)].clone());
+    let mut d2: Vec<f64> = points.iter().map(|p| sq_dist(p, &centroids[0])).collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            rng.gen_range(0..n)
+        } else {
+            let mut t = rng.gen::<f64>() * total;
+            let mut pick = n - 1;
+            for (i, &w) in d2.iter().enumerate() {
+                t -= w;
+                if t <= 0.0 {
+                    pick = i;
+                    break;
+                }
+            }
+            pick
+        };
+        centroids.push(points[next].clone());
+        for (i, p) in points.iter().enumerate() {
+            d2[i] = d2[i].min(sq_dist(p, centroids.last().unwrap()));
+        }
+    }
+
+    let mut labels = vec![0usize; n];
+    for _ in 0..max_iters {
+        // Assign.
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let best = (0..centroids.len())
+                .min_by(|&a, &b| sq_dist(p, &centroids[a]).total_cmp(&sq_dist(p, &centroids[b])))
+                .unwrap();
+            if labels[i] != best {
+                labels[i] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        // Update.
+        let mut sums = vec![vec![0.0; dim]; centroids.len()];
+        let mut counts = vec![0usize; centroids.len()];
+        for (p, &l) in points.iter().zip(&labels) {
+            counts[l] += 1;
+            for (s, &x) in sums[l].iter_mut().zip(p) {
+                *s += x;
+            }
+        }
+        for (c, (sum, &count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
+            if count > 0 {
+                *c = sum.iter().map(|&s| s / count as f64).collect();
+            }
+        }
+    }
+    (labels, centroids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separates_two_blobs() {
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            pts.push(vec![0.0 + 0.01 * i as f64, 0.0]);
+            pts.push(vec![5.0 + 0.01 * i as f64, 5.0]);
+        }
+        let (labels, centroids) = kmeans(&pts, 2, 50, 1);
+        assert_eq!(centroids.len(), 2);
+        for i in (0..20).step_by(2) {
+            assert_eq!(labels[i], labels[0]);
+            assert_eq!(labels[i + 1], labels[1]);
+        }
+        assert_ne!(labels[0], labels[1]);
+    }
+
+    #[test]
+    fn k_capped_at_n() {
+        let pts = vec![vec![0.0], vec![1.0]];
+        let (labels, centroids) = kmeans(&pts, 10, 10, 2);
+        assert_eq!(centroids.len(), 2);
+        assert_eq!(labels.len(), 2);
+    }
+
+    #[test]
+    fn deterministic() {
+        let pts: Vec<Vec<f64>> = (0..30).map(|i| vec![(i % 7) as f64, (i % 3) as f64]).collect();
+        let a = kmeans(&pts, 3, 100, 9);
+        let b = kmeans(&pts, 3, 100, 9);
+        assert_eq!(a.0, b.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(kmeans(&[], 3, 10, 0).0.len(), 0);
+        let pts = vec![vec![1.0]];
+        assert_eq!(kmeans(&pts, 0, 10, 0).0.len(), 0);
+    }
+}

@@ -1,0 +1,266 @@
+//! The end-to-end IUAD pipeline (Algorithm 1): SCN → GCN → merged network,
+//! plus the incremental interface.
+
+use rustc_hash::FxHashMap;
+
+use iuad_corpus::{Corpus, Mention, NameId, Paper};
+
+use crate::gcn::{merge_network, Gcn, GcnConfig};
+use crate::incremental::{disambiguate_mention, Decision};
+use crate::profile::ProfileContext;
+use crate::scn::Scn;
+use crate::similarity::{CacheScope, SimilarityEngine};
+
+/// Full pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct IuadConfig {
+    /// η-SCR support threshold (Stage 1).
+    pub eta: u32,
+    /// Stage-2 settings (δ, sampling, EM).
+    pub gcn: GcnConfig,
+    /// Keyword embedding dimensionality.
+    pub embedding_dim: usize,
+    /// Seed for embedding training.
+    pub embedding_seed: u64,
+    /// γ₄ decay factor α (paper: 0.62).
+    pub alpha: f64,
+    /// WL iterations / ego radius h.
+    pub wl_iters: usize,
+}
+
+impl Default for IuadConfig {
+    fn default() -> Self {
+        Self {
+            eta: 2,
+            gcn: GcnConfig::default(),
+            embedding_dim: 32,
+            embedding_seed: 101,
+            alpha: 0.62,
+            wl_iters: 2,
+        }
+    }
+}
+
+/// A fitted IUAD pipeline: both stages plus everything the incremental
+/// interface needs.
+#[derive(Debug)]
+pub struct Iuad {
+    /// The configuration used.
+    pub config: IuadConfig,
+    /// Corpus-level context (embeddings, frequencies).
+    pub ctx: ProfileContext,
+    /// Stage-1 network (pre-merge); kept for the two-stage analysis (RQ2).
+    pub scn: Scn,
+    /// Stage-2 result (model + merge decisions).
+    pub gcn: Gcn,
+    /// The merged global collaboration network.
+    pub network: Scn,
+    /// Similarity caches over `network` (for incremental queries).
+    engine: SimilarityEngine,
+}
+
+impl Iuad {
+    /// Run both stages on a corpus.
+    pub fn fit(corpus: &Corpus, config: &IuadConfig) -> Iuad {
+        let ctx = ProfileContext::build(corpus, config.embedding_dim, config.embedding_seed);
+        let scn = Scn::build(corpus, config.eta);
+        let stage2_engine =
+            SimilarityEngine::build(&scn, &ctx, config.alpha, config.wl_iters, CacheScope::AmbiguousOnly);
+        let gcn = Gcn::build(&scn, &ctx, &stage2_engine, &config.gcn);
+        let network = merge_network(corpus, &scn, &gcn.cluster_of_vertex);
+        let engine = SimilarityEngine::build(
+            &network,
+            &ctx,
+            config.alpha,
+            config.wl_iters,
+            CacheScope::AmbiguousOnly,
+        );
+        Iuad {
+            config: config.clone(),
+            ctx,
+            scn,
+            gcn,
+            network,
+            engine,
+        }
+    }
+
+    /// Final mention → author-cluster assignment (cluster id = vertex index
+    /// in [`Iuad::network`]).
+    pub fn assignments(&self) -> FxHashMap<Mention, usize> {
+        self.network
+            .assignment
+            .iter()
+            .map(|(&m, &v)| (m, v.index()))
+            .collect()
+    }
+
+    /// Stage-1-only assignment (for the RQ2 two-stage comparison).
+    pub fn stage1_assignments(&self) -> FxHashMap<Mention, usize> {
+        self.scn
+            .assignment
+            .iter()
+            .map(|(&m, &v)| (m, v.index()))
+            .collect()
+    }
+
+    /// Predicted labels for the mentions of `name` (parallel to
+    /// `corpus.mentions_of_name(name)`), after both stages.
+    pub fn labels_of_name(&self, corpus: &Corpus, name: NameId) -> Vec<usize> {
+        corpus
+            .mentions_of_name(name)
+            .iter()
+            .map(|m| self.network.assignment[m].index())
+            .collect()
+    }
+
+    /// Incrementally disambiguate the author at `slot` of a new paper
+    /// against the fitted network (§V-E). Returns
+    /// [`Decision::NewAuthor`] when no fitted model exists (corpus had no
+    /// ambiguity) or no candidate reaches δ.
+    pub fn disambiguate(&self, paper: &Paper, slot: usize) -> Decision {
+        let Some(model) = &self.gcn.model else {
+            return Decision::NewAuthor { best_score: None };
+        };
+        disambiguate_mention(
+            &self.network,
+            &self.ctx,
+            &self.engine,
+            model,
+            self.config.gcn.delta,
+            paper,
+            slot,
+        )
+    }
+
+    /// Fold a disambiguated mention into the network *without* refitting:
+    /// appends the mention to the matched vertex (or a fresh vertex) so that
+    /// subsequent incremental queries see it. Structural caches are not
+    /// rebuilt — consistent with the paper's "no retraining" claim.
+    pub fn absorb(&mut self, paper: &Paper, slot: usize, decision: Decision) {
+        let mention = Mention::new(paper.id, slot);
+        let name = paper.authors[slot];
+        let v = match decision {
+            Decision::Existing { vertex, .. } => vertex,
+            Decision::NewAuthor { .. } => {
+                let v = self.network.graph.add_vertex(crate::scn::ScnVertex {
+                    name,
+                    mentions: Vec::new(),
+                });
+                self.network.by_name.entry(name).or_default().push(v);
+                v
+            }
+        };
+        self.network.graph.vertex_mut(v).mentions.push(mention);
+        self.network.assignment.insert(mention, v);
+        let delta = crate::profile::VertexProfile::from_new_paper(name, paper, &self.ctx);
+        self.engine.absorb(v, &delta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iuad_corpus::CorpusConfig;
+    use iuad_eval::{pairwise_confusion, Confusion};
+
+    fn corpus() -> Corpus {
+        Corpus::generate(&CorpusConfig {
+            num_authors: 250,
+            num_papers: 1000,
+            seed: 41,
+            ..Default::default()
+        })
+    }
+
+    fn eval_confusion(
+        corpus: &Corpus,
+        labels: &FxHashMap<Mention, usize>,
+        min_vertices: usize,
+        iuad: &Iuad,
+    ) -> Confusion {
+        let mut conf = Confusion::default();
+        for (name, vs) in &iuad.scn.by_name {
+            if vs.len() < min_vertices {
+                continue;
+            }
+            let mentions = corpus.mentions_of_name(*name);
+            let truth: Vec<u32> = mentions.iter().map(|m| corpus.truth_of(*m).0).collect();
+            let pred: Vec<usize> = mentions.iter().map(|m| labels[m]).collect();
+            conf.add(pairwise_confusion(&pred, &truth));
+        }
+        conf
+    }
+
+    #[test]
+    fn full_pipeline_runs_and_assigns_everything() {
+        let c = corpus();
+        let iuad = Iuad::fit(&c, &IuadConfig::default());
+        assert_eq!(iuad.assignments().len(), c.num_mentions());
+        assert_eq!(iuad.stage1_assignments().len(), c.num_mentions());
+    }
+
+    #[test]
+    fn stage2_improves_f1_via_recall() {
+        let c = corpus();
+        let iuad = Iuad::fit(&c, &IuadConfig::default());
+        let m1 = eval_confusion(&c, &iuad.stage1_assignments(), 2, &iuad).metrics();
+        let m2 = eval_confusion(&c, &iuad.assignments(), 2, &iuad).metrics();
+        assert!(
+            m2.recall > m1.recall,
+            "recall should improve: {:.3} -> {:.3}",
+            m1.recall,
+            m2.recall
+        );
+        assert!(
+            m2.f1 >= m1.f1,
+            "F1 should not degrade: {:.3} -> {:.3}",
+            m1.f1,
+            m2.f1
+        );
+    }
+
+    #[test]
+    fn stage1_has_high_precision() {
+        let c = corpus();
+        let iuad = Iuad::fit(&c, &IuadConfig::default());
+        let m1 = eval_confusion(&c, &iuad.stage1_assignments(), 2, &iuad).metrics();
+        assert!(m1.precision > 0.9, "SCN precision: {:.3}", m1.precision);
+    }
+
+    #[test]
+    fn pipeline_is_deterministic() {
+        let c = corpus();
+        let a = Iuad::fit(&c, &IuadConfig::default());
+        let b = Iuad::fit(&c, &IuadConfig::default());
+        assert_eq!(a.assignments(), b.assignments());
+    }
+
+    #[test]
+    fn labels_of_name_parallel_to_mentions() {
+        let c = corpus();
+        let iuad = Iuad::fit(&c, &IuadConfig::default());
+        let name = c.papers[0].authors[0];
+        let labels = iuad.labels_of_name(&c, name);
+        assert_eq!(labels.len(), c.mentions_of_name(name).len());
+    }
+
+    #[test]
+    fn absorb_updates_network() {
+        let full = Corpus::generate(&CorpusConfig {
+            num_authors: 200,
+            num_papers: 800,
+            seed: 43,
+            ..Default::default()
+        });
+        let (base, tail) = full.split_tail(10);
+        let mut iuad = Iuad::fit(&base, &IuadConfig::default());
+        let before = iuad.network.assignment.len();
+        let (paper, _) = &tail[0];
+        let d = iuad.disambiguate(paper, 0);
+        iuad.absorb(paper, 0, d);
+        assert_eq!(iuad.network.assignment.len(), before + 1);
+        let m = Mention::new(paper.id, 0);
+        assert!(iuad.network.assignment.contains_key(&m));
+    }
+}

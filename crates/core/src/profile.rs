@@ -1,0 +1,297 @@
+//! Vertex profiles: the per-vertex evidence the six similarity functions
+//! consume, plus the corpus-level context (embeddings, frequencies) they
+//! are normalised against.
+
+use rustc_hash::FxHashMap;
+
+use iuad_corpus::{Corpus, Mention, NameId, PaperId, VenueId};
+use iuad_text::{centroid, tokenize_filtered, train_sgns, Embeddings, SgnsConfig, Vocab};
+
+/// Corpus-level context shared by all similarity computations.
+///
+/// Built once per corpus: the title vocabulary, SGNS keyword embeddings,
+/// per-paper keyword ids, corpus word frequencies `F_B` and venue
+/// frequencies `F_H`.
+#[derive(Debug)]
+pub struct ProfileContext {
+    /// Title vocabulary (stop words removed at tokenisation).
+    pub vocab: Vocab,
+    /// SGNS embeddings over the vocabulary.
+    pub embeddings: Embeddings,
+    /// Keyword ids per paper (stop words and frequent words excluded).
+    pub paper_keywords: Vec<Vec<u32>>,
+    /// Publication year per paper.
+    pub paper_years: Vec<u16>,
+    /// Venue per paper.
+    pub paper_venues: Vec<VenueId>,
+    /// `F_H(h)`: number of papers published in venue `h` (Equation 9).
+    pub venue_freq: Vec<u32>,
+    /// Fraction-of-documents threshold above which a word counts as
+    /// "frequent" and is excluded from keywords (§V-B2).
+    pub frequent_word_fraction: f64,
+}
+
+impl ProfileContext {
+    /// Build the context: tokenise titles, train SGNS, precompute keyword
+    /// ids and frequency tables. `seed` drives embedding training only.
+    pub fn build(corpus: &Corpus, embedding_dim: usize, seed: u64) -> Self {
+        let frequent_word_fraction = 0.10;
+        let tokenized: Vec<Vec<String>> = corpus
+            .papers
+            .iter()
+            .map(|p| tokenize_filtered(&p.title))
+            .collect();
+        let vocab = Vocab::build(tokenized.iter().cloned());
+        let encoded: Vec<Vec<u32>> = tokenized
+            .iter()
+            .map(|doc| vocab.encode(doc.iter().map(String::as_str)))
+            .collect();
+        let embeddings = train_sgns(
+            &encoded,
+            vocab.len(),
+            &SgnsConfig {
+                dim: embedding_dim,
+                epochs: 4,
+                seed,
+                ..Default::default()
+            },
+        );
+        // Keywords: drop corpus-frequent words (generic vocabulary that
+        // slipped past the stop list).
+        let paper_keywords: Vec<Vec<u32>> = encoded
+            .iter()
+            .map(|doc| {
+                doc.iter()
+                    .copied()
+                    .filter(|&w| !vocab.is_frequent(w, frequent_word_fraction))
+                    .collect()
+            })
+            .collect();
+        let mut venue_freq = vec![0u32; corpus.num_venues()];
+        for p in &corpus.papers {
+            venue_freq[p.venue.index()] += 1;
+        }
+        ProfileContext {
+            vocab,
+            embeddings,
+            paper_keywords,
+            paper_years: corpus.papers.iter().map(|p| p.year).collect(),
+            paper_venues: corpus.papers.iter().map(|p| p.venue).collect(),
+            venue_freq,
+            frequent_word_fraction,
+        }
+    }
+
+    /// `F_B(b)`: corpus-wide occurrence count of keyword `b` (Equation 7).
+    pub fn word_freq(&self, word: u32) -> u64 {
+        self.vocab.term_count(word)
+    }
+}
+
+/// Everything the similarity functions need to know about one vertex.
+#[derive(Debug, Clone)]
+pub struct VertexProfile {
+    /// The vertex's name.
+    pub name: NameId,
+    /// Papers (deduplicated, ascending).
+    pub papers: Vec<PaperId>,
+    /// Keyword → earliest/every usage years (`B(v)` with years for γ₄).
+    pub keyword_years: FxHashMap<u32, Vec<u16>>,
+    /// Venue multiset `H(v)` as venue → count.
+    pub venue_counts: FxHashMap<u32, u32>,
+    /// The most frequent venue `h^a` (ties → smallest id), if any papers.
+    pub representative_venue: Option<VenueId>,
+    /// Centroid of keyword embedding vectors (`W(v)` of Equation 6).
+    pub keyword_centroid: Vec<f32>,
+}
+
+impl VertexProfile {
+    /// Build a profile from the mentions of one vertex.
+    pub fn from_mentions(name: NameId, mentions: &[Mention], ctx: &ProfileContext) -> Self {
+        let mut papers: Vec<PaperId> = mentions.iter().map(|m| m.paper).collect();
+        papers.sort_unstable();
+        papers.dedup();
+
+        let mut keyword_years: FxHashMap<u32, Vec<u16>> = FxHashMap::default();
+        let mut venue_counts: FxHashMap<u32, u32> = FxHashMap::default();
+        let mut all_keywords: Vec<u32> = Vec::new();
+        for &p in &papers {
+            let year = ctx.paper_years[p.index()];
+            for &w in &ctx.paper_keywords[p.index()] {
+                keyword_years.entry(w).or_default().push(year);
+                all_keywords.push(w);
+            }
+            *venue_counts
+                .entry(ctx.paper_venues[p.index()].0)
+                .or_insert(0) += 1;
+        }
+        let representative_venue = venue_counts
+            .iter()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+            .map(|(&v, _)| VenueId(v));
+        let keyword_centroid = centroid(&ctx.embeddings, &all_keywords);
+
+        VertexProfile {
+            name,
+            papers,
+            keyword_years,
+            venue_counts,
+            representative_venue,
+            keyword_centroid,
+        }
+    }
+
+    /// Profile of a *new* paper that is not part of the context's corpus
+    /// (the incremental setting, §V-E). Title keywords are looked up in the
+    /// existing vocabulary; unseen words carry no signal and are skipped.
+    pub fn from_new_paper(
+        name: NameId,
+        paper: &iuad_corpus::Paper,
+        ctx: &ProfileContext,
+    ) -> Self {
+        let tokens = iuad_text::tokenize_filtered(&paper.title);
+        let keywords: Vec<u32> = ctx
+            .vocab
+            .encode(tokens.iter().map(String::as_str))
+            .into_iter()
+            .filter(|&w| !ctx.vocab.is_frequent(w, ctx.frequent_word_fraction))
+            .collect();
+        let mut keyword_years: FxHashMap<u32, Vec<u16>> = FxHashMap::default();
+        for &w in &keywords {
+            keyword_years.entry(w).or_default().push(paper.year);
+        }
+        let mut venue_counts = FxHashMap::default();
+        venue_counts.insert(paper.venue.0, 1);
+        VertexProfile {
+            name,
+            papers: vec![paper.id],
+            keyword_years,
+            venue_counts,
+            representative_venue: Some(paper.venue),
+            keyword_centroid: centroid(&ctx.embeddings, &keywords),
+        }
+    }
+
+    /// Number of papers (the productivity balance τ uses the smaller of the
+    /// two vertices' counts).
+    pub fn num_papers(&self) -> usize {
+        self.papers.len()
+    }
+
+    /// Total keyword occurrences (weights the centroid when merging).
+    fn keyword_mass(&self) -> usize {
+        self.keyword_years.values().map(Vec::len).sum()
+    }
+
+    /// Fold another profile into this one (used when a new mention is
+    /// absorbed into an existing vertex, §V-E).
+    pub fn merge(&mut self, other: &VertexProfile) {
+        let my_mass = self.keyword_mass() as f32;
+        let their_mass = other.keyword_mass() as f32;
+        self.papers.extend_from_slice(&other.papers);
+        self.papers.sort_unstable();
+        self.papers.dedup();
+        for (w, years) in &other.keyword_years {
+            self.keyword_years
+                .entry(*w)
+                .or_default()
+                .extend_from_slice(years);
+        }
+        for (v, c) in &other.venue_counts {
+            *self.venue_counts.entry(*v).or_insert(0) += c;
+        }
+        self.representative_venue = self
+            .venue_counts
+            .iter()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+            .map(|(&v, _)| VenueId(v));
+        // Centroid: mass-weighted mean of the two centroids.
+        let total = my_mass + their_mass;
+        if total > 0.0 {
+            for (mine, theirs) in self
+                .keyword_centroid
+                .iter_mut()
+                .zip(&other.keyword_centroid)
+            {
+                *mine = (*mine * my_mass + *theirs * their_mass) / total;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iuad_corpus::CorpusConfig;
+
+    fn small_corpus() -> Corpus {
+        Corpus::generate(&CorpusConfig {
+            num_authors: 120,
+            num_papers: 400,
+            seed: 17,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn context_covers_all_papers() {
+        let c = small_corpus();
+        let ctx = ProfileContext::build(&c, 16, 1);
+        assert_eq!(ctx.paper_keywords.len(), c.papers.len());
+        assert_eq!(ctx.paper_years.len(), c.papers.len());
+        assert_eq!(ctx.venue_freq.iter().sum::<u32>() as usize, c.papers.len());
+    }
+
+    #[test]
+    fn frequent_words_are_dropped_from_keywords() {
+        let c = small_corpus();
+        let ctx = ProfileContext::build(&c, 16, 1);
+        for doc in &ctx.paper_keywords {
+            for &w in doc {
+                assert!(!ctx.vocab.is_frequent(w, ctx.frequent_word_fraction));
+            }
+        }
+    }
+
+    #[test]
+    fn profile_aggregates_mentions() {
+        let c = small_corpus();
+        let ctx = ProfileContext::build(&c, 16, 1);
+        // Take some name's first two mentions.
+        let name = c.papers[0].authors[0];
+        let mentions = c.mentions_of_name(name);
+        let prof = VertexProfile::from_mentions(name, &mentions, &ctx);
+        assert_eq!(prof.num_papers(), {
+            let mut ps: Vec<PaperId> = mentions.iter().map(|m| m.paper).collect();
+            ps.sort_unstable();
+            ps.dedup();
+            ps.len()
+        });
+        assert!(prof.representative_venue.is_some());
+        let total_venues: u32 = prof.venue_counts.values().sum();
+        assert_eq!(total_venues as usize, prof.num_papers());
+    }
+
+    #[test]
+    fn empty_profile_is_well_formed() {
+        let c = small_corpus();
+        let ctx = ProfileContext::build(&c, 16, 1);
+        let prof = VertexProfile::from_mentions(NameId(0), &[], &ctx);
+        assert_eq!(prof.num_papers(), 0);
+        assert!(prof.representative_venue.is_none());
+        assert!(prof.keyword_centroid.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn representative_venue_is_modal() {
+        let c = small_corpus();
+        let ctx = ProfileContext::build(&c, 16, 1);
+        let name = c.papers[0].authors[0];
+        let mentions = c.mentions_of_name(name);
+        let prof = VertexProfile::from_mentions(name, &mentions, &ctx);
+        if let Some(rep) = prof.representative_venue {
+            let max = prof.venue_counts.values().max().copied().unwrap();
+            assert_eq!(prof.venue_counts[&rep.0], max);
+        }
+    }
+}

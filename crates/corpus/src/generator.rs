@@ -1,0 +1,495 @@
+//! Synthetic bibliographic corpus generator.
+//!
+//! The generator substitutes for the paper's DBLP snapshot (see DESIGN.md).
+//! It produces the mechanisms IUAD exploits, not just matching marginals:
+//!
+//! * **Power-law productivity** — author paper counts are Pareto-distributed,
+//!   so papers-per-name is heavy-tailed (Fig. 3a).
+//! * **Sticky collaborations** — each author has a preferential-attachment
+//!   collaborator neighbourhood with Pareto tie strengths, so name-pair
+//!   co-occurrence frequencies are heavy-tailed (Fig. 3b) and η-SCRs exist.
+//! * **Topical coherence** — titles and venues are drawn from an author's
+//!   research topic, so the similarity functions γ₃..γ₆ carry signal.
+//! * **Name collisions** — author names come from small Zipf-weighted pools,
+//!   so many distinct authors share a name (the disambiguation task).
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rustc_hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+use crate::model::{AuthorId, Corpus, NameId, Paper, PaperId, VenueId};
+use crate::names::{weighted_index, NamePools};
+
+/// Everything the generator needs; all fields have sensible defaults.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorpusConfig {
+    /// Number of distinct ground-truth authors.
+    pub num_authors: usize,
+    /// Number of papers to generate.
+    pub num_papers: usize,
+    /// Number of research topics (communities).
+    pub num_topics: usize,
+    /// Venues per topic.
+    pub venues_per_topic: usize,
+    /// Topic-specific vocabulary size per topic.
+    pub words_per_topic: usize,
+    /// Zipf exponent of the surname pool (higher = more ambiguity).
+    pub surname_zipf: f64,
+    /// Zipf exponent of the given-name pool.
+    pub given_zipf: f64,
+    /// Pareto shape of author productivity (lower = heavier tail).
+    pub productivity_alpha: f64,
+    /// Maximum number of co-authors *in addition to* the lead author.
+    pub max_coauthors: usize,
+    /// Mean of the (truncated geometric) additional-co-author count.
+    pub mean_coauthors: f64,
+    /// Probability that a co-author slot is filled from the lead's
+    /// collaborator neighbourhood (vs a random same-topic author).
+    pub tie_strength: f64,
+    /// Probability that a paper includes one random cross-topic co-author.
+    pub cross_topic_prob: f64,
+    /// Earliest possible career start year.
+    pub year_start: u16,
+    /// Latest possible publication year.
+    pub year_end: u16,
+    /// Title length bounds (words).
+    pub title_len: (usize, usize),
+    /// Fraction of title words drawn from the general (stop-word-like) vocab.
+    pub general_word_frac: f64,
+    /// Probability that a paper's title is drawn from a *different* topic's
+    /// vocabulary (interdisciplinary work, surveys): content noise that keeps
+    /// any single evidence channel from being sufficient, as in real DBLP.
+    pub title_noise: f64,
+    /// Probability that a paper lands in a random global venue (workshops,
+    /// satellite events).
+    pub venue_noise: f64,
+    /// RNG seed; all generation is deterministic given the config.
+    pub seed: u64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        Self {
+            num_authors: 2_000,
+            num_papers: 8_000,
+            num_topics: 16,
+            venues_per_topic: 6,
+            words_per_topic: 250,
+            surname_zipf: 0.8,
+            given_zipf: 0.8,
+            productivity_alpha: 1.6,
+            max_coauthors: 7,
+            mean_coauthors: 2.2,
+            tie_strength: 0.8,
+            cross_topic_prob: 0.08,
+            year_start: 1990,
+            year_end: 2020,
+            title_len: (6, 12),
+            general_word_frac: 0.35,
+            title_noise: 0.20,
+            venue_noise: 0.15,
+            seed: 42,
+        }
+    }
+}
+
+/// Summary of what the generator actually produced, for logging and tests.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeneratorReport {
+    /// Distinct names generated.
+    pub num_names: usize,
+    /// Names shared by more than one author.
+    pub ambiguous_names: usize,
+    /// Maximum number of authors sharing one name.
+    pub max_authors_per_name: usize,
+    /// Total author-paper mentions.
+    pub num_mentions: usize,
+}
+
+/// Common academic filler so that stop-word handling has something to do.
+const GENERAL_WORDS: &[&str] = &[
+    "a", "the", "of", "for", "with", "using", "on", "in", "an", "to", "and",
+    "based", "approach", "method", "system", "analysis", "model", "towards",
+    "novel", "efficient", "framework", "via", "study", "evaluation", "design",
+];
+
+/// Per-author state used during generation.
+struct AuthorState {
+    name: NameId,
+    topic: usize,
+    favourite_venue: VenueId,
+    career: (u16, u16),
+    productivity: f64,
+    /// Collaborators with Pareto tie strengths (sticky repeat collaboration).
+    neighbours: Vec<(u32, f64)>,
+    /// The author's personal research niche: a small subset of the topic
+    /// vocabulary they reuse across papers. Without this, all same-topic
+    /// authors share one vocabulary and *any* content-based disambiguator
+    /// (IUAD's γ₃/γ₄ included) can only separate topics, not authors.
+    pet_words: Vec<usize>,
+}
+
+impl Corpus {
+    /// Generate a corpus. Deterministic in `config` (including `seed`).
+    pub fn generate(config: &CorpusConfig) -> Corpus {
+        Self::generate_with_report(config).0
+    }
+
+    /// Generate a corpus together with a [`GeneratorReport`].
+    pub fn generate_with_report(config: &CorpusConfig) -> (Corpus, GeneratorReport) {
+        assert!(config.num_authors > 0, "num_authors must be positive");
+        assert!(config.num_topics > 0, "num_topics must be positive");
+        assert!(
+            config.year_start < config.year_end,
+            "year range must be non-empty"
+        );
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let pools = NamePools::new(config.surname_zipf, config.given_zipf);
+
+        // --- Names -------------------------------------------------------
+        let mut name_ids: FxHashMap<usize, NameId> = FxHashMap::default();
+        let mut name_strings: Vec<String> = Vec::new();
+        let mut author_names: Vec<NameId> = Vec::with_capacity(config.num_authors);
+        for _ in 0..config.num_authors {
+            let (idx, s) = pools.sample(&mut rng);
+            let id = *name_ids.entry(idx).or_insert_with(|| {
+                name_strings.push(s);
+                NameId::from(name_strings.len() - 1)
+            });
+            author_names.push(id);
+        }
+
+        // --- Venues and vocabulary ----------------------------------------
+        let mut venue_strings = Vec::with_capacity(config.num_topics * config.venues_per_topic);
+        for t in 0..config.num_topics {
+            for v in 0..config.venues_per_topic {
+                venue_strings.push(format!("conf-t{t}-{v}"));
+            }
+        }
+        // Topic vocabularies: `topic{t}word{j}`, Zipf-weighted within topic so
+        // rare words exist (they matter for γ₄ and γ₆-style IDF weighting).
+        let topic_word = |t: usize, j: usize| format!("topic{t}word{j}");
+
+        // --- Authors --------------------------------------------------------
+        let mut authors: Vec<AuthorState> = Vec::with_capacity(config.num_authors);
+        for a in 0..config.num_authors {
+            let topic = rng.gen_range(0..config.num_topics);
+            let venue_base = topic * config.venues_per_topic;
+            let favourite_venue =
+                VenueId::from(venue_base + rng.gen_range(0..config.venues_per_topic));
+            let start = rng.gen_range(config.year_start..config.year_end);
+            let len = rng.gen_range(3..=25u16);
+            let end = (start + len).min(config.year_end);
+            // Pareto productivity, clamped to keep a single author from
+            // dominating small corpora.
+            let u: f64 = rng.gen::<f64>().max(1e-12);
+            let productivity = u.powf(-1.0 / config.productivity_alpha).min(200.0);
+            // A personal niche of ~12 topic words, Zipf-sampled so niches of
+            // same-topic authors overlap on common words but differ on rare
+            // ones.
+            let mut pet_words = Vec::with_capacity(12);
+            while pet_words.len() < 12.min(config.words_per_topic) {
+                let w = zipf_rank(config.words_per_topic, 0.9, &mut rng);
+                if !pet_words.contains(&w) {
+                    pet_words.push(w);
+                }
+            }
+            authors.push(AuthorState {
+                name: author_names[a],
+                topic,
+                favourite_venue,
+                career: (start, end),
+                productivity,
+                neighbours: Vec::new(),
+                pet_words,
+            });
+        }
+
+        // --- Collaboration graph: preferential attachment per topic --------
+        let mut by_topic: Vec<Vec<u32>> = vec![Vec::new(); config.num_topics];
+        for (a, st) in authors.iter().enumerate() {
+            by_topic[st.topic].push(a as u32);
+        }
+        for members in &by_topic {
+            // Urn of endpoints repeated by degree implements preferential
+            // attachment without a heap.
+            let mut urn: Vec<u32> = Vec::new();
+            for (i, &a) in members.iter().enumerate() {
+                if i == 0 {
+                    continue;
+                }
+                let m = 1 + rng.gen_range(0..3usize).min(i - 1);
+                let mut chosen: Vec<u32> = Vec::with_capacity(m);
+                for _ in 0..m {
+                    let pick = if urn.is_empty() || rng.gen::<f64>() < 0.25 {
+                        members[rng.gen_range(0..i)]
+                    } else {
+                        urn[rng.gen_range(0..urn.len())]
+                    };
+                    if pick != a && !chosen.contains(&pick) {
+                        chosen.push(pick);
+                    }
+                }
+                for b in chosen {
+                    // Pareto tie strength: a few very strong (stable) ties.
+                    let u: f64 = rng.gen::<f64>().max(1e-12);
+                    let strength = u.powf(-1.0 / 1.3).min(50.0);
+                    authors[a as usize].neighbours.push((b, strength));
+                    authors[b as usize].neighbours.push((a, strength));
+                    urn.push(a);
+                    urn.push(b);
+                }
+            }
+        }
+
+        // --- Papers ---------------------------------------------------------
+        let lead_weights: Vec<f64> = authors.iter().map(|a| a.productivity).collect();
+        let mut papers = Vec::with_capacity(config.num_papers);
+        let mut truth = Vec::with_capacity(config.num_papers);
+        for pid in 0..config.num_papers {
+            let lead = weighted_index(&lead_weights, &mut rng) as u32;
+            let team = assemble_team(lead, &authors, &by_topic, config, &mut rng);
+            let lead_st = &authors[lead as usize];
+
+            // Title: general filler + the lead's personal niche + broader
+            // topic vocabulary. The niche words are what make two papers by
+            // the *same* author look more alike than two same-topic papers
+            // by different authors.
+            let len = rng.gen_range(config.title_len.0..=config.title_len.1);
+            let title_topic = if rng.gen::<f64>() < config.title_noise {
+                rng.gen_range(0..config.num_topics)
+            } else {
+                lead_st.topic
+            };
+            let mut words = Vec::with_capacity(len);
+            for _ in 0..len {
+                let roll: f64 = rng.gen();
+                if roll < config.general_word_frac {
+                    words.push(GENERAL_WORDS[rng.gen_range(0..GENERAL_WORDS.len())].to_string());
+                } else if roll < config.general_word_frac + 0.4 && title_topic == lead_st.topic {
+                    let w = lead_st.pet_words[rng.gen_range(0..lead_st.pet_words.len())];
+                    words.push(topic_word(lead_st.topic, w));
+                } else {
+                    // Zipf-ish word rank within the (possibly noisy) topic.
+                    let r = zipf_rank(config.words_per_topic, 1.1, &mut rng);
+                    words.push(topic_word(title_topic, r));
+                }
+            }
+
+            let venue = if rng.gen::<f64>() < config.venue_noise {
+                VenueId::from(rng.gen_range(0..venue_strings.len()))
+            } else if rng.gen::<f64>() < 0.6 {
+                lead_st.favourite_venue
+            } else {
+                VenueId::from(
+                    lead_st.topic * config.venues_per_topic
+                        + rng.gen_range(0..config.venues_per_topic),
+                )
+            };
+
+            let (y0, y1) = lead_st.career;
+            let year = if y0 >= y1 { y0 } else { rng.gen_range(y0..=y1) };
+
+            papers.push(Paper {
+                id: PaperId::from(pid),
+                authors: team.iter().map(|&a| authors[a as usize].name).collect(),
+                title: words.join(" "),
+                venue,
+                year,
+            });
+            truth.push(team.iter().map(|&a| AuthorId(a)).collect());
+        }
+
+        let corpus = Corpus {
+            papers,
+            name_strings,
+            venue_strings,
+            truth,
+            author_names,
+            config: Some(config.clone()),
+        };
+        debug_assert_eq!(corpus.validate(), Ok(()));
+
+        let by_name = corpus.authors_by_name();
+        let report = GeneratorReport {
+            num_names: corpus.num_names(),
+            ambiguous_names: by_name.iter().filter(|v| v.len() > 1).count(),
+            max_authors_per_name: by_name.iter().map(Vec::len).max().unwrap_or(0),
+            num_mentions: corpus.num_mentions(),
+        };
+        (corpus, report)
+    }
+}
+
+/// Pick the lead's co-authors: mostly sticky neighbours (repeat
+/// collaborations), occasionally random same-topic authors, rarely one
+/// cross-topic author. The returned team has pairwise-distinct *names* so a
+/// co-author list never contains the same name twice.
+fn assemble_team(
+    lead: u32,
+    authors: &[AuthorState],
+    by_topic: &[Vec<u32>],
+    config: &CorpusConfig,
+    rng: &mut StdRng,
+) -> Vec<u32> {
+    let mut team: Vec<u32> = vec![lead];
+    let mut names_used = vec![authors[lead as usize].name];
+    let lead_st = &authors[lead as usize];
+
+    // Truncated geometric via repeated coin flips with mean ≈ mean_coauthors.
+    let p_more = config.mean_coauthors / (1.0 + config.mean_coauthors);
+    let mut k = 0usize;
+    while k < config.max_coauthors && rng.gen::<f64>() < p_more {
+        k += 1;
+    }
+
+    for _ in 0..k {
+        let candidate = if !lead_st.neighbours.is_empty() && rng.gen::<f64>() < config.tie_strength
+        {
+            let weights: Vec<f64> = lead_st.neighbours.iter().map(|&(_, s)| s).collect();
+            lead_st.neighbours[weighted_index(&weights, rng)].0
+        } else {
+            let members = &by_topic[lead_st.topic];
+            members[rng.gen_range(0..members.len())]
+        };
+        let cname = authors[candidate as usize].name;
+        if !names_used.contains(&cname) {
+            team.push(candidate);
+            names_used.push(cname);
+        }
+    }
+
+    if rng.gen::<f64>() < config.cross_topic_prob {
+        let other = rng.gen_range(0..authors.len()) as u32;
+        let cname = authors[other as usize].name;
+        if !names_used.contains(&cname) {
+            team.push(other);
+        }
+    }
+    team
+}
+
+/// Sample a rank in `0..n` with probability ∝ 1/(rank+1)^s.
+fn zipf_rank(n: usize, s: f64, rng: &mut StdRng) -> usize {
+    // Inverse-CDF on the harmonic partial sums would be exact; a simple
+    // rejection loop is fast enough for title generation and allocation-free.
+    loop {
+        let r = rng.gen_range(0..n);
+        let accept = 1.0 / ((r + 1) as f64).powf(s);
+        if rng.gen::<f64>() < accept {
+            return r;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CorpusConfig {
+        CorpusConfig {
+            num_authors: 300,
+            num_papers: 1200,
+            seed: 7,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Corpus::generate(&small());
+        let b = Corpus::generate(&small());
+        assert_eq!(a.papers, b.papers);
+        assert_eq!(a.truth, b.truth);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Corpus::generate(&small());
+        let b = Corpus::generate(&CorpusConfig {
+            seed: 8,
+            ..small()
+        });
+        assert_ne!(a.papers, b.papers);
+    }
+
+    #[test]
+    fn generated_corpus_validates() {
+        let c = Corpus::generate(&small());
+        assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn produces_ambiguous_names() {
+        let (_, report) = Corpus::generate_with_report(&CorpusConfig {
+            num_authors: 1_000,
+            num_papers: 3_000,
+            seed: 7,
+            ..Default::default()
+        });
+        assert!(
+            report.ambiguous_names > 30,
+            "expected name collisions, got {report:?}"
+        );
+        assert!(report.max_authors_per_name >= 3);
+    }
+
+    #[test]
+    fn papers_have_distinct_names_per_author_list() {
+        let c = Corpus::generate(&small());
+        for p in &c.papers {
+            let mut names = p.authors.clone();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(names.len(), p.authors.len(), "paper {:?}", p.id);
+        }
+    }
+
+    #[test]
+    fn repeat_collaborations_exist() {
+        // Without sticky ties there are no η-SCRs and Stage 1 degenerates;
+        // assert the generator produces pairs that co-occur often.
+        let c = Corpus::generate(&small());
+        let mut pair_counts: FxHashMap<(AuthorId, AuthorId), u32> = FxHashMap::default();
+        for (p, t) in c.papers.iter().zip(&c.truth) {
+            let _ = p;
+            for i in 0..t.len() {
+                for j in (i + 1)..t.len() {
+                    let key = if t[i] < t[j] { (t[i], t[j]) } else { (t[j], t[i]) };
+                    *pair_counts.entry(key).or_insert(0) += 1;
+                }
+            }
+        }
+        let repeats = pair_counts.values().filter(|&&c| c >= 3).count();
+        assert!(repeats > 30, "only {repeats} author pairs with ≥3 papers");
+    }
+
+    #[test]
+    fn years_within_configured_range() {
+        let cfg = small();
+        let c = Corpus::generate(&cfg);
+        for p in &c.papers {
+            assert!(p.year >= cfg.year_start && p.year <= cfg.year_end);
+        }
+    }
+
+    #[test]
+    fn titles_respect_length_bounds() {
+        let cfg = small();
+        let c = Corpus::generate(&cfg);
+        for p in &c.papers {
+            let n = p.title.split_whitespace().count();
+            assert!(n >= cfg.title_len.0 && n <= cfg.title_len.1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "num_authors")]
+    fn zero_authors_panics() {
+        let _ = Corpus::generate(&CorpusConfig {
+            num_authors: 0,
+            ..Default::default()
+        });
+    }
+}

@@ -1,0 +1,160 @@
+//! Corpus persistence as JSON-lines.
+//!
+//! The first line is a header record (string tables, author→name map,
+//! config); each following line is one `(paper, truth)` record. JSONL keeps
+//! memory flat on load and diffs well.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::generator::CorpusConfig;
+use crate::model::{AuthorId, Corpus, NameId, Paper};
+
+/// Errors from corpus I/O.
+#[derive(Debug)]
+pub enum CorpusIoError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// Malformed JSON or record structure.
+    Format(String),
+}
+
+impl std::fmt::Display for CorpusIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CorpusIoError::Io(e) => write!(f, "corpus io error: {e}"),
+            CorpusIoError::Format(m) => write!(f, "corpus format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CorpusIoError {}
+
+impl From<std::io::Error> for CorpusIoError {
+    fn from(e: std::io::Error) -> Self {
+        CorpusIoError::Io(e)
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct Header {
+    name_strings: Vec<String>,
+    venue_strings: Vec<String>,
+    author_names: Vec<NameId>,
+    config: Option<CorpusConfig>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct Record {
+    paper: Paper,
+    truth: Vec<AuthorId>,
+}
+
+/// Write a corpus to `path` as JSONL (header line + one line per paper).
+pub fn save_jsonl(corpus: &Corpus, path: &Path) -> Result<(), CorpusIoError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    let header = Header {
+        name_strings: corpus.name_strings.clone(),
+        venue_strings: corpus.venue_strings.clone(),
+        author_names: corpus.author_names.clone(),
+        config: corpus.config.clone(),
+    };
+    serde_json::to_writer(&mut w, &header).map_err(|e| CorpusIoError::Format(e.to_string()))?;
+    w.write_all(b"\n")?;
+    for (paper, truth) in corpus.papers.iter().zip(&corpus.truth) {
+        let rec = Record {
+            paper: paper.clone(),
+            truth: truth.clone(),
+        };
+        serde_json::to_writer(&mut w, &rec).map_err(|e| CorpusIoError::Format(e.to_string()))?;
+        w.write_all(b"\n")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Read a corpus previously written by [`save_jsonl`]. Validates consistency.
+pub fn load_jsonl(path: &Path) -> Result<Corpus, CorpusIoError> {
+    let mut reader = BufReader::new(File::open(path)?);
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(CorpusIoError::Format("empty corpus file".into()));
+    }
+    let header: Header =
+        serde_json::from_str(&line).map_err(|e| CorpusIoError::Format(e.to_string()))?;
+    let mut papers = Vec::new();
+    let mut truth = Vec::new();
+    line.clear();
+    while reader.read_line(&mut line)? != 0 {
+        if line.trim().is_empty() {
+            line.clear();
+            continue;
+        }
+        let rec: Record =
+            serde_json::from_str(&line).map_err(|e| CorpusIoError::Format(e.to_string()))?;
+        papers.push(rec.paper);
+        truth.push(rec.truth);
+        line.clear();
+    }
+    let corpus = Corpus {
+        papers,
+        name_strings: header.name_strings,
+        venue_strings: header.venue_strings,
+        truth,
+        author_names: header.author_names,
+        config: header.config,
+    };
+    corpus.validate().map_err(CorpusIoError::Format)?;
+    Ok(corpus)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::CorpusConfig;
+
+    #[test]
+    fn roundtrip_preserves_corpus() {
+        let c = Corpus::generate(&CorpusConfig {
+            num_authors: 100,
+            num_papers: 300,
+            seed: 3,
+            ..Default::default()
+        });
+        let dir = std::env::temp_dir().join("iuad-corpus-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.jsonl");
+        save_jsonl(&c, &path).unwrap();
+        let back = load_jsonl(&path).unwrap();
+        assert_eq!(c.papers, back.papers);
+        assert_eq!(c.truth, back.truth);
+        assert_eq!(c.name_strings, back.name_strings);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_empty_file() {
+        let dir = std::env::temp_dir().join("iuad-corpus-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty.jsonl");
+        std::fs::write(&path, "").unwrap();
+        assert!(matches!(
+            load_jsonl(&path),
+            Err(CorpusIoError::Format(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let dir = std::env::temp_dir().join("iuad-corpus-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.jsonl");
+        std::fs::write(&path, "not json\n").unwrap();
+        assert!(load_jsonl(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

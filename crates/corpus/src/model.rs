@@ -1,0 +1,391 @@
+//! Core data model: papers, names, authors, venues, mentions.
+
+use rustc_hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+use crate::generator::CorpusConfig;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw index, usable directly as a `Vec` index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<usize> for $name {
+            #[inline]
+            fn from(v: usize) -> Self {
+                debug_assert!(v <= u32::MAX as usize);
+                Self(v as u32)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of an author *name* (the ambiguous string, e.g. "Wei Wang").
+    NameId
+);
+id_type!(
+    /// Identifier of a real, distinct author (ground truth). Several authors
+    /// may share one [`NameId`].
+    AuthorId
+);
+id_type!(
+    /// Identifier of a paper.
+    PaperId
+);
+id_type!(
+    /// Identifier of a publication venue.
+    VenueId
+);
+
+/// One bibliographic record: the four attributes the paper's problem
+/// definition requires (co-author list, title, venue, year).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Paper {
+    /// This paper's id; equals its index in [`Corpus::papers`].
+    pub id: PaperId,
+    /// Co-author list as it appears on the paper: ambiguous names, in order.
+    pub authors: Vec<NameId>,
+    /// Title text (whitespace-separated words; lowercased by the generator).
+    pub title: String,
+    /// Publication venue.
+    pub venue: VenueId,
+    /// Publication year.
+    pub year: u16,
+}
+
+/// An *author mention*: one slot of one paper's co-author list.
+///
+/// Mentions are the unit of disambiguation: a disambiguator partitions the
+/// mentions of each name into hypothesised authors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Mention {
+    /// The paper containing the mention.
+    pub paper: PaperId,
+    /// Index into [`Paper::authors`].
+    pub slot: u32,
+}
+
+impl Mention {
+    /// Construct a mention from raw indices.
+    #[inline]
+    pub fn new(paper: PaperId, slot: usize) -> Self {
+        Self {
+            paper,
+            slot: slot as u32,
+        }
+    }
+}
+
+/// A paper database with ground truth, string tables, and derived indexes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Corpus {
+    /// All papers; `papers[i].id == PaperId(i)`.
+    pub papers: Vec<Paper>,
+    /// Name strings, indexed by [`NameId`].
+    pub name_strings: Vec<String>,
+    /// Venue strings, indexed by [`VenueId`].
+    pub venue_strings: Vec<String>,
+    /// Ground truth: `truth[p][slot]` is the real author of that mention.
+    pub truth: Vec<Vec<AuthorId>>,
+    /// The name each ground-truth author publishes under.
+    pub author_names: Vec<NameId>,
+    /// The generator configuration (kept for provenance), if generated.
+    pub config: Option<CorpusConfig>,
+}
+
+impl Corpus {
+    /// Number of distinct author names.
+    #[inline]
+    pub fn num_names(&self) -> usize {
+        self.name_strings.len()
+    }
+
+    /// Number of distinct ground-truth authors.
+    #[inline]
+    pub fn num_authors(&self) -> usize {
+        self.author_names.len()
+    }
+
+    /// Number of venues.
+    #[inline]
+    pub fn num_venues(&self) -> usize {
+        self.venue_strings.len()
+    }
+
+    /// Total author-paper pairs (mentions) — the paper reports 2,393,969 for
+    /// its DBLP snapshot.
+    pub fn num_mentions(&self) -> usize {
+        self.papers.iter().map(|p| p.authors.len()).sum()
+    }
+
+    /// Look up a paper.
+    #[inline]
+    pub fn paper(&self, id: PaperId) -> &Paper {
+        &self.papers[id.index()]
+    }
+
+    /// The name at a mention.
+    #[inline]
+    pub fn name_of(&self, m: Mention) -> NameId {
+        self.papers[m.paper.index()].authors[m.slot as usize]
+    }
+
+    /// The ground-truth author at a mention.
+    #[inline]
+    pub fn truth_of(&self, m: Mention) -> AuthorId {
+        self.truth[m.paper.index()][m.slot as usize]
+    }
+
+    /// Iterate over every mention in the corpus, in (paper, slot) order.
+    pub fn mentions(&self) -> impl Iterator<Item = Mention> + '_ {
+        self.papers.iter().flat_map(|p| {
+            (0..p.authors.len()).map(move |slot| Mention::new(p.id, slot))
+        })
+    }
+
+    /// All mentions of one name, in (paper, slot) order.
+    pub fn mentions_of_name(&self, name: NameId) -> Vec<Mention> {
+        let mut out = Vec::new();
+        for p in &self.papers {
+            for (slot, &n) in p.authors.iter().enumerate() {
+                if n == name {
+                    out.push(Mention::new(p.id, slot));
+                }
+            }
+        }
+        out
+    }
+
+    /// Build a map from name to the papers that mention it (each paper listed
+    /// once even if — unusually — a name appears twice on one paper).
+    pub fn papers_by_name(&self) -> FxHashMap<NameId, Vec<PaperId>> {
+        let mut map: FxHashMap<NameId, Vec<PaperId>> = FxHashMap::default();
+        for p in &self.papers {
+            let mut seen_prev = [None::<NameId>; 0];
+            let _ = &mut seen_prev;
+            for (i, &n) in p.authors.iter().enumerate() {
+                // Skip duplicate occurrences of the same name on one paper.
+                if p.authors[..i].contains(&n) {
+                    continue;
+                }
+                map.entry(n).or_default().push(p.id);
+            }
+        }
+        map
+    }
+
+    /// Ground-truth partition of a name's mentions, as disjoint mention sets
+    /// keyed by author. Useful for building oracle clusterings in tests.
+    pub fn truth_partition(&self, name: NameId) -> FxHashMap<AuthorId, Vec<Mention>> {
+        let mut map: FxHashMap<AuthorId, Vec<Mention>> = FxHashMap::default();
+        for m in self.mentions_of_name(name) {
+            map.entry(self.truth_of(m)).or_default().push(m);
+        }
+        map
+    }
+
+    /// Authors that publish under each name.
+    pub fn authors_by_name(&self) -> Vec<Vec<AuthorId>> {
+        let mut by_name: Vec<Vec<AuthorId>> = vec![Vec::new(); self.num_names()];
+        for (a, &n) in self.author_names.iter().enumerate() {
+            by_name[n.index()].push(AuthorId::from(a));
+        }
+        by_name
+    }
+
+    /// Restrict the corpus to its first `k` papers (prefix subsample),
+    /// renumbering nothing: ids stay valid because papers are a prefix.
+    /// Used by the data-scale experiments (Table V / Fig. 5).
+    pub fn prefix(&self, k: usize) -> Corpus {
+        let k = k.min(self.papers.len());
+        Corpus {
+            papers: self.papers[..k].to_vec(),
+            name_strings: self.name_strings.clone(),
+            venue_strings: self.venue_strings.clone(),
+            truth: self.truth[..k].to_vec(),
+            author_names: self.author_names.clone(),
+            config: self.config.clone(),
+        }
+    }
+
+    /// Split off the last `k` papers as a held-out set (for the incremental
+    /// experiment, Table VI). Returns `(base, held_out)`.
+    pub fn split_tail(&self, k: usize) -> (Corpus, Vec<(Paper, Vec<AuthorId>)>) {
+        let k = k.min(self.papers.len());
+        let cut = self.papers.len() - k;
+        let base = self.prefix(cut);
+        let tail = self.papers[cut..]
+            .iter()
+            .cloned()
+            .zip(self.truth[cut..].iter().cloned())
+            .collect();
+        (base, tail)
+    }
+
+    /// Validate internal consistency; returns a description of the first
+    /// violation found. Primarily used by tests and after deserialisation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.papers.len() != self.truth.len() {
+            return Err(format!(
+                "papers/truth length mismatch: {} vs {}",
+                self.papers.len(),
+                self.truth.len()
+            ));
+        }
+        for (i, p) in self.papers.iter().enumerate() {
+            if p.id.index() != i {
+                return Err(format!("paper {i} has id {:?}", p.id));
+            }
+            if p.authors.len() != self.truth[i].len() {
+                return Err(format!("paper {i}: authors/truth arity mismatch"));
+            }
+            if p.authors.is_empty() {
+                return Err(format!("paper {i} has no authors"));
+            }
+            if p.venue.index() >= self.venue_strings.len() {
+                return Err(format!("paper {i}: venue out of range"));
+            }
+            for (&n, &a) in p.authors.iter().zip(&self.truth[i]) {
+                if n.index() >= self.name_strings.len() {
+                    return Err(format!("paper {i}: name out of range"));
+                }
+                if a.index() >= self.author_names.len() {
+                    return Err(format!("paper {i}: author out of range"));
+                }
+                if self.author_names[a.index()] != n {
+                    return Err(format!(
+                        "paper {i}: truth author {:?} does not bear name {:?}",
+                        a, n
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Corpus {
+        // Two authors share name 0; author 2 has name 1.
+        Corpus {
+            papers: vec![
+                Paper {
+                    id: PaperId(0),
+                    authors: vec![NameId(0), NameId(1)],
+                    title: "deep learning graphs".into(),
+                    venue: VenueId(0),
+                    year: 2015,
+                },
+                Paper {
+                    id: PaperId(1),
+                    authors: vec![NameId(0)],
+                    title: "database indexing".into(),
+                    venue: VenueId(1),
+                    year: 2016,
+                },
+            ],
+            name_strings: vec!["wei wang".into(), "lei zou".into()],
+            venue_strings: vec!["ICDE".into(), "VLDB".into()],
+            truth: vec![vec![AuthorId(0), AuthorId(2)], vec![AuthorId(1)]],
+            author_names: vec![NameId(0), NameId(0), NameId(1)],
+            config: None,
+        }
+    }
+
+    #[test]
+    fn mention_lookup_roundtrip() {
+        let c = tiny();
+        let m = Mention::new(PaperId(0), 1);
+        assert_eq!(c.name_of(m), NameId(1));
+        assert_eq!(c.truth_of(m), AuthorId(2));
+    }
+
+    #[test]
+    fn counts() {
+        let c = tiny();
+        assert_eq!(c.num_names(), 2);
+        assert_eq!(c.num_authors(), 3);
+        assert_eq!(c.num_mentions(), 3);
+    }
+
+    #[test]
+    fn mentions_of_name_finds_all_slots() {
+        let c = tiny();
+        let ms = c.mentions_of_name(NameId(0));
+        assert_eq!(
+            ms,
+            vec![Mention::new(PaperId(0), 0), Mention::new(PaperId(1), 0)]
+        );
+    }
+
+    #[test]
+    fn truth_partition_separates_authors() {
+        let c = tiny();
+        let part = c.truth_partition(NameId(0));
+        assert_eq!(part.len(), 2);
+        assert_eq!(part[&AuthorId(0)], vec![Mention::new(PaperId(0), 0)]);
+        assert_eq!(part[&AuthorId(1)], vec![Mention::new(PaperId(1), 0)]);
+    }
+
+    #[test]
+    fn papers_by_name_dedups_within_paper() {
+        let mut c = tiny();
+        c.papers[0].authors = vec![NameId(0), NameId(0)];
+        c.truth[0] = vec![AuthorId(0), AuthorId(1)];
+        let map = c.papers_by_name();
+        assert_eq!(map[&NameId(0)], vec![PaperId(0), PaperId(1)]);
+    }
+
+    #[test]
+    fn validate_accepts_consistent_corpus() {
+        assert_eq!(tiny().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_wrong_name_binding() {
+        let mut c = tiny();
+        c.truth[1][0] = AuthorId(2); // author 2 bears name 1, paper says name 0
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn prefix_keeps_consistency() {
+        let c = tiny();
+        let p = c.prefix(1);
+        assert_eq!(p.papers.len(), 1);
+        assert_eq!(p.validate(), Ok(()));
+    }
+
+    #[test]
+    fn split_tail_partitions_papers() {
+        let c = tiny();
+        let (base, tail) = c.split_tail(1);
+        assert_eq!(base.papers.len(), 1);
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].0.id, PaperId(1));
+    }
+
+    #[test]
+    fn authors_by_name_groups_shared_names() {
+        let c = tiny();
+        let by = c.authors_by_name();
+        assert_eq!(by[0], vec![AuthorId(0), AuthorId(1)]);
+        assert_eq!(by[1], vec![AuthorId(2)]);
+    }
+}

@@ -1,0 +1,180 @@
+//! Synthetic author-name pools.
+//!
+//! Name ambiguity in DBLP is driven by transliterated names drawn from small
+//! pools of very common surnames and given names ("Wei Wang" matches 224
+//! DBLP entries). We reproduce that mechanism: full names are formed from a
+//! Zipf-weighted surname pool crossed with a given-name pool, so a small set
+//! of names is shared by many authors while the long tail is unique.
+
+use rand::prelude::*;
+
+/// Frequent romanised surnames (rank-ordered; Zipf-weighted at sampling time).
+const SURNAMES: &[&str] = &[
+    "wang", "li", "zhang", "liu", "chen", "yang", "huang", "zhao", "wu", "zhou",
+    "xu", "sun", "ma", "zhu", "hu", "guo", "he", "gao", "lin", "luo",
+    "zheng", "liang", "xie", "tang", "song", "deng", "han", "feng", "cao", "peng",
+    "smith", "johnson", "brown", "miller", "davis", "garcia", "kim", "lee", "park", "singh",
+];
+
+/// Frequent romanised given names.
+const GIVEN: &[&str] = &[
+    "wei", "min", "jing", "li", "yan", "fang", "lei", "jun", "yang", "tao",
+    "ming", "chao", "hui", "ping", "gang", "hong", "xin", "bo", "jian", "qiang",
+    "na", "yu", "feng", "yong", "bin", "chen", "dan", "fei", "hao", "kai",
+    "lin", "mei", "ning", "peng", "qing", "rui", "shan", "ting", "xia", "ying",
+    "john", "david", "maria", "anna", "james", "robert", "emily", "sara", "tom", "alex",
+];
+
+/// A deterministic name sampler.
+///
+/// Given names are either a single syllable (heavily Zipf-weighted → the
+/// "Wei Wang" collision mass) or a two-syllable compound (mostly unique —
+/// the long tail of DBLP names). This reproduces DBLP's regime where *most*
+/// names are unambiguous but a popular minority is shared by many authors;
+/// a small cross-product pool would instead make every name ambiguous and
+/// break the stable-relation premise of IUAD Stage 1.
+#[derive(Debug, Clone)]
+pub struct NamePools {
+    surname_weights: Vec<f64>,
+    given_weights: Vec<f64>,
+    /// Probability that a given name is a single syllable.
+    single_given_prob: f64,
+}
+
+/// Number of compound (two-syllable) given names.
+const GIVEN_COMPOUND: usize = GIVEN_LEN * GIVEN_LEN;
+/// Total given-name space: singles first, then compounds.
+const GIVEN_TOTAL: usize = GIVEN_LEN + GIVEN_COMPOUND;
+const GIVEN_LEN: usize = 50;
+
+impl Default for NamePools {
+    fn default() -> Self {
+        Self::new(1.0, 0.7)
+    }
+}
+
+impl NamePools {
+    /// Create pools with Zipf exponents for surnames and (single-syllable)
+    /// given names. Larger exponents concentrate mass on the most common
+    /// names and thus raise the expected ambiguity (authors per name).
+    pub fn new(surname_zipf: f64, given_zipf: f64) -> Self {
+        let zipf = |n: usize, s: f64| -> Vec<f64> {
+            (1..=n).map(|r| 1.0 / (r as f64).powf(s)).collect()
+        };
+        Self {
+            surname_weights: zipf(SURNAMES.len(), surname_zipf),
+            given_weights: zipf(GIVEN.len(), given_zipf),
+            single_given_prob: 0.25,
+        }
+    }
+
+    /// Number of distinct full names representable.
+    pub fn capacity(&self) -> usize {
+        SURNAMES.len() * GIVEN_TOTAL
+    }
+
+    /// Sample a full name, returned as `(index, "given surname")`. The index
+    /// is stable across calls and identifies the full name uniquely.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> (usize, String) {
+        let s = weighted_index(&self.surname_weights, rng);
+        let g = if rng.gen::<f64>() < self.single_given_prob {
+            weighted_index(&self.given_weights, rng)
+        } else {
+            let g1 = weighted_index(&self.given_weights, rng);
+            let g2 = weighted_index(&self.given_weights, rng);
+            GIVEN_LEN + g1 * GIVEN_LEN + g2
+        };
+        (s * GIVEN_TOTAL + g, self.render(s, g))
+    }
+
+    fn render(&self, s: usize, g: usize) -> String {
+        if g < GIVEN_LEN {
+            format!("{} {}", GIVEN[g], SURNAMES[s])
+        } else {
+            let c = g - GIVEN_LEN;
+            format!("{}{} {}", GIVEN[c / GIVEN_LEN], GIVEN[c % GIVEN_LEN], SURNAMES[s])
+        }
+    }
+
+    /// Reconstruct the string for a name index produced by [`Self::sample`].
+    pub fn name_string(&self, index: usize) -> String {
+        self.render(index / GIVEN_TOTAL, index % GIVEN_TOTAL)
+    }
+}
+
+/// Sample an index proportionally to `weights` (not necessarily normalised).
+pub(crate) fn weighted_index<R: Rng + ?Sized>(weights: &[f64], rng: &mut R) -> usize {
+    debug_assert!(!weights.is_empty());
+    let total: f64 = weights.iter().sum();
+    let mut t = rng.gen::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        t -= w;
+        if t <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn sample_roundtrips_through_index() {
+        let pools = NamePools::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let (idx, s) = pools.sample(&mut rng);
+            assert_eq!(pools.name_string(idx), s);
+        }
+    }
+
+    #[test]
+    fn zipf_concentrates_on_common_surnames() {
+        let pools = NamePools::new(1.2, 0.7);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut wang_or_li = 0usize;
+        let n = 10_000;
+        for _ in 0..n {
+            let (_, s) = pools.sample(&mut rng);
+            if s.ends_with(" wang") || s.ends_with(" li") {
+                wang_or_li += 1;
+            }
+        }
+        // Top-2 of 40 surnames should take far more than 2/40 = 5% of mass.
+        assert!(wang_or_li as f64 / n as f64 > 0.15, "got {wang_or_li}/{n}");
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = [0.0, 1.0, 0.0];
+        for _ in 0..50 {
+            assert_eq!(weighted_index(&w, &mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn capacity_matches_pools() {
+        let pools = NamePools::default();
+        assert_eq!(pools.capacity(), 40 * (50 + 50 * 50));
+    }
+
+    #[test]
+    fn compound_names_render_and_roundtrip() {
+        let pools = NamePools::default();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut saw_compound = false;
+        for _ in 0..200 {
+            let (idx, s) = pools.sample(&mut rng);
+            assert_eq!(pools.name_string(idx), s);
+            let given = s.split(' ').next().unwrap();
+            if given.len() > 6 {
+                saw_compound = true;
+            }
+        }
+        assert!(saw_compound, "expected some compound given names");
+    }
+}

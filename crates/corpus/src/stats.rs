@@ -1,0 +1,165 @@
+//! Descriptive statistics over a corpus (powers Fig. 3a and the generator's
+//! calibration tests).
+
+use rustc_hash::FxHashMap;
+
+use crate::model::Corpus;
+
+/// A frequency-of-frequencies histogram: `counts[k]` = number of entities
+/// observed exactly `k` times. Index 0 is unused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegreeHistogram {
+    counts: Vec<u64>,
+}
+
+impl DegreeHistogram {
+    /// Build from raw per-entity frequencies.
+    pub fn from_frequencies<I: IntoIterator<Item = usize>>(freqs: I) -> Self {
+        let mut counts: Vec<u64> = Vec::new();
+        for f in freqs {
+            if f >= counts.len() {
+                counts.resize(f + 1, 0);
+            }
+            counts[f] += 1;
+        }
+        Self { counts }
+    }
+
+    /// `(frequency, #entities)` pairs with non-zero mass, ascending.
+    pub fn points(&self) -> Vec<(usize, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .skip(1)
+            .filter(|&(_, &c)| c > 0)
+            .map(|(f, &c)| (f, c))
+            .collect()
+    }
+
+    /// Number of entities covered.
+    pub fn total_entities(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Maximum observed frequency.
+    pub fn max_frequency(&self) -> usize {
+        self.counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .unwrap_or(0)
+    }
+
+    /// Least-squares slope of the log-log histogram — the number printed on
+    /// Fig. 3 (≈ −1.68 for papers-per-name, ≈ −3.17 for 2-itemsets on DBLP).
+    pub fn powerlaw_slope(&self) -> f64 {
+        let pts: Vec<(f64, f64)> = self
+            .points()
+            .into_iter()
+            .map(|(f, c)| ((f as f64).ln(), (c as f64).ln()))
+            .collect();
+        log_log_slope_of(&pts)
+    }
+}
+
+/// Least-squares slope through `(ln x, ln y)` pairs.
+fn log_log_slope_of(pts: &[(f64, f64)]) -> f64 {
+    if pts.len() < 2 {
+        return f64::NAN;
+    }
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+/// Least-squares slope of `ln y` on `ln x` for raw positive points.
+pub fn log_log_slope(points: &[(f64, f64)]) -> f64 {
+    let pts: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|p| p.0 > 0.0 && p.1 > 0.0)
+        .map(|p| (p.0.ln(), p.1.ln()))
+        .collect();
+    log_log_slope_of(&pts)
+}
+
+/// Papers-per-name histogram (Fig. 3a): how many names have exactly `k`
+/// papers mentioning them.
+pub fn papers_per_name(corpus: &Corpus) -> DegreeHistogram {
+    let mut per_name: FxHashMap<u32, usize> = FxHashMap::default();
+    for p in &corpus.papers {
+        for (i, &n) in p.authors.iter().enumerate() {
+            if p.authors[..i].contains(&n) {
+                continue;
+            }
+            *per_name.entry(n.0).or_insert(0) += 1;
+        }
+    }
+    DegreeHistogram::from_frequencies(per_name.into_values())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::CorpusConfig;
+
+    #[test]
+    fn histogram_counts_frequencies() {
+        let h = DegreeHistogram::from_frequencies(vec![1, 1, 2, 5]);
+        assert_eq!(h.points(), vec![(1, 2), (2, 1), (5, 1)]);
+        assert_eq!(h.total_entities(), 4);
+        assert_eq!(h.max_frequency(), 5);
+    }
+
+    #[test]
+    fn slope_of_exact_powerlaw_is_exponent() {
+        // y = x^-2 exactly.
+        let pts: Vec<(f64, f64)> = (1..50)
+            .map(|x| (x as f64, (x as f64).powi(-2)))
+            .collect();
+        let s = log_log_slope(&pts);
+        assert!((s + 2.0).abs() < 1e-9, "slope {s}");
+    }
+
+    #[test]
+    fn slope_needs_two_points() {
+        assert!(log_log_slope(&[(1.0, 1.0)]).is_nan());
+    }
+
+    #[test]
+    fn generated_corpus_has_heavy_tailed_names() {
+        let c = Corpus::generate(&CorpusConfig {
+            num_authors: 1_000,
+            num_papers: 5_000,
+            seed: 11,
+            ..Default::default()
+        });
+        let h = papers_per_name(&c);
+        let slope = h.powerlaw_slope();
+        // Negative and meaningfully steep: heavy tail exists.
+        assert!(slope < -0.8, "papers-per-name slope {slope}");
+        assert!(h.max_frequency() > 20, "max freq {}", h.max_frequency());
+    }
+
+    #[test]
+    fn papers_per_name_ignores_duplicate_name_on_one_paper() {
+        use crate::model::*;
+        let c = Corpus {
+            papers: vec![Paper {
+                id: PaperId(0),
+                authors: vec![NameId(0), NameId(0)],
+                title: String::new(),
+                venue: VenueId(0),
+                year: 2000,
+            }],
+            name_strings: vec!["x".into()],
+            venue_strings: vec!["v".into()],
+            truth: vec![vec![AuthorId(0), AuthorId(1)]],
+            author_names: vec![NameId(0), NameId(0)],
+            config: None,
+        };
+        let h = papers_per_name(&c);
+        assert_eq!(h.points(), vec![(1, 1)]);
+    }
+}

@@ -1,0 +1,155 @@
+//! Testing-dataset selection, mirroring the paper's §VI-A1 protocol.
+//!
+//! The paper intersects DBLP with the labelled DAminer set and obtains 50
+//! ambiguous names / 336 authors. We select the analogous set from the
+//! synthetic ground truth: names shared by at least `min_authors` authors
+//! with at least `min_papers` papers, ranked by ambiguity, capped at
+//! `max_names`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::{AuthorId, Corpus, NameId};
+
+/// One row of the Table-II-style descriptive statistics.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TestName {
+    /// The ambiguous name.
+    pub name: NameId,
+    /// Display string for the name.
+    pub name_string: String,
+    /// Ground-truth authors bearing the name.
+    pub authors: Vec<AuthorId>,
+    /// Number of papers mentioning the name.
+    pub num_papers: usize,
+}
+
+/// The evaluation set: a list of ambiguous names with their statistics.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TestSet {
+    /// Selected names, most ambiguous first.
+    pub names: Vec<TestName>,
+}
+
+impl TestSet {
+    /// Total distinct authors across test names (Table II bottom row).
+    pub fn total_authors(&self) -> usize {
+        self.names.iter().map(|n| n.authors.len()).sum()
+    }
+
+    /// Total papers across test names.
+    pub fn total_papers(&self) -> usize {
+        self.names.iter().map(|n| n.num_papers).sum()
+    }
+}
+
+/// Select up to `max_names` names shared by ≥ `min_authors` authors and
+/// mentioned by ≥ `min_papers` papers. Deterministic: sorted by
+/// (#authors desc, #papers desc, name id).
+pub fn select_test_names(
+    corpus: &Corpus,
+    min_authors: usize,
+    min_papers: usize,
+    max_names: usize,
+) -> TestSet {
+    let by_name = corpus.authors_by_name();
+    let papers_by_name = corpus.papers_by_name();
+    let mut rows: Vec<TestName> = Vec::new();
+    for (n, authors) in by_name.iter().enumerate() {
+        if authors.len() < min_authors {
+            continue;
+        }
+        let name = NameId::from(n);
+        let num_papers = papers_by_name.get(&name).map_or(0, Vec::len);
+        if num_papers < min_papers {
+            continue;
+        }
+        // Only count authors that actually appear in the corpus' papers.
+        let active: Vec<AuthorId> = {
+            let part = corpus.truth_partition(name);
+            let mut a: Vec<AuthorId> = part.keys().copied().collect();
+            a.sort_unstable();
+            a
+        };
+        if active.len() < min_authors {
+            continue;
+        }
+        rows.push(TestName {
+            name,
+            name_string: corpus.name_strings[n].clone(),
+            authors: active,
+            num_papers,
+        });
+    }
+    rows.sort_by(|a, b| {
+        b.authors
+            .len()
+            .cmp(&a.authors.len())
+            .then(b.num_papers.cmp(&a.num_papers))
+            .then(a.name.cmp(&b.name))
+    });
+    rows.truncate(max_names);
+    TestSet { names: rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::CorpusConfig;
+
+    fn corpus() -> Corpus {
+        Corpus::generate(&CorpusConfig {
+            num_authors: 1_500,
+            num_papers: 6_000,
+            seed: 5,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn selection_is_ambiguous_and_bounded() {
+        let c = corpus();
+        let ts = select_test_names(&c, 2, 5, 50);
+        assert!(!ts.names.is_empty());
+        assert!(ts.names.len() <= 50);
+        for row in &ts.names {
+            assert!(row.authors.len() >= 2, "{row:?}");
+            assert!(row.num_papers >= 5, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn selection_sorted_by_ambiguity() {
+        let c = corpus();
+        let ts = select_test_names(&c, 2, 5, 50);
+        for w in ts.names.windows(2) {
+            assert!(w[0].authors.len() >= w[1].authors.len());
+        }
+    }
+
+    #[test]
+    fn totals_aggregate_rows() {
+        let c = corpus();
+        let ts = select_test_names(&c, 2, 5, 10);
+        assert_eq!(
+            ts.total_authors(),
+            ts.names.iter().map(|r| r.authors.len()).sum::<usize>()
+        );
+        assert_eq!(
+            ts.total_papers(),
+            ts.names.iter().map(|r| r.num_papers).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn active_authors_only() {
+        // Authors listed for a test name must actually occur in the truth.
+        let c = corpus();
+        let ts = select_test_names(&c, 2, 5, 50);
+        for row in &ts.names {
+            let part = c.truth_partition(row.name);
+            for a in &row.authors {
+                assert!(part.contains_key(a));
+            }
+        }
+    }
+}

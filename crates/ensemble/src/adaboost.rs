@@ -1,0 +1,155 @@
+//! AdaBoost (SAMME / discrete AdaBoost over decision stumps).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::tree::{DecisionTree, TreeConfig};
+use crate::Classifier;
+
+/// AdaBoost hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct AdaBoostConfig {
+    /// Number of boosting rounds (stumps).
+    pub rounds: usize,
+    /// Depth of each weak learner (1 = classic stump).
+    pub depth: usize,
+    /// Seed (feature subsampling inside trees; none by default, kept for
+    /// API uniformity).
+    pub seed: u64,
+}
+
+impl Default for AdaBoostConfig {
+    fn default() -> Self {
+        Self {
+            rounds: 50,
+            depth: 1,
+            seed: 0,
+        }
+    }
+}
+
+/// A fitted AdaBoost ensemble.
+#[derive(Debug)]
+pub struct AdaBoost {
+    stumps: Vec<(DecisionTree, f64)>,
+}
+
+impl AdaBoost {
+    /// Fit with the SAMME weight updates: per round, fit a weighted stump,
+    /// compute weighted error ε, stump weight α = ½ln((1−ε)/ε), and
+    /// reweight samples by `exp(∓α)`.
+    pub fn fit(xs: &[Vec<f64>], ys: &[bool], cfg: &AdaBoostConfig) -> Self {
+        assert_eq!(xs.len(), ys.len());
+        assert!(!xs.is_empty(), "cannot fit on no samples");
+        let n = xs.len();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut weights = vec![1.0 / n as f64; n];
+        let tree_cfg = TreeConfig {
+            max_depth: cfg.depth,
+            ..Default::default()
+        };
+
+        let mut stumps = Vec::with_capacity(cfg.rounds);
+        for _ in 0..cfg.rounds {
+            let stump = DecisionTree::fit(xs, ys, &weights, &tree_cfg, &mut rng);
+            let eps: f64 = xs
+                .iter()
+                .zip(ys)
+                .zip(&weights)
+                .filter(|((x, &y), _)| stump.predict(x) != y)
+                .map(|(_, &w)| w)
+                .sum();
+            let eps = eps.clamp(1e-10, 1.0 - 1e-10);
+            if eps >= 0.5 {
+                // Weak learner no better than chance: stop boosting.
+                if stumps.is_empty() {
+                    stumps.push((stump, 1.0));
+                }
+                break;
+            }
+            let alpha = 0.5 * ((1.0 - eps) / eps).ln();
+            for ((x, &y), w) in xs.iter().zip(ys).zip(weights.iter_mut()) {
+                let correct = stump.predict(x) == y;
+                *w *= if correct { (-alpha).exp() } else { alpha.exp() };
+            }
+            let total: f64 = weights.iter().sum();
+            weights.iter_mut().for_each(|w| *w /= total);
+            stumps.push((stump, alpha));
+            if eps <= 1e-9 {
+                break; // perfect learner; additional rounds are no-ops
+            }
+        }
+        AdaBoost { stumps }
+    }
+
+    /// Number of weak learners kept.
+    pub fn len(&self) -> usize {
+        self.stumps.len()
+    }
+
+    /// True if no learner was kept (cannot happen after `fit`).
+    pub fn is_empty(&self) -> bool {
+        self.stumps.is_empty()
+    }
+
+    /// The signed ensemble margin in `ℝ` (positive = positive class).
+    pub fn decision_function(&self, x: &[f64]) -> f64 {
+        self.stumps
+            .iter()
+            .map(|(s, a)| a * if s.predict(x) { 1.0 } else { -1.0 })
+            .sum()
+    }
+}
+
+impl Classifier for AdaBoost {
+    fn predict_proba(&self, x: &[f64]) -> f64 {
+        // Logistic squash of the margin: monotone, in (0,1).
+        1.0 / (1.0 + (-2.0 * self.decision_function(x)).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{accuracy, testdata};
+
+    #[test]
+    fn boosts_stumps_past_xor() {
+        let (xs, ys) = testdata::xor(500, 7);
+        let model = AdaBoost::fit(
+            &xs,
+            &ys,
+            &AdaBoostConfig {
+                rounds: 100,
+                depth: 2, // depth-2 weak learners solve XOR regionally
+                ..Default::default()
+            },
+        );
+        assert!(accuracy(&model, &xs, &ys) > 0.9);
+    }
+
+    #[test]
+    fn linear_data_needs_few_rounds() {
+        let (xs, ys) = testdata::linear(300, 8);
+        let model = AdaBoost::fit(&xs, &ys, &AdaBoostConfig::default());
+        assert!(accuracy(&model, &xs, &ys) > 0.9);
+    }
+
+    #[test]
+    fn margin_sign_matches_prediction() {
+        let (xs, ys) = testdata::linear(200, 9);
+        let model = AdaBoost::fit(&xs, &ys, &AdaBoostConfig::default());
+        for x in xs.iter().take(20) {
+            assert_eq!(model.decision_function(x) >= 0.0, model.predict(x));
+        }
+    }
+
+    #[test]
+    fn perfect_stump_short_circuits() {
+        let xs = vec![vec![0.0], vec![0.1], vec![0.9], vec![1.0]];
+        let ys = vec![false, false, true, true];
+        let model = AdaBoost::fit(&xs, &ys, &AdaBoostConfig { rounds: 50, ..Default::default() });
+        assert!(model.len() <= 2, "kept {} stumps", model.len());
+        assert_eq!(accuracy(&model, &xs, &ys), 1.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Random forest: bootstrap bagging + √d feature subsampling.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::tree::{DecisionTree, TreeConfig};
+use crate::Classifier;
+
+/// Random-forest hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct RandomForestConfig {
+    /// Number of trees.
+    pub trees: usize,
+    /// Per-tree depth limit.
+    pub max_depth: usize,
+    /// Features per split; `None` = ⌈√d⌉.
+    pub max_features: Option<usize>,
+    /// RNG seed (bootstrap + feature subsampling).
+    pub seed: u64,
+}
+
+impl Default for RandomForestConfig {
+    fn default() -> Self {
+        Self {
+            trees: 60,
+            max_depth: 10,
+            max_features: None,
+            seed: 0,
+        }
+    }
+}
+
+/// A fitted random forest.
+#[derive(Debug)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+}
+
+impl RandomForest {
+    /// Fit `cfg.trees` trees, each on a bootstrap resample with per-split
+    /// feature subsampling.
+    pub fn fit(xs: &[Vec<f64>], ys: &[bool], cfg: &RandomForestConfig) -> Self {
+        assert_eq!(xs.len(), ys.len());
+        assert!(!xs.is_empty(), "cannot fit on no samples");
+        let n = xs.len();
+        let d = xs[0].len();
+        let mtry = cfg
+            .max_features
+            .unwrap_or_else(|| (d as f64).sqrt().ceil() as usize)
+            .clamp(1, d);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let tree_cfg = TreeConfig {
+            max_depth: cfg.max_depth,
+            min_samples_split: 2,
+            max_features: Some(mtry),
+        };
+
+        let mut trees = Vec::with_capacity(cfg.trees);
+        let mut bxs: Vec<Vec<f64>> = Vec::with_capacity(n);
+        let mut bys: Vec<bool> = Vec::with_capacity(n);
+        let weights = vec![1.0; n];
+        for _ in 0..cfg.trees {
+            bxs.clear();
+            bys.clear();
+            for _ in 0..n {
+                let i = rng.gen_range(0..n);
+                bxs.push(xs[i].clone());
+                bys.push(ys[i]);
+            }
+            trees.push(DecisionTree::fit(&bxs, &bys, &weights, &tree_cfg, &mut rng));
+        }
+        RandomForest { trees }
+    }
+
+    /// Number of trees.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// True if the forest has no trees.
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+}
+
+impl Classifier for RandomForest {
+    fn predict_proba(&self, x: &[f64]) -> f64 {
+        if self.trees.is_empty() {
+            return 0.5;
+        }
+        self.trees
+            .iter()
+            .map(|t| t.predict_proba(x))
+            .sum::<f64>()
+            / self.trees.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{accuracy, testdata};
+
+    #[test]
+    fn fits_xor() {
+        let (xs, ys) = testdata::xor(500, 21);
+        let model = RandomForest::fit(&xs, &ys, &RandomForestConfig::default());
+        assert!(accuracy(&model, &xs, &ys) > 0.9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (xs, ys) = testdata::linear(200, 22);
+        let cfg = RandomForestConfig {
+            trees: 10,
+            ..Default::default()
+        };
+        let a = RandomForest::fit(&xs, &ys, &cfg);
+        let b = RandomForest::fit(&xs, &ys, &cfg);
+        for x in xs.iter().take(10) {
+            assert_eq!(a.predict_proba(x), b.predict_proba(x));
+        }
+    }
+
+    #[test]
+    fn probability_in_unit_interval() {
+        let (xs, ys) = testdata::linear(200, 23);
+        let model = RandomForest::fit(&xs, &ys, &RandomForestConfig::default());
+        for x in &xs {
+            let p = model.predict_proba(x);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn tree_count_matches_config() {
+        let (xs, ys) = testdata::linear(50, 24);
+        let model = RandomForest::fit(
+            &xs,
+            &ys,
+            &RandomForestConfig {
+                trees: 7,
+                ..Default::default()
+            },
+        );
+        assert_eq!(model.len(), 7);
+    }
+}

@@ -1,0 +1,296 @@
+//! Gradient-boosted decision trees with logistic loss (Friedman 2001).
+//!
+//! Shared gradient-tree machinery lives here and is reused by the
+//! XGBoost-style learner (which changes the split criterion and adds
+//! regularisation).
+
+use crate::Classifier;
+
+/// Split criterion for a gradient tree.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum SplitCriterion {
+    /// Classic GBDT: maximise variance reduction of the gradients
+    /// (hessians participate only in leaf values).
+    Variance,
+    /// XGBoost: maximise the second-order gain with L2 penalty `lambda`;
+    /// splits must gain more than `gamma`.
+    Gain {
+        /// L2 regularisation on leaf weights.
+        lambda: f64,
+        /// Minimum gain to accept a split.
+        gamma: f64,
+    },
+}
+
+#[derive(Debug, Clone)]
+pub(crate) enum GNode {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A regression tree over (gradient, hessian) targets.
+#[derive(Debug, Clone)]
+pub(crate) struct GradTree {
+    nodes: Vec<GNode>,
+}
+
+impl GradTree {
+    pub(crate) fn fit(
+        xs: &[Vec<f64>],
+        grad: &[f64],
+        hess: &[f64],
+        max_depth: usize,
+        min_child_weight: f64,
+        criterion: SplitCriterion,
+    ) -> Self {
+        let mut tree = GradTree { nodes: Vec::new() };
+        let idx: Vec<usize> = (0..xs.len()).collect();
+        tree.grow(xs, grad, hess, &idx, max_depth, min_child_weight, criterion, 0);
+        tree
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn grow(
+        &mut self,
+        xs: &[Vec<f64>],
+        grad: &[f64],
+        hess: &[f64],
+        idx: &[usize],
+        max_depth: usize,
+        min_child_weight: f64,
+        criterion: SplitCriterion,
+        depth: usize,
+    ) -> usize {
+        let g: f64 = idx.iter().map(|&i| grad[i]).sum();
+        let h: f64 = idx.iter().map(|&i| hess[i]).sum();
+        let lambda = match criterion {
+            SplitCriterion::Gain { lambda, .. } => lambda,
+            SplitCriterion::Variance => 0.0,
+        };
+        // Newton leaf value −G/(H+λ).
+        let leaf_value = if h + lambda > 0.0 { -g / (h + lambda) } else { 0.0 };
+        let make_leaf = |nodes: &mut Vec<GNode>| {
+            nodes.push(GNode::Leaf { value: leaf_value });
+            nodes.len() - 1
+        };
+        if depth >= max_depth || idx.len() < 2 {
+            return make_leaf(&mut self.nodes);
+        }
+
+        let score = |g: f64, h: f64| -> f64 {
+            match criterion {
+                // Variance reduction over gradients ∝ G²/count.
+                SplitCriterion::Variance => {
+                    if h > 0.0 {
+                        g * g / idxless_count(h)
+                    } else {
+                        0.0
+                    }
+                }
+                SplitCriterion::Gain { lambda, .. } => g * g / (h + lambda),
+            }
+        };
+        // For Variance we score with counts, so feed hess=1 per sample.
+        fn idxless_count(h: f64) -> f64 {
+            h
+        }
+        let (sg, sh) = match criterion {
+            SplitCriterion::Variance => (g, idx.len() as f64),
+            SplitCriterion::Gain { .. } => (g, h),
+        };
+        let parent_score = score(sg, sh);
+
+        let mut best: Option<(usize, f64, f64)> = None;
+        let mut order: Vec<usize> = idx.to_vec();
+        let num_features = xs[0].len();
+        let total_w: f64 = idx.iter().map(|&i| hess[i]).sum();
+        for f in 0..num_features {
+            order.sort_unstable_by(|&a, &b| xs[a][f].total_cmp(&xs[b][f]));
+            let mut lg = 0.0;
+            let mut lh = 0.0;
+            let mut lw = 0.0; // hessian mass for min_child_weight
+            for k in 0..order.len() - 1 {
+                let i = order[k];
+                lg += grad[i];
+                lh += match criterion {
+                    SplitCriterion::Variance => 1.0,
+                    SplitCriterion::Gain { .. } => hess[i],
+                };
+                lw += hess[i];
+                if xs[i][f] == xs[order[k + 1]][f] {
+                    continue;
+                }
+                let rw = total_w - lw;
+                if lw < min_child_weight || rw < min_child_weight {
+                    continue;
+                }
+                let rg = sg - lg;
+                let rh = sh - lh;
+                let gain = score(lg, lh) + score(rg, rh) - parent_score;
+                if best.is_none_or(|(_, _, bg)| gain > bg) {
+                    best = Some((f, (xs[i][f] + xs[order[k + 1]][f]) / 2.0, gain));
+                }
+            }
+        }
+
+        let min_gain = match criterion {
+            SplitCriterion::Variance => 1e-12,
+            SplitCriterion::Gain { gamma, .. } => gamma.max(1e-12),
+        };
+        let Some((feature, threshold, gain)) = best else {
+            return make_leaf(&mut self.nodes);
+        };
+        if gain < min_gain {
+            return make_leaf(&mut self.nodes);
+        }
+
+        let (li, ri): (Vec<usize>, Vec<usize>) =
+            idx.iter().partition(|&&i| xs[i][feature] <= threshold);
+        let slot = self.nodes.len();
+        self.nodes.push(GNode::Leaf { value: leaf_value });
+        let left = self.grow(xs, grad, hess, &li, max_depth, min_child_weight, criterion, depth + 1);
+        let right = self.grow(xs, grad, hess, &ri, max_depth, min_child_weight, criterion, depth + 1);
+        self.nodes[slot] = GNode::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
+        slot
+    }
+
+    pub(crate) fn predict(&self, x: &[f64]) -> f64 {
+        let mut cur = 0usize;
+        loop {
+            match &self.nodes[cur] {
+                GNode::Leaf { value } => return *value,
+                GNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => cur = if x[*feature] <= *threshold { *left } else { *right },
+            }
+        }
+    }
+}
+
+/// GBDT hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct GbdtConfig {
+    /// Boosting rounds.
+    pub rounds: usize,
+    /// Per-tree depth.
+    pub max_depth: usize,
+    /// Shrinkage.
+    pub learning_rate: f64,
+}
+
+impl Default for GbdtConfig {
+    fn default() -> Self {
+        Self {
+            rounds: 80,
+            max_depth: 4,
+            learning_rate: 0.1,
+        }
+    }
+}
+
+/// A fitted GBDT binary classifier.
+#[derive(Debug)]
+pub struct Gbdt {
+    base_score: f64,
+    trees: Vec<GradTree>,
+    learning_rate: f64,
+}
+
+impl Gbdt {
+    /// Fit with logistic loss: per round, gradients `p − y` and hessians
+    /// `p(1−p)` feed a variance-split tree with Newton leaf values.
+    pub fn fit(xs: &[Vec<f64>], ys: &[bool], cfg: &GbdtConfig) -> Self {
+        assert_eq!(xs.len(), ys.len());
+        assert!(!xs.is_empty(), "cannot fit on no samples");
+        let n = xs.len();
+        let pos = ys.iter().filter(|&&y| y).count() as f64;
+        let prior = (pos / n as f64).clamp(1e-6, 1.0 - 1e-6);
+        let base_score = (prior / (1.0 - prior)).ln();
+
+        let mut raw = vec![base_score; n];
+        let mut grad = vec![0.0; n];
+        let mut hess = vec![0.0; n];
+        let mut trees = Vec::with_capacity(cfg.rounds);
+        for _ in 0..cfg.rounds {
+            for i in 0..n {
+                let p = 1.0 / (1.0 + (-raw[i]).exp());
+                grad[i] = p - if ys[i] { 1.0 } else { 0.0 };
+                hess[i] = (p * (1.0 - p)).max(1e-12);
+            }
+            let tree = GradTree::fit(xs, &grad, &hess, cfg.max_depth, 0.0, SplitCriterion::Variance);
+            for (i, x) in xs.iter().enumerate() {
+                raw[i] += cfg.learning_rate * tree.predict(x);
+            }
+            trees.push(tree);
+        }
+        Gbdt {
+            base_score,
+            trees,
+            learning_rate: cfg.learning_rate,
+        }
+    }
+
+    /// Raw additive score (log-odds scale).
+    pub fn decision_function(&self, x: &[f64]) -> f64 {
+        self.base_score
+            + self.learning_rate
+                * self.trees.iter().map(|t| t.predict(x)).sum::<f64>()
+    }
+}
+
+impl Classifier for Gbdt {
+    fn predict_proba(&self, x: &[f64]) -> f64 {
+        1.0 / (1.0 + (-self.decision_function(x)).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{accuracy, testdata};
+
+    #[test]
+    fn fits_xor() {
+        let (xs, ys) = testdata::xor(500, 31);
+        let model = Gbdt::fit(&xs, &ys, &GbdtConfig::default());
+        assert!(accuracy(&model, &xs, &ys) > 0.93);
+    }
+
+    #[test]
+    fn fits_linear() {
+        let (xs, ys) = testdata::linear(300, 32);
+        let model = Gbdt::fit(&xs, &ys, &GbdtConfig::default());
+        assert!(accuracy(&model, &xs, &ys) > 0.95);
+    }
+
+    #[test]
+    fn more_rounds_do_not_hurt_train_accuracy() {
+        let (xs, ys) = testdata::xor(300, 33);
+        let short = Gbdt::fit(&xs, &ys, &GbdtConfig { rounds: 5, ..Default::default() });
+        let long = Gbdt::fit(&xs, &ys, &GbdtConfig { rounds: 100, ..Default::default() });
+        assert!(accuracy(&long, &xs, &ys) >= accuracy(&short, &xs, &ys));
+    }
+
+    #[test]
+    fn base_score_reflects_class_prior() {
+        let xs = vec![vec![0.0]; 10];
+        let ys = vec![true, true, true, true, true, true, true, true, true, false];
+        let model = Gbdt::fit(&xs, &ys, &GbdtConfig { rounds: 0, ..Default::default() });
+        assert!((model.predict_proba(&[0.0]) - 0.9).abs() < 1e-9);
+    }
+}

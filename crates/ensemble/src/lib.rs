@@ -1,0 +1,83 @@
+//! From-scratch tree ensembles for the supervised baselines (§VI-A3).
+//!
+//! The paper compares IUAD against AdaBoost, GBDT, Random Forest, and
+//! XGBoost classifiers trained on pairwise features (Treeratpituk & Giles).
+//! No external ML dependency is available offline, so this crate implements
+//! the four learners on a shared CART substrate:
+//!
+//! * [`DecisionTree`] — weighted Gini classification tree (also the stump);
+//! * [`AdaBoost`] — SAMME boosting of depth-1 stumps;
+//! * [`RandomForest`] — bootstrap bagging with √d feature subsampling;
+//! * [`Gbdt`] — gradient boosting with logistic loss and Newton leaf values;
+//! * [`XgBoost`] — second-order boosting with L2-regularised gain splits
+//!   (the core of the XGBoost algorithm, minus the systems machinery).
+//!
+//! All learners implement [`Classifier`]: binary classification over dense
+//! `f64` feature rows, deterministic given their seeds.
+
+#![warn(missing_docs)]
+
+mod adaboost;
+mod forest;
+mod gbdt;
+mod tree;
+mod xgb;
+
+pub use adaboost::{AdaBoost, AdaBoostConfig};
+pub use forest::{RandomForest, RandomForestConfig};
+pub use gbdt::{Gbdt, GbdtConfig};
+pub use tree::{DecisionTree, TreeConfig};
+pub use xgb::{XgBoost, XgBoostConfig};
+
+/// A trained binary classifier over dense feature rows.
+pub trait Classifier {
+    /// Positive-class probability (or a monotone surrogate in `[0,1]`).
+    fn predict_proba(&self, x: &[f64]) -> f64;
+
+    /// Hard decision at the 0.5 threshold.
+    fn predict(&self, x: &[f64]) -> bool {
+        self.predict_proba(x) >= 0.5
+    }
+}
+
+/// Fraction of correct hard predictions — test helper shared by the
+/// learner test suites.
+pub fn accuracy<C: Classifier>(model: &C, xs: &[Vec<f64>], ys: &[bool]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let correct = xs
+        .iter()
+        .zip(ys)
+        .filter(|(x, &y)| model.predict(x) == y)
+        .count();
+    correct as f64 / xs.len() as f64
+}
+
+#[cfg(test)]
+pub(crate) mod testdata {
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    /// Linearly separable: y = x0 + x1 > 1.
+    pub fn linear(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<bool>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let xs: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>()])
+            .collect();
+        let ys = xs.iter().map(|x| x[0] + x[1] > 1.0).collect();
+        (xs, ys)
+    }
+
+    /// XOR over thresholds — not linearly separable, needs depth ≥ 2 or
+    /// boosting.
+    pub fn xor(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<bool>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let xs: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>()])
+            .collect();
+        let ys = xs.iter().map(|x| (x[0] > 0.5) != (x[1] > 0.5)).collect();
+        (xs, ys)
+    }
+}

@@ -1,0 +1,97 @@
+//! Cluster-level evaluation metrics complementary to the paper's pairwise
+//! micro metrics: B³ (Bagga & Baldwin) and the K-metric (ACP/AAP), both
+//! standard in the author-disambiguation literature (e.g. the AND surveys
+//! and the S2AND benchmark report them alongside pairwise F1).
+
+/// B³ precision/recall/F over one name's mentions.
+///
+/// For each mention, precision is the fraction of its predicted cluster
+/// that shares its true author; recall is the fraction of its true author's
+/// mentions inside its predicted cluster. Scores are averaged over
+/// mentions.
+pub fn b_cubed<P: PartialEq, T: PartialEq>(pred: &[P], truth: &[T]) -> (f64, f64, f64) {
+    assert_eq!(pred.len(), truth.len(), "pred/truth arity mismatch");
+    let n = pred.len();
+    if n == 0 {
+        return (0.0, 0.0, 0.0);
+    }
+    let mut p_sum = 0.0;
+    let mut r_sum = 0.0;
+    for i in 0..n {
+        let mut same_cluster = 0usize;
+        let mut same_truth = 0usize;
+        let mut both = 0usize;
+        for j in 0..n {
+            let sc = pred[j] == pred[i];
+            let st = truth[j] == truth[i];
+            same_cluster += sc as usize;
+            same_truth += st as usize;
+            both += (sc && st) as usize;
+        }
+        p_sum += both as f64 / same_cluster as f64;
+        r_sum += both as f64 / same_truth as f64;
+    }
+    let p = p_sum / n as f64;
+    let r = r_sum / n as f64;
+    let f = if p + r == 0.0 { 0.0 } else { 2.0 * p * r / (p + r) };
+    (p, r, f)
+}
+
+/// The K-metric: the geometric mean of ACP (average cluster purity) and
+/// AAP (average author purity).
+pub fn k_metric<P: PartialEq, T: PartialEq>(pred: &[P], truth: &[T]) -> f64 {
+    let (acp, aap, _) = b_cubed(pred, truth);
+    (acp * aap).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_clustering_scores_one() {
+        let truth = [1, 1, 2, 2, 3];
+        let (p, r, f) = b_cubed(&truth, &truth);
+        assert_eq!((p, r, f), (1.0, 1.0, 1.0));
+        assert_eq!(k_metric(&truth, &truth), 1.0);
+    }
+
+    #[test]
+    fn all_merged_has_perfect_recall() {
+        let truth = [1, 1, 2, 2];
+        let pred = [0, 0, 0, 0];
+        let (p, r, _) = b_cubed(&pred, &truth);
+        assert_eq!(r, 1.0);
+        assert!((p - 0.5).abs() < 1e-12); // each mention: 2 of 4 share truth
+    }
+
+    #[test]
+    fn all_split_has_perfect_precision() {
+        let truth = [1, 1, 2];
+        let pred = [0, 1, 2];
+        let (p, r, _) = b_cubed(&pred, &truth);
+        assert_eq!(p, 1.0);
+        // Mentions of author 1 recover 1/2 of their author; author 2 is 1/1.
+        assert!((r - (0.5 + 0.5 + 1.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_metric_between_zero_and_one() {
+        let truth = [1, 1, 2, 2, 3, 3];
+        let pred = [0, 0, 0, 1, 1, 1];
+        let k = k_metric(&pred, &truth);
+        assert!(k > 0.0 && k < 1.0, "k = {k}");
+    }
+
+    #[test]
+    fn empty_input_is_zero() {
+        let (p, r, f) = b_cubed::<u32, u32>(&[], &[]);
+        assert_eq!((p, r, f), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn mismatched_lengths_panic() {
+        let _ = b_cubed(&[1], &[1, 2]);
+    }
+}

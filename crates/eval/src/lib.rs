@@ -1,0 +1,21 @@
+//! Evaluation substrate: the paper's pairwise micro metrics (§VI-A2),
+//! timing helpers, and plain-text table rendering for the repro harness.
+//!
+//! The protocol: for each ambiguous name, every unordered pair of that
+//! name's mentions is classified — same predicted author? same true author?
+//! TP/FP/FN/TN are summed over *all* pairs of *all* names (micro), then
+//!
+//! * MicroA = (TP+TN) / all, MicroP = TP/(TP+FP),
+//! * MicroR = TP/(TP+FN),  MicroF = harmonic mean of P and R.
+
+#![warn(missing_docs)]
+
+mod clustering;
+mod metrics;
+mod table;
+mod timing;
+
+pub use clustering::{b_cubed, k_metric};
+pub use metrics::{pairwise_confusion, Confusion, Metrics};
+pub use table::Table;
+pub use timing::time_it;

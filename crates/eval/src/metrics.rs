@@ -1,0 +1,189 @@
+//! Pairwise confusion counting and micro metrics.
+
+/// Pairwise confusion counts (TP/FP/FN/TN over mention pairs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Confusion {
+    /// Pairs predicted together that are truly together.
+    pub tp: u64,
+    /// Pairs predicted together that are truly apart.
+    pub fp: u64,
+    /// Pairs predicted apart that are truly together.
+    pub fn_: u64,
+    /// Pairs predicted apart that are truly apart.
+    pub tn: u64,
+}
+
+impl Confusion {
+    /// Accumulate another confusion (micro aggregation across names).
+    pub fn add(&mut self, other: Confusion) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+        self.tn += other.tn;
+    }
+
+    /// Total counted pairs.
+    pub fn total(&self) -> u64 {
+        self.tp + self.fp + self.fn_ + self.tn
+    }
+
+    /// Convert to the four micro metrics.
+    pub fn metrics(&self) -> Metrics {
+        let total = self.total();
+        let a = if total == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / total as f64
+        };
+        let p = if self.tp + self.fp == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        };
+        let r = if self.tp + self.fn_ == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        };
+        let f = if p + r == 0.0 { 0.0 } else { 2.0 * p * r / (p + r) };
+        Metrics {
+            accuracy: a,
+            precision: p,
+            recall: r,
+            f1: f,
+        }
+    }
+}
+
+/// MicroA / MicroP / MicroR / MicroF.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Metrics {
+    /// MicroA.
+    pub accuracy: f64,
+    /// MicroP.
+    pub precision: f64,
+    /// MicroR.
+    pub recall: f64,
+    /// MicroF.
+    pub f1: f64,
+}
+
+impl std::fmt::Display for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "A={:.4} P={:.4} R={:.4} F={:.4}",
+            self.accuracy, self.precision, self.recall, self.f1
+        )
+    }
+}
+
+/// Confusion over all unordered pairs of one name's mentions.
+///
+/// `pred[i]` and `truth[i]` are the predicted and true cluster/author labels
+/// of mention `i` (any label type with equality).
+pub fn pairwise_confusion<P: PartialEq, T: PartialEq>(pred: &[P], truth: &[T]) -> Confusion {
+    assert_eq!(pred.len(), truth.len(), "pred/truth arity mismatch");
+    let n = pred.len();
+    let mut c = Confusion::default();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let same_pred = pred[i] == pred[j];
+            let same_truth = truth[i] == truth[j];
+            match (same_pred, same_truth) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, true) => c.fn_ += 1,
+                (false, false) => c.tn += 1,
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let truth = [1, 1, 2, 2, 3];
+        let c = pairwise_confusion(&truth, &truth);
+        assert_eq!(c.fp, 0);
+        assert_eq!(c.fn_, 0);
+        let m = c.metrics();
+        assert_eq!(m.accuracy, 1.0);
+        assert_eq!(m.f1, 1.0);
+    }
+
+    #[test]
+    fn all_merged_maximises_recall() {
+        let truth = [1, 1, 2, 2];
+        let pred = [0, 0, 0, 0];
+        let c = pairwise_confusion(&pred, &truth);
+        let m = c.metrics();
+        assert_eq!(m.recall, 1.0);
+        assert!(m.precision < 1.0);
+        // 2 true-together pairs, 4 true-apart pairs, all predicted together.
+        assert_eq!(c.tp, 2);
+        assert_eq!(c.fp, 4);
+        assert_eq!(c.tn, 0);
+    }
+
+    #[test]
+    fn all_split_maximises_precision_by_convention() {
+        let truth = [1, 1, 2];
+        let pred = [0, 1, 2];
+        let c = pairwise_confusion(&pred, &truth);
+        let m = c.metrics();
+        assert_eq!(m.recall, 0.0);
+        assert_eq!(m.precision, 0.0); // no predicted-together pairs: P = 0 by convention
+        assert_eq!(c.tn, 2);
+        assert_eq!(c.fn_, 1);
+    }
+
+    #[test]
+    fn counts_sum_to_n_choose_2() {
+        let truth = [1, 2, 3, 1, 2, 3, 1];
+        let pred = [1, 1, 2, 2, 3, 3, 1];
+        let c = pairwise_confusion(&pred, &truth);
+        assert_eq!(c.total(), 7 * 6 / 2);
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let mut a = pairwise_confusion(&[1, 1], &[1, 1]);
+        let b = pairwise_confusion(&[1, 2], &[1, 1]);
+        a.add(b);
+        assert_eq!(a.tp, 1);
+        assert_eq!(a.fn_, 1);
+        assert_eq!(a.total(), 2);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        let c = pairwise_confusion::<u32, u32>(&[], &[]);
+        assert_eq!(c.total(), 0);
+        assert_eq!(c.metrics().accuracy, 0.0);
+    }
+
+    #[test]
+    fn f1_is_harmonic_mean() {
+        let c = Confusion {
+            tp: 2,
+            fp: 2,
+            fn_: 6,
+            tn: 0,
+        };
+        let m = c.metrics();
+        assert!((m.precision - 0.5).abs() < 1e-12);
+        assert!((m.recall - 0.25).abs() < 1e-12);
+        assert!((m.f1 - (2.0 * 0.5 * 0.25 / 0.75)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn mismatched_lengths_panic() {
+        let _ = pairwise_confusion(&[1], &[1, 2]);
+    }
+}

@@ -1,0 +1,25 @@
+//! Wall-clock timing helper for the efficiency experiments (Tables V, VI).
+
+use std::time::{Duration, Instant};
+
+/// Run `f`, returning its value and the elapsed wall-clock time.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_returns() {
+        let (v, d) = time_it(|| {
+            std::thread::sleep(Duration::from_millis(5));
+            42
+        });
+        assert_eq!(v, 42);
+        assert!(d >= Duration::from_millis(4));
+    }
+}

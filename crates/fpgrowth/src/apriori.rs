@@ -1,0 +1,144 @@
+//! Apriori (Agrawal & Srikant) — the obviously-correct reference miner used
+//! as a test oracle for FP-growth. Exponential in the worst case; fine for
+//! the small instances tests use.
+
+use rustc_hash::{FxHashMap, FxHashSet};
+
+use crate::{FrequentItemset, Item};
+
+/// Mine all frequent itemsets with support ≥ `min_support` by levelwise
+/// candidate generation. Itemsets are returned with ascending item order.
+pub fn apriori(transactions: &[Vec<Item>], min_support: u32) -> Vec<FrequentItemset> {
+    assert!(min_support >= 1, "min_support must be at least 1");
+    // Deduplicated, sorted transactions.
+    let txs: Vec<Vec<Item>> = transactions
+        .iter()
+        .map(|t| {
+            let mut t = t.clone();
+            t.sort_unstable();
+            t.dedup();
+            t
+        })
+        .collect();
+
+    let mut out: Vec<FrequentItemset> = Vec::new();
+
+    // L1.
+    let mut counts: FxHashMap<Item, u32> = FxHashMap::default();
+    for t in &txs {
+        for &it in t {
+            *counts.entry(it).or_insert(0) += 1;
+        }
+    }
+    let mut level: Vec<Vec<Item>> = counts
+        .iter()
+        .filter(|&(_, &c)| c >= min_support)
+        .map(|(&it, _)| vec![it])
+        .collect();
+    level.sort();
+    for items in &level {
+        out.push((items.clone(), counts[&items[0]]));
+    }
+
+    // Lk from L(k-1).
+    while !level.is_empty() {
+        let prev: FxHashSet<&[Item]> = level.iter().map(|v| v.as_slice()).collect();
+        let mut candidates: FxHashSet<Vec<Item>> = FxHashSet::default();
+        for (i, a) in level.iter().enumerate() {
+            for b in &level[i + 1..] {
+                // Join step: same (k-1)-prefix.
+                if a[..a.len() - 1] == b[..b.len() - 1] {
+                    let mut c = a.clone();
+                    c.push(*b.last().unwrap());
+                    c.sort_unstable();
+                    // Prune step: all (k-1)-subsets frequent.
+                    let all_sub_frequent = (0..c.len()).all(|skip| {
+                        let sub: Vec<Item> = c
+                            .iter()
+                            .enumerate()
+                            .filter(|&(j, _)| j != skip)
+                            .map(|(_, &x)| x)
+                            .collect();
+                        prev.contains(sub.as_slice())
+                    });
+                    if all_sub_frequent {
+                        candidates.insert(c);
+                    }
+                }
+            }
+        }
+        let mut counted: FxHashMap<Vec<Item>, u32> = FxHashMap::default();
+        for t in &txs {
+            for c in &candidates {
+                if is_subset(c, t) {
+                    *counted.entry(c.clone()).or_insert(0) += 1;
+                }
+            }
+        }
+        level = counted
+            .iter()
+            .filter(|&(_, &c)| c >= min_support)
+            .map(|(k, _)| k.clone())
+            .collect();
+        level.sort();
+        for items in &level {
+            out.push((items.clone(), counted[items]));
+        }
+    }
+    out
+}
+
+/// `needle` ⊆ `haystack`, both sorted ascending.
+fn is_subset(needle: &[Item], haystack: &[Item]) -> bool {
+    let mut it = haystack.iter();
+    'outer: for &n in needle {
+        for &h in it.by_ref() {
+            if h == n {
+                continue 'outer;
+            }
+            if h > n {
+                return false;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subset_check() {
+        assert!(is_subset(&[1, 3], &[1, 2, 3]));
+        assert!(!is_subset(&[1, 4], &[1, 2, 3]));
+        assert!(is_subset(&[], &[1]));
+        assert!(!is_subset(&[1], &[]));
+    }
+
+    #[test]
+    fn pairs_counted_correctly() {
+        let txs = vec![vec![1, 2], vec![1, 2], vec![2, 3]];
+        let out = apriori(&txs, 2);
+        assert!(out.contains(&(vec![1], 2)));
+        assert!(out.contains(&(vec![2], 3)));
+        assert!(out.contains(&(vec![1, 2], 2)));
+        assert!(!out.iter().any(|(i, _)| i == &vec![2, 3]));
+    }
+
+    #[test]
+    fn duplicate_items_in_transaction_count_once() {
+        let txs = vec![vec![1, 1, 2]];
+        let out = apriori(&txs, 1);
+        assert!(out.contains(&(vec![1], 1)));
+        assert!(out.contains(&(vec![1, 2], 1)));
+    }
+
+    #[test]
+    fn triple_mined() {
+        let txs = vec![vec![1, 2, 3], vec![1, 2, 3], vec![1, 2]];
+        let out = apriori(&txs, 2);
+        assert!(out.contains(&(vec![1, 2, 3], 2)));
+    }
+}

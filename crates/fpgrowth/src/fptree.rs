@@ -1,0 +1,281 @@
+//! The FP-tree: a prefix tree over support-ordered transactions with
+//! header-table node links, as in Han, Pei & Yin (SIGMOD 2000).
+
+use rustc_hash::FxHashMap;
+
+use crate::Item;
+
+const ROOT: usize = 0;
+
+#[derive(Debug)]
+struct Node {
+    item: Item,
+    count: u32,
+    parent: usize,
+    children: FxHashMap<Item, usize>,
+}
+
+/// A compact FP-tree. Nodes live in one arena `Vec`; the header table maps
+/// each frequent item to the list of tree nodes carrying it.
+#[derive(Debug)]
+pub struct FpTree {
+    nodes: Vec<Node>,
+    header: FxHashMap<Item, Vec<usize>>,
+    min_support: u32,
+}
+
+impl FpTree {
+    /// Build from weighted transactions (a plain transaction has weight 1;
+    /// conditional pattern bases carry path counts). Items below
+    /// `min_support` (by *weighted* frequency) are dropped; remaining items
+    /// in each transaction are reordered by descending global frequency
+    /// (ties: ascending item id) so shared prefixes compress.
+    pub fn build<'a, I>(transactions: I, min_support: u32) -> Self
+    where
+        I: IntoIterator<Item = (&'a [Item], u32)> + Clone,
+    {
+        let mut freq: FxHashMap<Item, u32> = FxHashMap::default();
+        for (tx, w) in transactions.clone() {
+            for &it in tx {
+                *freq.entry(it).or_insert(0) += w;
+            }
+        }
+
+        let mut tree = FpTree {
+            nodes: vec![Node {
+                item: Item::MAX,
+                count: 0,
+                parent: ROOT,
+                children: FxHashMap::default(),
+            }],
+            header: FxHashMap::default(),
+            min_support,
+        };
+
+        let mut filtered: Vec<Item> = Vec::new();
+        for (tx, w) in transactions {
+            filtered.clear();
+            filtered.extend(tx.iter().copied().filter(|it| freq[it] >= min_support));
+            // Descending frequency, ascending item id for determinism.
+            filtered.sort_unstable_by(|a, b| freq[b].cmp(&freq[a]).then(a.cmp(b)));
+            tree.insert(&filtered, w);
+        }
+        tree
+    }
+
+    fn insert(&mut self, path: &[Item], weight: u32) {
+        let mut cur = ROOT;
+        for &it in path {
+            cur = match self.nodes[cur].children.get(&it) {
+                Some(&child) => {
+                    self.nodes[child].count += weight;
+                    child
+                }
+                None => {
+                    let idx = self.nodes.len();
+                    self.nodes.push(Node {
+                        item: it,
+                        count: weight,
+                        parent: cur,
+                        children: FxHashMap::default(),
+                    });
+                    self.nodes[cur].children.insert(it, idx);
+                    self.header.entry(it).or_default().push(idx);
+                    idx
+                }
+            };
+        }
+    }
+
+    /// Items present in the tree, ascending by total support (the order
+    /// FP-growth processes suffixes in), ties broken by descending item id.
+    pub fn items_by_support(&self) -> Vec<(Item, u32)> {
+        let mut v: Vec<(Item, u32)> = self
+            .header
+            .iter()
+            .map(|(&it, nodes)| (it, nodes.iter().map(|&n| self.nodes[n].count).sum()))
+            .collect();
+        v.sort_unstable_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)));
+        v
+    }
+
+    /// The conditional pattern base of `item`: for each tree occurrence, the
+    /// prefix path from (excluding) the root, with the occurrence count.
+    pub fn conditional_pattern_base(&self, item: Item) -> Vec<(Vec<Item>, u32)> {
+        let Some(nodes) = self.header.get(&item) else {
+            return Vec::new();
+        };
+        let mut base = Vec::with_capacity(nodes.len());
+        for &n in nodes {
+            let count = self.nodes[n].count;
+            let mut path = Vec::new();
+            let mut cur = self.nodes[n].parent;
+            while cur != ROOT {
+                path.push(self.nodes[cur].item);
+                cur = self.nodes[cur].parent;
+            }
+            path.reverse();
+            if !path.is_empty() {
+                base.push((path, count));
+            }
+        }
+        base
+    }
+
+    /// Total support of `item` in this tree.
+    pub fn support(&self, item: Item) -> u32 {
+        self.header
+            .get(&item)
+            .map_or(0, |ns| ns.iter().map(|&n| self.nodes[n].count).sum())
+    }
+
+    /// True if the tree contains no items (all below min support).
+    pub fn is_empty(&self) -> bool {
+        self.header.is_empty()
+    }
+
+    /// Number of nodes, excluding the root (compression diagnostic).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// The minimum support the tree was built with.
+    pub fn min_support(&self) -> u32 {
+        self.min_support
+    }
+
+    /// True if the tree is a single path (enables the FP-growth fast path of
+    /// enumerating subsets directly).
+    pub fn is_single_path(&self) -> bool {
+        let mut cur = ROOT;
+        loop {
+            match self.nodes[cur].children.len() {
+                0 => return true,
+                1 => cur = *self.nodes[cur].children.values().next().unwrap(),
+                _ => return false,
+            }
+        }
+    }
+
+    /// If the tree is a single path, return it as `(item, count)` pairs from
+    /// the root downwards.
+    pub fn single_path(&self) -> Option<Vec<(Item, u32)>> {
+        if !self.is_single_path() {
+            return None;
+        }
+        let mut out = Vec::new();
+        let mut cur = ROOT;
+        while let Some(&child) = self.nodes[cur].children.values().next() {
+            out.push((self.nodes[child].item, self.nodes[child].count));
+            cur = child;
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn txs() -> Vec<Vec<Item>> {
+        vec![
+            vec![1, 2, 5],
+            vec![2, 4],
+            vec![2, 3],
+            vec![1, 2, 4],
+            vec![1, 3],
+            vec![2, 3],
+            vec![1, 3],
+            vec![1, 2, 3, 5],
+            vec![1, 2, 3],
+        ]
+    }
+
+    fn build(min: u32) -> FpTree {
+        let t = txs();
+        FpTree::build(t.iter().map(|x| (x.as_slice(), 1)), min)
+    }
+
+    #[test]
+    fn supports_match_raw_counts() {
+        let tree = build(2);
+        assert_eq!(tree.support(1), 6);
+        assert_eq!(tree.support(2), 7);
+        assert_eq!(tree.support(3), 6);
+        assert_eq!(tree.support(4), 2);
+        assert_eq!(tree.support(5), 2);
+    }
+
+    #[test]
+    fn infrequent_items_dropped() {
+        let tree = build(3);
+        assert_eq!(tree.support(4), 0);
+        assert_eq!(tree.support(5), 0);
+    }
+
+    #[test]
+    fn tree_compresses_shared_prefixes() {
+        let tree = build(2);
+        // 9 transactions * up to 4 items would be 26 raw item slots; the
+        // classic example compresses far below that.
+        assert!(tree.node_count() < 20, "nodes = {}", tree.node_count());
+    }
+
+    #[test]
+    fn conditional_base_of_item5() {
+        let tree = build(2);
+        let mut base = tree.conditional_pattern_base(5);
+        for (p, _) in &mut base {
+            p.sort_unstable();
+        }
+        base.sort();
+        // Item 5 occurs with {1,2} and {1,2,3}; both paths keep only the
+        // frequent prefix in support order.
+        assert_eq!(base.len(), 2);
+        for (path, count) in &base {
+            assert!(path.contains(&1) && path.contains(&2));
+            assert_eq!(*count, 1);
+        }
+    }
+
+    #[test]
+    fn empty_tree_for_high_support() {
+        let tree = build(100);
+        assert!(tree.is_empty());
+        assert!(tree.is_single_path());
+    }
+
+    #[test]
+    fn single_path_detection() {
+        let t: Vec<Vec<Item>> = vec![vec![1, 2, 3], vec![1, 2], vec![1]];
+        let tree = FpTree::build(t.iter().map(|x| (x.as_slice(), 1)), 1);
+        assert!(tree.is_single_path());
+        let path = tree.single_path().unwrap();
+        assert_eq!(path, vec![(1, 3), (2, 2), (3, 1)]);
+    }
+
+    #[test]
+    fn branching_is_not_single_path() {
+        let t: Vec<Vec<Item>> = vec![vec![1, 2], vec![1, 3], vec![1, 2], vec![1, 3]];
+        let tree = FpTree::build(t.iter().map(|x| (x.as_slice(), 1)), 1);
+        assert!(!tree.is_single_path());
+        assert!(tree.single_path().is_none());
+    }
+
+    #[test]
+    fn weighted_transactions_accumulate() {
+        let t: Vec<Vec<Item>> = vec![vec![1, 2]];
+        let tree = FpTree::build(t.iter().map(|x| (x.as_slice(), 5)), 2);
+        assert_eq!(tree.support(1), 5);
+        assert_eq!(tree.support(2), 5);
+    }
+
+    #[test]
+    fn items_by_support_ascending() {
+        let tree = build(2);
+        let items = tree.items_by_support();
+        for w in items.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! FP-growth mining over [`FpTree`]s: recursively project conditional trees,
+//! with the single-path subset fast path.
+
+use crate::fptree::FpTree;
+use crate::{FrequentItemset, Item};
+
+/// Configurable FP-growth miner.
+///
+/// ```
+/// use iuad_fpgrowth::FpGrowth;
+/// let txs: Vec<Vec<u32>> = vec![vec![1, 2], vec![1, 2], vec![2, 3]];
+/// let out = FpGrowth::new(2).mine(&txs);
+/// assert!(out.contains(&(vec![1, 2], 2)));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct FpGrowth {
+    min_support: u32,
+    max_len: usize,
+}
+
+impl FpGrowth {
+    /// Miner with support threshold `min_support` (η in IUAD) and no length
+    /// cap.
+    pub fn new(min_support: u32) -> Self {
+        assert!(min_support >= 1, "min_support must be at least 1");
+        Self {
+            min_support,
+            max_len: usize::MAX,
+        }
+    }
+
+    /// Limit mined itemsets to at most `max_len` items (IUAD Stage 1 only
+    /// needs 2-itemsets; capping prunes the search exponentially).
+    pub fn with_max_len(mut self, max_len: usize) -> Self {
+        assert!(max_len >= 1, "max_len must be at least 1");
+        self.max_len = max_len;
+        self
+    }
+
+    /// Mine all frequent itemsets (support ≥ threshold, length ≤ cap) from
+    /// `transactions`. Returned itemsets have ascending item order; the
+    /// overall result order is unspecified — use [`crate::canonicalize`].
+    pub fn mine(&self, transactions: &[Vec<Item>]) -> Vec<FrequentItemset> {
+        let tree = FpTree::build(
+            transactions.iter().map(|t| (t.as_slice(), 1)),
+            self.min_support,
+        );
+        let mut out = Vec::new();
+        let mut suffix = Vec::new();
+        self.mine_tree(&tree, &mut suffix, &mut out);
+        out
+    }
+
+    fn mine_tree(&self, tree: &FpTree, suffix: &mut Vec<Item>, out: &mut Vec<FrequentItemset>) {
+        if suffix.len() >= self.max_len {
+            return;
+        }
+        if let Some(path) = tree.single_path() {
+            self.emit_single_path_subsets(&path, suffix, out);
+            return;
+        }
+        for (item, support) in tree.items_by_support() {
+            if support < self.min_support {
+                continue;
+            }
+            suffix.push(item);
+            let mut itemset = suffix.clone();
+            itemset.sort_unstable();
+            out.push((itemset, support));
+
+            if suffix.len() < self.max_len {
+                let base = tree.conditional_pattern_base(item);
+                if !base.is_empty() {
+                    let cond = FpTree::build(
+                        base.iter().map(|(p, c)| (p.as_slice(), *c)),
+                        self.min_support,
+                    );
+                    if !cond.is_empty() {
+                        self.mine_tree(&cond, suffix, out);
+                    }
+                }
+            }
+            suffix.pop();
+        }
+    }
+
+    /// All non-empty subsets of a single path are frequent with support equal
+    /// to the minimum count along the subset's deepest chosen node.
+    fn emit_single_path_subsets(
+        &self,
+        path: &[(Item, u32)],
+        suffix: &[Item],
+        out: &mut Vec<FrequentItemset>,
+    ) {
+        let budget = self.max_len - suffix.len();
+        let n = path.len();
+        // Enumerate subsets via bitmask; conditional single paths are short
+        // (bounded by the longest transaction), so 2^n stays tractable.
+        assert!(n < 32, "single path unexpectedly long: {n}");
+        for mask in 1u32..(1 << n) {
+            if (mask.count_ones() as usize) > budget {
+                continue;
+            }
+            let mut items = suffix.to_vec();
+            let mut support = u32::MAX;
+            for (i, &(item, count)) in path.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    items.push(item);
+                    support = support.min(count);
+                }
+            }
+            if support >= self.min_support {
+                items.sort_unstable();
+                out.push((items, support));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{apriori, canonicalize};
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    fn classic() -> Vec<Vec<Item>> {
+        // Han et al.'s running example.
+        vec![
+            vec![1, 2, 5],
+            vec![2, 4],
+            vec![2, 3],
+            vec![1, 2, 4],
+            vec![1, 3],
+            vec![2, 3],
+            vec![1, 3],
+            vec![1, 2, 3, 5],
+            vec![1, 2, 3],
+        ]
+    }
+
+    #[test]
+    fn matches_apriori_on_classic_example() {
+        let txs = classic();
+        for min in 1..=4 {
+            let fp = canonicalize(FpGrowth::new(min).mine(&txs));
+            let ap = canonicalize(apriori(&txs, min));
+            assert_eq!(fp, ap, "min_support={min}");
+        }
+    }
+
+    #[test]
+    fn known_itemsets_present() {
+        let out = FpGrowth::new(2).mine(&classic());
+        let find = |items: &[Item]| {
+            out.iter()
+                .find(|(i, _)| i.as_slice() == items)
+                .map(|(_, s)| *s)
+        };
+        assert_eq!(find(&[2]), Some(7));
+        assert_eq!(find(&[1, 2]), Some(4));
+        assert_eq!(find(&[1, 2, 5]), Some(2));
+        assert_eq!(find(&[1, 2, 3]), Some(2));
+        assert_eq!(find(&[4, 5]), None);
+    }
+
+    #[test]
+    fn max_len_caps_itemset_size() {
+        let out = FpGrowth::new(1).with_max_len(2).mine(&classic());
+        assert!(out.iter().all(|(i, _)| i.len() <= 2));
+        // And still finds all pairs that Apriori finds.
+        let ap: Vec<_> = apriori(&classic(), 1)
+            .into_iter()
+            .filter(|(i, _)| i.len() <= 2)
+            .collect();
+        assert_eq!(canonicalize(out), canonicalize(ap));
+    }
+
+    #[test]
+    fn empty_input_yields_nothing() {
+        assert!(FpGrowth::new(1).mine(&[]).is_empty());
+    }
+
+    #[test]
+    fn single_transaction_subsets() {
+        let txs = vec![vec![3, 1, 2]];
+        let out = canonicalize(FpGrowth::new(1).mine(&txs));
+        // 2^3 - 1 = 7 subsets, all with support 1.
+        assert_eq!(out.len(), 7);
+        assert!(out.iter().all(|(_, s)| *s == 1));
+    }
+
+    #[test]
+    fn support_threshold_monotone() {
+        let txs = classic();
+        let lo = FpGrowth::new(1).mine(&txs).len();
+        let mid = FpGrowth::new(2).mine(&txs).len();
+        let hi = FpGrowth::new(5).mine(&txs).len();
+        assert!(lo >= mid && mid >= hi);
+    }
+
+    #[test]
+    fn randomized_cross_check_with_apriori() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for round in 0..30 {
+            let n_tx = rng.gen_range(1..25);
+            let txs: Vec<Vec<Item>> = (0..n_tx)
+                .map(|_| {
+                    let len = rng.gen_range(1..6);
+                    let mut t: Vec<Item> = (0..len).map(|_| rng.gen_range(0..8)).collect();
+                    t.sort_unstable();
+                    t.dedup();
+                    t
+                })
+                .collect();
+            let min = rng.gen_range(1..4);
+            let fp = canonicalize(FpGrowth::new(min).mine(&txs));
+            let ap = canonicalize(apriori(&txs, min));
+            assert_eq!(fp, ap, "round={round} min={min} txs={txs:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "min_support")]
+    fn zero_support_rejected() {
+        let _ = FpGrowth::new(0);
+    }
+}

@@ -1,0 +1,262 @@
+//! A generic adjacency-list graph with vertex and edge payloads.
+
+use rustc_hash::FxHashMap;
+
+/// Vertex handle; indexes into the graph's vertex table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VertexId(pub u32);
+
+impl VertexId {
+    /// Raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<usize> for VertexId {
+    #[inline]
+    fn from(v: usize) -> Self {
+        debug_assert!(v <= u32::MAX as usize);
+        Self(v as u32)
+    }
+}
+
+/// Undirected simple graph with a payload `V` per vertex and `E` per edge.
+///
+/// Edges are stored once; each endpoint's adjacency map points at the shared
+/// edge slot. Self-loops are rejected. The structure is append-only (IUAD
+/// merges vertices by *rebuilding* — cheaper and simpler than tombstoning).
+#[derive(Debug, Clone)]
+pub struct AdjGraph<V, E> {
+    vertices: Vec<V>,
+    adjacency: Vec<FxHashMap<VertexId, usize>>,
+    edges: Vec<E>,
+    edge_endpoints: Vec<(VertexId, VertexId)>,
+}
+
+impl<V, E> Default for AdjGraph<V, E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V, E> AdjGraph<V, E> {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Self {
+            vertices: Vec::new(),
+            adjacency: Vec::new(),
+            edges: Vec::new(),
+            edge_endpoints: Vec::new(),
+        }
+    }
+
+    /// Empty graph with reserved vertex capacity.
+    pub fn with_capacity(vertices: usize) -> Self {
+        Self {
+            vertices: Vec::with_capacity(vertices),
+            adjacency: Vec::with_capacity(vertices),
+            edges: Vec::new(),
+            edge_endpoints: Vec::new(),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Add a vertex carrying `payload`, returning its id.
+    pub fn add_vertex(&mut self, payload: V) -> VertexId {
+        self.vertices.push(payload);
+        self.adjacency.push(FxHashMap::default());
+        VertexId::from(self.vertices.len() - 1)
+    }
+
+    /// Vertex payload.
+    #[inline]
+    pub fn vertex(&self, v: VertexId) -> &V {
+        &self.vertices[v.index()]
+    }
+
+    /// Mutable vertex payload.
+    #[inline]
+    pub fn vertex_mut(&mut self, v: VertexId) -> &mut V {
+        &mut self.vertices[v.index()]
+    }
+
+    /// Iterate `(id, payload)` over all vertices.
+    pub fn vertices(&self) -> impl Iterator<Item = (VertexId, &V)> {
+        self.vertices
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (VertexId::from(i), p))
+    }
+
+    /// Add an edge `u—v`. If absent, payload comes from `init`; if present,
+    /// `merge` folds into the existing payload. Returns the edge slot.
+    /// Panics on self-loops or out-of-range vertices.
+    pub fn upsert_edge(
+        &mut self,
+        u: VertexId,
+        v: VertexId,
+        init: impl FnOnce() -> E,
+        merge: impl FnOnce(&mut E),
+    ) -> usize {
+        assert_ne!(u, v, "self-loops are not allowed");
+        assert!(u.index() < self.vertices.len() && v.index() < self.vertices.len());
+        if let Some(&slot) = self.adjacency[u.index()].get(&v) {
+            merge(&mut self.edges[slot]);
+            slot
+        } else {
+            let slot = self.edges.len();
+            self.edges.push(init());
+            self.edge_endpoints.push((u.min(v), u.max(v)));
+            self.adjacency[u.index()].insert(v, slot);
+            self.adjacency[v.index()].insert(u, slot);
+            slot
+        }
+    }
+
+    /// Edge payload between `u` and `v`, if the edge exists.
+    pub fn edge(&self, u: VertexId, v: VertexId) -> Option<&E> {
+        self.adjacency[u.index()].get(&v).map(|&s| &self.edges[s])
+    }
+
+    /// True if `u—v` exists.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.adjacency[u.index()].contains_key(&v)
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.adjacency[v.index()].len()
+    }
+
+    /// Iterate neighbours of `v` with edge payloads. Order unspecified.
+    pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, &E)> {
+        self.adjacency[v.index()]
+            .iter()
+            .map(|(&u, &slot)| (u, &self.edges[slot]))
+    }
+
+    /// Neighbour ids of `v`, sorted ascending (deterministic iteration).
+    pub fn sorted_neighbors(&self, v: VertexId) -> Vec<VertexId> {
+        let mut ns: Vec<VertexId> = self.adjacency[v.index()].keys().copied().collect();
+        ns.sort_unstable();
+        ns
+    }
+
+    /// Iterate all edges as `(u, v, payload)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId, &E)> {
+        self.edge_endpoints
+            .iter()
+            .zip(&self.edges)
+            .map(|(&(u, v), e)| (u, v, e))
+    }
+
+    /// Vertices within `radius` hops of `v` (including `v`), via BFS,
+    /// ascending order.
+    pub fn ball(&self, v: VertexId, radius: usize) -> Vec<VertexId> {
+        let mut seen: FxHashMap<VertexId, usize> = FxHashMap::default();
+        seen.insert(v, 0);
+        let mut frontier = vec![v];
+        for d in 1..=radius {
+            let mut next = Vec::new();
+            for &u in &frontier {
+                for (w, _) in self.neighbors(u) {
+                    seen.entry(w).or_insert_with(|| {
+                        next.push(w);
+                        d
+                    });
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            frontier = next;
+        }
+        let mut out: Vec<VertexId> = seen.into_keys().collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> (AdjGraph<&'static str, u32>, Vec<VertexId>) {
+        let mut g = AdjGraph::new();
+        let vs: Vec<VertexId> = ["a", "b", "c"].iter().map(|&s| g.add_vertex(s)).collect();
+        g.upsert_edge(vs[0], vs[1], || 1, |e| *e += 1);
+        g.upsert_edge(vs[1], vs[2], || 1, |e| *e += 1);
+        (g, vs)
+    }
+
+    #[test]
+    fn add_and_query() {
+        let (g, vs) = path3();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(vs[0], vs[1]));
+        assert!(g.has_edge(vs[1], vs[0]));
+        assert!(!g.has_edge(vs[0], vs[2]));
+        assert_eq!(*g.vertex(vs[2]), "c");
+    }
+
+    #[test]
+    fn upsert_merges_payload() {
+        let (mut g, vs) = path3();
+        g.upsert_edge(vs[1], vs[0], || 1, |e| *e += 10);
+        assert_eq!(g.edge(vs[0], vs[1]), Some(&11));
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn degree_and_neighbors() {
+        let (g, vs) = path3();
+        assert_eq!(g.degree(vs[1]), 2);
+        assert_eq!(g.sorted_neighbors(vs[1]), vec![vs[0], vs[2]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_rejected() {
+        let mut g: AdjGraph<(), ()> = AdjGraph::new();
+        let v = g.add_vertex(());
+        g.upsert_edge(v, v, || (), |_| ());
+    }
+
+    #[test]
+    fn edges_iterate_once_with_sorted_endpoints() {
+        let (g, _) = path3();
+        let es: Vec<_> = g.edges().collect();
+        assert_eq!(es.len(), 2);
+        for (u, v, _) in es {
+            assert!(u < v);
+        }
+    }
+
+    #[test]
+    fn ball_respects_radius() {
+        let (g, vs) = path3();
+        assert_eq!(g.ball(vs[0], 0), vec![vs[0]]);
+        assert_eq!(g.ball(vs[0], 1), vec![vs[0], vs[1]]);
+        assert_eq!(g.ball(vs[0], 2), vec![vs[0], vs[1], vs[2]]);
+        assert_eq!(g.ball(vs[0], 9), vec![vs[0], vs[1], vs[2]]);
+    }
+
+    #[test]
+    fn vertex_payload_mutable() {
+        let (mut g, vs) = path3();
+        *g.vertex_mut(vs[0]) = "z";
+        assert_eq!(*g.vertex(vs[0]), "z");
+    }
+}

@@ -1,0 +1,27 @@
+//! Graph substrate for collaboration networks.
+//!
+//! IUAD's two stages are graph constructions: the SCN is a network of
+//! hypothesised authors connected by stable collaborative relations, and the
+//! GCN merges its same-name vertices. This crate supplies the structures and
+//! algorithms both stages need:
+//!
+//! * [`AdjGraph`] — a generic adjacency-list graph with vertex and edge
+//!   payloads (edge payload in IUAD: the paper set `P_uv`);
+//! * [`UnionFind`] — disjoint sets with path halving + union by size, used
+//!   for transitive vertex merging;
+//! * [`triangles`] — triangle enumeration (stable collaborative triangles,
+//!   and the co-author clique similarity γ₂);
+//! * [`wl`] — Weisfeiler-Lehman subtree features and the normalised WL
+//!   kernel between vertices (similarity γ₁);
+//! * [`components`] — connected components.
+
+#![warn(missing_docs)]
+
+pub mod components;
+mod graph;
+pub mod triangles;
+mod unionfind;
+pub mod wl;
+
+pub use graph::{AdjGraph, VertexId};
+pub use unionfind::UnionFind;

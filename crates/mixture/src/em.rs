@@ -1,0 +1,375 @@
+//! EM fitting of the two-component mixture and posterior scoring.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::family::{Family, Params};
+
+/// EM configuration.
+#[derive(Debug, Clone)]
+pub struct EmConfig {
+    /// Maximum EM iterations.
+    pub max_iters: usize,
+    /// Stop when the relative log-likelihood improvement falls below this.
+    pub tol: f64,
+    /// Seed for the responsibility initialisation jitter.
+    pub seed: u64,
+}
+
+impl Default for EmConfig {
+    fn default() -> Self {
+        Self {
+            max_iters: 200,
+            tol: 1e-8,
+            seed: 7,
+        }
+    }
+}
+
+/// The fitted Fellegi-Sunter-style model: per-feature matched/unmatched
+/// parameters and the matched prior `p`.
+#[derive(Debug, Clone)]
+pub struct TwoComponentMixture {
+    /// Families, one per feature (fixed before fitting).
+    pub families: Vec<Family>,
+    /// Matched-component (`M`) parameters, one per feature.
+    pub matched: Vec<Params>,
+    /// Unmatched-component (`U`) parameters, one per feature.
+    pub unmatched: Vec<Params>,
+    /// Prior probability `p = P(r ∈ M)`.
+    pub prior_matched: f64,
+}
+
+/// Outcome of [`TwoComponentMixture::fit`].
+#[derive(Debug, Clone)]
+pub struct FitResult {
+    /// The fitted model, oriented so that "matched" is the high-similarity
+    /// component.
+    pub model: TwoComponentMixture,
+    /// Observed-data log-likelihood after every iteration (non-decreasing —
+    /// the EM guarantee; asserted by tests).
+    pub log_likelihood: Vec<f64>,
+    /// Number of iterations executed.
+    pub iterations: usize,
+    /// True if the tolerance was reached before `max_iters`.
+    pub converged: bool,
+}
+
+impl TwoComponentMixture {
+    /// Fit with EM. `data` is row-major: one similarity vector per candidate
+    /// pair, all rows the same arity as `families`.
+    ///
+    /// Responsibilities are initialised from each row's average standardised
+    /// feature value (plus a deterministic jitter) — rows that look similar
+    /// start closer to the matched component, which avoids the label-swap
+    /// local optimum without biasing the MLEs.
+    pub fn fit(families: &[Family], data: &[Vec<f64>], cfg: &EmConfig) -> FitResult {
+        Self::fit_anchored(families, data, &[], cfg)
+    }
+
+    /// Semi-supervised EM: `anchors[i] = Some(p)` pins row `i`'s matched
+    /// responsibility to `p` throughout (it contributes to the M-step with
+    /// that fixed weight and is skipped in the E-step). This is how the
+    /// vertex-splitting strategy of §V-F2 enters training: split halves of
+    /// one real author are *known* matched pairs. Pass `&[]` or all-`None`
+    /// for fully unsupervised fitting.
+    pub fn fit_anchored(
+        families: &[Family],
+        data: &[Vec<f64>],
+        anchors: &[Option<f64>],
+        cfg: &EmConfig,
+    ) -> FitResult {
+        let m = families.len();
+        assert!(m > 0, "at least one feature required");
+        assert!(!data.is_empty(), "cannot fit on empty data");
+        for row in data {
+            assert_eq!(row.len(), m, "row arity mismatch");
+        }
+        assert!(
+            anchors.is_empty() || anchors.len() == data.len(),
+            "anchors arity mismatch"
+        );
+        let anchor_of = |i: usize| -> Option<f64> { anchors.get(i).copied().flatten() };
+        let n = data.len();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        // Standardise columns for the init heuristic.
+        let mut col_mean = vec![0.0f64; m];
+        let mut col_sd = vec![0.0f64; m];
+        for row in data {
+            for (j, &x) in row.iter().enumerate() {
+                col_mean[j] += x;
+            }
+        }
+        col_mean.iter_mut().for_each(|x| *x /= n as f64);
+        for row in data {
+            for (j, &x) in row.iter().enumerate() {
+                col_sd[j] += (x - col_mean[j]) * (x - col_mean[j]);
+            }
+        }
+        col_sd
+            .iter_mut()
+            .for_each(|x| *x = (*x / n as f64).sqrt().max(1e-12));
+
+        let mut resp: Vec<f64> = data
+            .iter()
+            .enumerate()
+            .map(|(i, row)| {
+                if let Some(a) = anchor_of(i) {
+                    return a.clamp(0.0, 1.0);
+                }
+                let z: f64 = row
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &x)| (x - col_mean[j]) / col_sd[j])
+                    .sum::<f64>()
+                    / m as f64;
+                // Squash into (0,1) with jitter; sigma 0.05 keeps order.
+                let noisy = 1.0 / (1.0 + (-z).exp()) + 0.05 * (rng.gen::<f64>() - 0.5);
+                noisy.clamp(0.01, 0.99)
+            })
+            .collect();
+
+        let mut model = TwoComponentMixture {
+            families: families.to_vec(),
+            matched: Vec::new(),
+            unmatched: Vec::new(),
+            prior_matched: 0.5,
+        };
+
+        let mut history = Vec::new();
+        let mut converged = false;
+        let mut iterations = 0;
+        let mut xs_col = vec![0.0f64; n];
+        let mut w1 = vec![0.0f64; n];
+        let mut w0 = vec![0.0f64; n];
+
+        for _iter in 0..cfg.max_iters {
+            iterations += 1;
+
+            // ---- M-step ----------------------------------------------------
+            let sum_resp: f64 = resp.iter().sum();
+            model.prior_matched = (sum_resp / n as f64).clamp(1e-6, 1.0 - 1e-6);
+            model.matched.clear();
+            model.unmatched.clear();
+            for (j, &fam) in families.iter().enumerate() {
+                for (i, row) in data.iter().enumerate() {
+                    xs_col[i] = row[j];
+                    w1[i] = resp[i];
+                    w0[i] = 1.0 - resp[i];
+                }
+                model.matched.push(Params::mle_weighted(fam, &xs_col, &w1));
+                model
+                    .unmatched
+                    .push(Params::mle_weighted(fam, &xs_col, &w0));
+            }
+
+            // ---- E-step + log-likelihood ----------------------------------
+            // Anchored rows keep their pinned responsibility and do not
+            // enter the convergence criterion (their likelihood is constant
+            // in the latent assignment).
+            let mut ll = 0.0;
+            for (i, row) in data.iter().enumerate() {
+                if anchor_of(i).is_some() {
+                    continue;
+                }
+                let (log_m, log_u) = model.component_log_densities(row);
+                let a = log_m + model.prior_matched.ln();
+                let b = log_u + (1.0 - model.prior_matched).ln();
+                let mx = a.max(b);
+                let log_total = mx + ((a - mx).exp() + (b - mx).exp()).ln();
+                resp[i] = (a - log_total).exp();
+                ll += log_total;
+            }
+            history.push(ll);
+            if history.len() >= 2 {
+                let prev = history[history.len() - 2];
+                let denom = prev.abs().max(1e-12);
+                if (ll - prev) / denom < cfg.tol && ll >= prev - 1e-9 {
+                    converged = true;
+                    break;
+                }
+            }
+        }
+
+        model.orient();
+        FitResult {
+            model,
+            log_likelihood: history,
+            iterations,
+            converged,
+        }
+    }
+
+    /// Sum of per-feature log densities under each component (the naive-Bayes
+    /// independence assumption of §V-C).
+    fn component_log_densities(&self, row: &[f64]) -> (f64, f64) {
+        let mut log_m = 0.0;
+        let mut log_u = 0.0;
+        for (j, &x) in row.iter().enumerate() {
+            log_m += self.matched[j].log_density(x);
+            log_u += self.unmatched[j].log_density(x);
+        }
+        (log_m, log_u)
+    }
+
+    /// Ensure the "matched" component is the high-similarity one: compare
+    /// the average fitted means across features and swap if needed. EM is
+    /// label-symmetric; the paper's semantics are not.
+    fn orient(&mut self) {
+        let mean_of = |ps: &[Params]| -> f64 {
+            ps.iter().map(Params::mean).sum::<f64>() / ps.len().max(1) as f64
+        };
+        if mean_of(&self.matched) < mean_of(&self.unmatched) {
+            std::mem::swap(&mut self.matched, &mut self.unmatched);
+            self.prior_matched = 1.0 - self.prior_matched;
+        }
+    }
+
+    /// Posterior probability `P(r ∈ M | γ)`.
+    pub fn posterior_matched(&self, row: &[f64]) -> f64 {
+        let (log_m, log_u) = self.component_log_densities(row);
+        let a = log_m + self.prior_matched.ln();
+        let b = log_u + (1.0 - self.prior_matched).ln();
+        let mx = a.max(b);
+        let log_total = mx + ((a - mx).exp() + (b - mx).exp()).ln();
+        (a - log_total).exp()
+    }
+
+    /// The matching score of Equation 11:
+    /// `log( P(r ∈ M | γ) / P(r ∈ U | γ) )`.
+    pub fn log_odds(&self, row: &[f64]) -> f64 {
+        let (log_m, log_u) = self.component_log_densities(row);
+        (log_m + self.prior_matched.ln()) - (log_u + (1.0 - self.prior_matched).ln())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic matched/unmatched data with a known boundary.
+    fn two_cluster_data(n: usize) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut data = Vec::with_capacity(2 * n);
+        for _ in 0..n {
+            // Matched: Gaussian near 0.9, Exponential with small mean.
+            data.push(vec![
+                0.9 + 0.05 * (rng.gen::<f64>() - 0.5),
+                0.8 + 0.3 * rng.gen::<f64>(),
+            ]);
+            // Unmatched: Gaussian near 0.1, Exponential with larger decay.
+            data.push(vec![
+                0.1 + 0.05 * (rng.gen::<f64>() - 0.5),
+                0.05 * rng.gen::<f64>(),
+            ]);
+        }
+        data
+    }
+
+    fn families() -> Vec<Family> {
+        vec![Family::Gaussian, Family::Exponential]
+    }
+
+    #[test]
+    fn loglik_is_monotone_nondecreasing() {
+        let data = two_cluster_data(100);
+        let fit = TwoComponentMixture::fit(&families(), &data, &EmConfig::default());
+        for w in fit.log_likelihood.windows(2) {
+            assert!(
+                w[1] >= w[0] - 1e-7,
+                "EM log-likelihood decreased: {} -> {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn separates_obvious_clusters() {
+        let data = two_cluster_data(150);
+        let fit = TwoComponentMixture::fit(&families(), &data, &EmConfig::default());
+        assert!(fit.model.log_odds(&[0.92, 0.9]) > 0.0);
+        assert!(fit.model.log_odds(&[0.08, 0.01]) < 0.0);
+        // Posterior and log-odds agree in sign.
+        assert!(fit.model.posterior_matched(&[0.92, 0.9]) > 0.5);
+        assert!(fit.model.posterior_matched(&[0.08, 0.01]) < 0.5);
+    }
+
+    #[test]
+    fn prior_estimates_mixing_fraction() {
+        // 1/3 matched, 2/3 unmatched.
+        let mut data = Vec::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        for i in 0..300 {
+            if i % 3 == 0 {
+                data.push(vec![0.9 + 0.02 * rng.gen::<f64>(), 1.0]);
+            } else {
+                data.push(vec![0.1 + 0.02 * rng.gen::<f64>(), 0.01]);
+            }
+        }
+        let fit = TwoComponentMixture::fit(&families(), &data, &EmConfig::default());
+        assert!(
+            (fit.model.prior_matched - 1.0 / 3.0).abs() < 0.05,
+            "prior = {}",
+            fit.model.prior_matched
+        );
+    }
+
+    #[test]
+    fn orientation_puts_high_similarity_in_matched() {
+        let data = two_cluster_data(100);
+        let fit = TwoComponentMixture::fit(&families(), &data, &EmConfig::default());
+        let m0 = fit.model.matched[0].mean();
+        let u0 = fit.model.unmatched[0].mean();
+        assert!(m0 > u0, "matched mean {m0} should exceed unmatched {u0}");
+    }
+
+    #[test]
+    fn converges_on_easy_data() {
+        let data = two_cluster_data(100);
+        let fit = TwoComponentMixture::fit(&families(), &data, &EmConfig::default());
+        assert!(fit.converged, "did not converge in {} iters", fit.iterations);
+    }
+
+    #[test]
+    fn multinomial_feature_supported() {
+        // Matched rows have bin 2, unmatched bin 0.
+        let mut data = Vec::new();
+        for i in 0..200 {
+            if i % 2 == 0 {
+                data.push(vec![0.9, 2.0]);
+            } else {
+                data.push(vec![0.1, 0.0]);
+            }
+        }
+        let fams = vec![Family::Gaussian, Family::Multinomial { bins: 3 }];
+        let fit = TwoComponentMixture::fit(&fams, &data, &EmConfig::default());
+        assert!(fit.model.log_odds(&[0.9, 2.0]) > fit.model.log_odds(&[0.9, 0.0]));
+    }
+
+    #[test]
+    fn log_odds_monotone_in_gaussian_feature() {
+        let data = two_cluster_data(100);
+        let fit = TwoComponentMixture::fit(&families(), &data, &EmConfig::default());
+        let lo = fit.model.log_odds(&[0.2, 0.5]);
+        let hi = fit.model.log_odds(&[0.8, 0.5]);
+        assert!(hi > lo);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_data_rejected() {
+        let _ = TwoComponentMixture::fit(&families(), &[], &EmConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn ragged_rows_rejected() {
+        let _ = TwoComponentMixture::fit(
+            &families(),
+            &[vec![1.0, 2.0], vec![1.0]],
+            &EmConfig::default(),
+        );
+    }
+}

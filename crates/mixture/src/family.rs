@@ -1,0 +1,247 @@
+//! Exponential-family distributions with weighted MLEs (Table I).
+
+/// Distribution family for one similarity feature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Real-valued feature, e.g. cosine similarities. `N(μ, σ²)`.
+    Gaussian,
+    /// Non-negative heavy-tailed feature, e.g. count ratios. `Exp(λ)`.
+    Exponential,
+    /// Discrete feature taking values `0..bins` (pre-binned by the caller).
+    Multinomial {
+        /// Number of categories.
+        bins: usize,
+    },
+}
+
+/// Fitted parameters for one feature in one component.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Params {
+    /// Gaussian mean and variance.
+    Gaussian {
+        /// Mean μ.
+        mu: f64,
+        /// Variance σ² (floored during fitting).
+        sigma2: f64,
+    },
+    /// Exponential rate λ.
+    Exponential {
+        /// Rate λ (clamped during fitting).
+        lambda: f64,
+    },
+    /// Multinomial category probabilities (Laplace-smoothed).
+    Multinomial {
+        /// `probs[h] = P(X = h)`; sums to 1.
+        probs: Vec<f64>,
+    },
+}
+
+/// Variance floor: keeps log-densities finite when a component collapses
+/// onto near-identical values.
+const SIGMA2_FLOOR: f64 = 1e-6;
+/// Exponential-rate clamp.
+const LAMBDA_RANGE: (f64, f64) = (1e-6, 1e6);
+/// Laplace smoothing for multinomial cells.
+const ALPHA: f64 = 0.5;
+
+impl Params {
+    /// Log density (or log mass) of `x` under these parameters.
+    ///
+    /// Exponential support is `[0, ∞)`: negative `x` is clamped to 0, which
+    /// only arises from floating-point noise in similarity computation.
+    /// Multinomial `x` is the bin index, rounded.
+    pub fn log_density(&self, x: f64) -> f64 {
+        match self {
+            Params::Gaussian { mu, sigma2 } => {
+                let d = x - mu;
+                -0.5 * (d * d / sigma2) - 0.5 * (2.0 * std::f64::consts::PI * sigma2).ln()
+            }
+            Params::Exponential { lambda } => {
+                let x = x.max(0.0);
+                lambda.ln() - lambda * x
+            }
+            Params::Multinomial { probs } => {
+                let h = (x.round().max(0.0) as usize).min(probs.len().saturating_sub(1));
+                probs[h].ln()
+            }
+        }
+    }
+
+    /// Weighted maximum-likelihood estimate (Table I with `l_j` replaced by
+    /// the E-step responsibility `w_j`). `xs` and `ws` are parallel; weights
+    /// must be non-negative with a positive sum (guarded by the caller).
+    pub fn mle_weighted(family: Family, xs: &[f64], ws: &[f64]) -> Params {
+        debug_assert_eq!(xs.len(), ws.len());
+        let wsum: f64 = ws.iter().sum();
+        match family {
+            Family::Gaussian => {
+                if wsum <= 0.0 {
+                    return Params::Gaussian {
+                        mu: 0.0,
+                        sigma2: SIGMA2_FLOOR,
+                    };
+                }
+                let mu = xs.iter().zip(ws).map(|(&x, &w)| w * x).sum::<f64>() / wsum;
+                let var = xs
+                    .iter()
+                    .zip(ws)
+                    .map(|(&x, &w)| w * (x - mu) * (x - mu))
+                    .sum::<f64>()
+                    / wsum;
+                Params::Gaussian {
+                    mu,
+                    sigma2: var.max(SIGMA2_FLOOR),
+                }
+            }
+            Family::Exponential => {
+                if wsum <= 0.0 {
+                    return Params::Exponential { lambda: 1.0 };
+                }
+                let wx: f64 = xs.iter().zip(ws).map(|(&x, &w)| w * x.max(0.0)).sum();
+                let lambda = if wx > 0.0 { wsum / wx } else { LAMBDA_RANGE.1 };
+                Params::Exponential {
+                    lambda: lambda.clamp(LAMBDA_RANGE.0, LAMBDA_RANGE.1),
+                }
+            }
+            Family::Multinomial { bins } => {
+                let mut counts = vec![ALPHA; bins.max(1)];
+                for (&x, &w) in xs.iter().zip(ws) {
+                    let h = (x.round().max(0.0) as usize).min(bins.saturating_sub(1));
+                    counts[h] += w;
+                }
+                let total: f64 = counts.iter().sum();
+                Params::Multinomial {
+                    probs: counts.into_iter().map(|c| c / total).collect(),
+                }
+            }
+        }
+    }
+
+    /// A location summary used to orient components (matched = higher
+    /// similarity): the mean of the fitted distribution.
+    pub fn mean(&self) -> f64 {
+        match self {
+            Params::Gaussian { mu, .. } => *mu,
+            Params::Exponential { lambda } => 1.0 / lambda,
+            Params::Multinomial { probs } => probs
+                .iter()
+                .enumerate()
+                .map(|(h, p)| h as f64 * p)
+                .sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_mle_matches_sample_moments() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ws = [1.0, 1.0, 1.0, 1.0];
+        let p = Params::mle_weighted(Family::Gaussian, &xs, &ws);
+        if let Params::Gaussian { mu, sigma2 } = p {
+            assert!((mu - 2.5).abs() < 1e-12);
+            assert!((sigma2 - 1.25).abs() < 1e-12);
+        } else {
+            panic!("wrong family");
+        }
+    }
+
+    #[test]
+    fn gaussian_weights_shift_mean() {
+        let xs = [0.0, 10.0];
+        let ws = [3.0, 1.0];
+        let p = Params::mle_weighted(Family::Gaussian, &xs, &ws);
+        if let Params::Gaussian { mu, .. } = p {
+            assert!((mu - 2.5).abs() < 1e-12);
+        } else {
+            panic!("wrong family");
+        }
+    }
+
+    #[test]
+    fn exponential_mle_is_inverse_mean() {
+        let xs = [2.0, 4.0];
+        let ws = [1.0, 1.0];
+        let p = Params::mle_weighted(Family::Exponential, &xs, &ws);
+        if let Params::Exponential { lambda } = p {
+            assert!((lambda - 1.0 / 3.0).abs() < 1e-12);
+        } else {
+            panic!("wrong family");
+        }
+    }
+
+    #[test]
+    fn exponential_all_zero_clamps() {
+        let p = Params::mle_weighted(Family::Exponential, &[0.0, 0.0], &[1.0, 1.0]);
+        if let Params::Exponential { lambda } = p {
+            assert_eq!(lambda, 1e6);
+        } else {
+            panic!("wrong family");
+        }
+    }
+
+    #[test]
+    fn multinomial_mle_smoothed_and_normalised() {
+        let xs = [0.0, 0.0, 1.0];
+        let ws = [1.0, 1.0, 1.0];
+        let p = Params::mle_weighted(Family::Multinomial { bins: 3 }, &xs, &ws);
+        if let Params::Multinomial { probs } = p {
+            assert_eq!(probs.len(), 3);
+            assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            assert!(probs[0] > probs[1]);
+            assert!(probs[2] > 0.0); // smoothing keeps empty cells positive
+        } else {
+            panic!("wrong family");
+        }
+    }
+
+    #[test]
+    fn variance_floor_applies() {
+        let xs = [1.0, 1.0, 1.0];
+        let ws = [1.0, 1.0, 1.0];
+        let p = Params::mle_weighted(Family::Gaussian, &xs, &ws);
+        if let Params::Gaussian { sigma2, .. } = p {
+            assert_eq!(sigma2, 1e-6);
+        } else {
+            panic!("wrong family");
+        }
+    }
+
+    #[test]
+    fn log_densities_are_finite() {
+        let cases = [
+            (Params::Gaussian { mu: 0.0, sigma2: 1e-6 }, 5.0),
+            (Params::Exponential { lambda: 1e6 }, 0.0),
+            (Params::Exponential { lambda: 2.0 }, -0.1), // clamped to 0
+            (
+                Params::Multinomial {
+                    probs: vec![0.5, 0.5],
+                },
+                7.0, // out-of-range bin clamps to last
+            ),
+        ];
+        for (p, x) in cases {
+            assert!(p.log_density(x).is_finite(), "{p:?} at {x}");
+        }
+    }
+
+    #[test]
+    fn gaussian_density_peaks_at_mean() {
+        let p = Params::Gaussian { mu: 2.0, sigma2: 1.0 };
+        assert!(p.log_density(2.0) > p.log_density(3.0));
+        assert!(p.log_density(2.0) > p.log_density(1.0));
+    }
+
+    #[test]
+    fn means_reflect_location() {
+        assert_eq!(Params::Gaussian { mu: 3.0, sigma2: 1.0 }.mean(), 3.0);
+        assert_eq!(Params::Exponential { lambda: 4.0 }.mean(), 0.25);
+        let m = Params::Multinomial {
+            probs: vec![0.0, 1.0],
+        };
+        assert_eq!(m.mean(), 1.0);
+    }
+}

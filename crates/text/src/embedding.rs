@@ -1,0 +1,128 @@
+//! Dense word-embedding storage and vector math.
+
+/// Row-major embedding matrix: one `dim`-length row per word id.
+#[derive(Debug, Clone)]
+pub struct Embeddings {
+    dim: usize,
+    data: Vec<f32>,
+}
+
+impl Embeddings {
+    /// Construct from a flat row-major buffer (`data.len() = words * dim`).
+    pub fn from_flat(dim: usize, data: Vec<f32>) -> Self {
+        assert!(dim > 0, "dim must be positive");
+        assert_eq!(data.len() % dim, 0, "data not a multiple of dim");
+        Self { dim, data }
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// True when no words are stored.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The vector of word `id`.
+    #[inline]
+    pub fn get(&self, id: u32) -> &[f32] {
+        let s = id as usize * self.dim;
+        &self.data[s..s + self.dim]
+    }
+
+    /// Cosine similarity between the vectors of two word ids.
+    pub fn cosine_ids(&self, a: u32, b: u32) -> f64 {
+        cosine(self.get(a), self.get(b))
+    }
+}
+
+/// Cosine similarity of two equal-length vectors; 0.0 if either is zero.
+pub fn cosine(a: &[f32], b: &[f32]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut dot = 0.0f64;
+    let mut na = 0.0f64;
+    let mut nb = 0.0f64;
+    for (&x, &y) in a.iter().zip(b) {
+        dot += x as f64 * y as f64;
+        na += x as f64 * x as f64;
+        nb += y as f64 * y as f64;
+    }
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    (dot / (na.sqrt() * nb.sqrt())).clamp(-1.0, 1.0)
+}
+
+/// Mean of the vectors of `ids` (the "center of all keyword vectors" of
+/// Equation 6). Returns a zero vector when `ids` is empty.
+pub fn centroid(emb: &Embeddings, ids: &[u32]) -> Vec<f32> {
+    let mut out = vec![0.0f32; emb.dim()];
+    if ids.is_empty() {
+        return out;
+    }
+    for &id in ids {
+        for (o, &x) in out.iter_mut().zip(emb.get(id)) {
+            *o += x;
+        }
+    }
+    let inv = 1.0 / ids.len() as f32;
+    for o in &mut out {
+        *o *= inv;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn emb() -> Embeddings {
+        Embeddings::from_flat(2, vec![1.0, 0.0, 0.0, 1.0, -1.0, 0.0, 2.0, 0.0])
+    }
+
+    #[test]
+    fn get_returns_rows() {
+        let e = emb();
+        assert_eq!(e.len(), 4);
+        assert_eq!(e.get(1), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn cosine_basics() {
+        let e = emb();
+        assert!((e.cosine_ids(0, 3) - 1.0).abs() < 1e-12); // parallel
+        assert!((e.cosine_ids(0, 1)).abs() < 1e-12); // orthogonal
+        assert!((e.cosine_ids(0, 2) + 1.0).abs() < 1e-12); // opposite
+    }
+
+    #[test]
+    fn cosine_zero_vector_is_zero() {
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn centroid_averages() {
+        let e = emb();
+        let c = centroid(&e, &[0, 1]);
+        assert_eq!(c, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn centroid_of_empty_is_zero() {
+        let e = emb();
+        assert_eq!(centroid(&e, &[]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of dim")]
+    fn bad_buffer_rejected() {
+        let _ = Embeddings::from_flat(3, vec![1.0; 4]);
+    }
+}

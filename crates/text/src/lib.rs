@@ -1,0 +1,29 @@
+//! Text substrate: tokenisation, vocabulary, TF-IDF, and word embeddings.
+//!
+//! IUAD's research-interest similarities (γ₃, γ₄) need keyword vectors. The
+//! paper uses pre-trained language-model vectors (Word2Vec/GloVe/BERT); with
+//! no model downloads available offline, this crate trains
+//! skip-gram-with-negative-sampling (SGNS) embeddings from scratch on the
+//! corpus titles — functionally the Word2Vec the paper names first. See
+//! DESIGN.md for the substitution note.
+//!
+//! ```
+//! use iuad_text::{tokenize_filtered, Vocab};
+//!
+//! let docs = ["deep graph learning", "graph query processing"];
+//! let vocab = Vocab::build(docs.iter().map(|d| tokenize_filtered(d)));
+//! assert!(vocab.id("graph").is_some());
+//! assert_eq!(vocab.doc_freq(vocab.id("graph").unwrap()), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+mod embedding;
+mod sgns;
+mod tokenize;
+mod vocab;
+
+pub use embedding::{centroid, cosine, Embeddings};
+pub use sgns::{train_sgns, SgnsConfig};
+pub use tokenize::{is_stopword, tokenize, tokenize_filtered};
+pub use vocab::Vocab;

@@ -1,0 +1,222 @@
+//! Skip-gram with negative sampling (Mikolov et al., 2013), from scratch.
+//!
+//! Deliberately small: single-threaded SGD with a linearly decaying learning
+//! rate and a 0.75-power unigram table for negative sampling. Deterministic
+//! given the seed. Training corpora here are title keyword streams — tens of
+//! thousands of short documents — so a simple implementation is fast enough.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::embedding::Embeddings;
+
+/// SGNS hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct SgnsConfig {
+    /// Embedding dimensionality.
+    pub dim: usize,
+    /// Max distance between centre and context word.
+    pub window: usize,
+    /// Negative samples per positive pair.
+    pub negative: usize,
+    /// Full passes over the corpus.
+    pub epochs: usize,
+    /// Initial learning rate (decays linearly to 1e-4 of itself).
+    pub lr: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SgnsConfig {
+    fn default() -> Self {
+        Self {
+            dim: 32,
+            window: 4,
+            negative: 5,
+            epochs: 3,
+            lr: 0.05,
+            seed: 1,
+        }
+    }
+}
+
+#[inline]
+fn sigmoid(x: f32) -> f32 {
+    if x > 8.0 {
+        1.0
+    } else if x < -8.0 {
+        0.0
+    } else {
+        1.0 / (1.0 + (-x).exp())
+    }
+}
+
+/// Train SGNS embeddings over `docs` (documents of word ids drawn from
+/// `0..vocab_size`). Returns the input-vector matrix.
+pub fn train_sgns(docs: &[Vec<u32>], vocab_size: usize, cfg: &SgnsConfig) -> Embeddings {
+    assert!(cfg.dim > 0 && cfg.window > 0, "dim and window must be positive");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Input and output vectors; inputs small-random, outputs zero (standard).
+    let mut w_in: Vec<f32> = (0..vocab_size * cfg.dim)
+        .map(|_| (rng.gen::<f32>() - 0.5) / cfg.dim as f32)
+        .collect();
+    let mut w_out: Vec<f32> = vec![0.0; vocab_size * cfg.dim];
+
+    // Unigram^0.75 table for negative sampling.
+    let mut counts = vec![0u64; vocab_size];
+    for doc in docs {
+        for &w in doc {
+            counts[w as usize] += 1;
+        }
+    }
+    let mut table: Vec<u32> = Vec::with_capacity(1 << 16);
+    let total_pow: f64 = counts.iter().map(|&c| (c as f64).powf(0.75)).sum();
+    if total_pow > 0.0 {
+        for (w, &c) in counts.iter().enumerate() {
+            let share = (c as f64).powf(0.75) / total_pow;
+            let slots = (share * (1 << 16) as f64).ceil() as usize;
+            table.extend(std::iter::repeat_n(w as u32, slots));
+        }
+    }
+    if table.is_empty() {
+        return Embeddings::from_flat(cfg.dim, w_in);
+    }
+
+    let total_tokens: usize = docs.iter().map(Vec::len).sum::<usize>().max(1);
+    let total_steps = (total_tokens * cfg.epochs).max(1);
+    let mut step = 0usize;
+    let mut grad = vec![0.0f32; cfg.dim];
+
+    for _ in 0..cfg.epochs {
+        for doc in docs {
+            for (i, &center) in doc.iter().enumerate() {
+                let lr = cfg.lr
+                    * (1.0 - step as f32 / total_steps as f32).max(1e-4);
+                step += 1;
+                let win = 1 + rng.gen_range(0..cfg.window);
+                let lo = i.saturating_sub(win);
+                let hi = (i + win + 1).min(doc.len());
+                for j in lo..hi {
+                    if j == i {
+                        continue;
+                    }
+                    let context = doc[j] as usize;
+                    let ci = center as usize * cfg.dim;
+                    let vi = &mut w_in[ci..ci + cfg.dim];
+                    grad.iter_mut().for_each(|g| *g = 0.0);
+
+                    // One positive + `negative` sampled updates.
+                    for k in 0..=cfg.negative {
+                        let (target, label) = if k == 0 {
+                            (context, 1.0f32)
+                        } else {
+                            let neg = table[rng.gen_range(0..table.len())] as usize;
+                            if neg == context {
+                                continue;
+                            }
+                            (neg, 0.0)
+                        };
+                        let ti = target * cfg.dim;
+                        let vo = &mut w_out[ti..ti + cfg.dim];
+                        let mut dot = 0.0f32;
+                        for (a, b) in vi.iter().zip(vo.iter()) {
+                            dot += a * b;
+                        }
+                        let g = (label - sigmoid(dot)) * lr;
+                        for ((gr, o), inp) in grad.iter_mut().zip(vo.iter_mut()).zip(vi.iter()) {
+                            *gr += g * *o;
+                            *o += g * *inp;
+                        }
+                    }
+                    for (inp, gr) in vi.iter_mut().zip(&grad) {
+                        *inp += *gr;
+                    }
+                }
+            }
+        }
+    }
+    Embeddings::from_flat(cfg.dim, w_in)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embedding::cosine;
+
+    /// Two disjoint topic vocabularies; words co-occur only within a topic.
+    fn topic_corpus(seed: u64) -> Vec<Vec<u32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut docs = Vec::new();
+        for _ in 0..400 {
+            let topic = rng.gen_range(0..2u32);
+            let base = topic * 8;
+            let len = rng.gen_range(4..9);
+            docs.push((0..len).map(|_| base + rng.gen_range(0..8)).collect());
+        }
+        docs
+    }
+
+    #[test]
+    fn same_topic_words_closer_than_cross_topic() {
+        let docs = topic_corpus(3);
+        let emb = train_sgns(
+            &docs,
+            16,
+            &SgnsConfig {
+                dim: 16,
+                epochs: 8,
+                ..Default::default()
+            },
+        );
+        // Average within-topic vs cross-topic cosine.
+        let mut within = 0.0;
+        let mut cross = 0.0;
+        let mut n_within = 0;
+        let mut n_cross = 0;
+        for a in 0..16u32 {
+            for b in (a + 1)..16 {
+                let c = cosine(emb.get(a), emb.get(b));
+                if (a < 8) == (b < 8) {
+                    within += c;
+                    n_within += 1;
+                } else {
+                    cross += c;
+                    n_cross += 1;
+                }
+            }
+        }
+        let within = within / n_within as f64;
+        let cross = cross / n_cross as f64;
+        assert!(
+            within > cross + 0.2,
+            "within {within:.3} should exceed cross {cross:.3}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let docs = topic_corpus(5);
+        let cfg = SgnsConfig {
+            dim: 8,
+            epochs: 1,
+            ..Default::default()
+        };
+        let a = train_sgns(&docs, 16, &cfg);
+        let b = train_sgns(&docs, 16, &cfg);
+        assert_eq!(a.get(3), b.get(3));
+    }
+
+    #[test]
+    fn empty_corpus_returns_random_init() {
+        let emb = train_sgns(&[], 4, &SgnsConfig::default());
+        assert_eq!(emb.len(), 4);
+    }
+
+    #[test]
+    fn sigmoid_saturates() {
+        assert_eq!(sigmoid(100.0), 1.0);
+        assert_eq!(sigmoid(-100.0), 0.0);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-6);
+    }
+}

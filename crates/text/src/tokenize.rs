@@ -1,0 +1,93 @@
+//! Tokenisation and stop words.
+
+/// English stop words plus academic filler; keywords are what's left of a
+/// title after removing these (§V-B2: "the stop words or the frequent words
+/// in paper titles are excluded").
+const STOPWORDS: &[&str] = &[
+    "a", "an", "analysis", "and", "approach", "are", "as", "at", "based",
+    "be", "by", "design", "effective", "efficient", "evaluation", "for",
+    "framework", "from", "in", "into", "is", "its", "method", "methods",
+    "model", "models", "new", "novel", "of", "on", "or", "our", "over",
+    "study", "system", "systems", "the", "to", "towards", "under", "using",
+    "via", "we", "with",
+];
+
+/// True if `word` (already lowercase) is a stop word.
+pub fn is_stopword(word: &str) -> bool {
+    STOPWORDS.binary_search(&word).is_ok()
+}
+
+/// Split `text` into lowercase alphanumeric tokens. Punctuation separates
+/// tokens; digits are kept (venue/topic words may contain them).
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            for lc in ch.to_lowercase() {
+                cur.push(lc);
+            }
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// [`tokenize`] then drop stop words.
+pub fn tokenize_filtered(text: &str) -> Vec<String> {
+    tokenize(text)
+        .into_iter()
+        .filter(|w| !is_stopword(w))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopword_table_is_sorted() {
+        // binary_search requires it.
+        let mut sorted = STOPWORDS.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, STOPWORDS);
+    }
+
+    #[test]
+    fn tokenize_splits_on_punctuation() {
+        assert_eq!(
+            tokenize("Graph-based Entity_Resolution, 2021!"),
+            vec!["graph", "based", "entity", "resolution", "2021"]
+        );
+    }
+
+    #[test]
+    fn tokenize_lowercases() {
+        assert_eq!(tokenize("Deep LEARNING"), vec!["deep", "learning"]);
+    }
+
+    #[test]
+    fn filtered_drops_stopwords() {
+        assert_eq!(
+            tokenize_filtered("a novel approach to graph learning"),
+            vec!["graph", "learning"]
+        );
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize(" ,;- ").is_empty());
+    }
+
+    #[test]
+    fn stopword_membership() {
+        assert!(is_stopword("the"));
+        assert!(is_stopword("via"));
+        assert!(!is_stopword("graph"));
+    }
+}

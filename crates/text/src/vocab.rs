@@ -1,0 +1,163 @@
+//! Vocabulary: word ↔ id mapping with corpus statistics.
+
+use rustc_hash::FxHashMap;
+
+/// An interning vocabulary with term counts and document frequencies.
+#[derive(Debug, Clone, Default)]
+pub struct Vocab {
+    words: Vec<String>,
+    index: FxHashMap<String, u32>,
+    term_count: Vec<u64>,
+    doc_freq: Vec<u32>,
+    num_docs: u32,
+}
+
+impl Vocab {
+    /// Build from tokenised documents.
+    pub fn build<D, W>(docs: D) -> Self
+    where
+        D: IntoIterator<Item = W>,
+        W: IntoIterator<Item = String>,
+    {
+        let mut v = Vocab::default();
+        let mut seen_in_doc: Vec<u32> = Vec::new();
+        for doc in docs {
+            v.num_docs += 1;
+            seen_in_doc.clear();
+            for word in doc {
+                let id = v.intern(word);
+                v.term_count[id as usize] += 1;
+                if !seen_in_doc.contains(&id) {
+                    seen_in_doc.push(id);
+                    v.doc_freq[id as usize] += 1;
+                }
+            }
+        }
+        v
+    }
+
+    fn intern(&mut self, word: String) -> u32 {
+        if let Some(&id) = self.index.get(&word) {
+            return id;
+        }
+        let id = self.words.len() as u32;
+        self.index.insert(word.clone(), id);
+        self.words.push(word);
+        self.term_count.push(0);
+        self.doc_freq.push(0);
+        id
+    }
+
+    /// Convert a tokenised document into word ids, skipping unknown words.
+    pub fn encode<'a, I: IntoIterator<Item = &'a str>>(&self, doc: I) -> Vec<u32> {
+        doc.into_iter().filter_map(|w| self.id(w)).collect()
+    }
+
+    /// Id of `word`, if known.
+    pub fn id(&self, word: &str) -> Option<u32> {
+        self.index.get(word).copied()
+    }
+
+    /// Word for `id`.
+    pub fn word(&self, id: u32) -> &str {
+        &self.words[id as usize]
+    }
+
+    /// Number of distinct words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True when no words were seen.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Total occurrences of `id` across the corpus.
+    pub fn term_count(&self, id: u32) -> u64 {
+        self.term_count[id as usize]
+    }
+
+    /// Number of documents containing `id`.
+    pub fn doc_freq(&self, id: u32) -> u32 {
+        self.doc_freq[id as usize]
+    }
+
+    /// Number of documents the vocabulary was built from.
+    pub fn num_docs(&self) -> u32 {
+        self.num_docs
+    }
+
+    /// Smoothed IDF: `ln(1 + N / df)`.
+    pub fn idf(&self, id: u32) -> f64 {
+        let df = self.doc_freq(id).max(1) as f64;
+        (1.0 + self.num_docs as f64 / df).ln()
+    }
+
+    /// True if the word appears in more than `fraction` of documents —
+    /// the "frequent words" the paper excludes from keywords.
+    pub fn is_frequent(&self, id: u32, fraction: f64) -> bool {
+        self.num_docs > 0 && self.doc_freq(id) as f64 / self.num_docs as f64 > fraction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vocab() -> Vocab {
+        let docs: Vec<Vec<String>> = vec![
+            vec!["graph".into(), "learning".into(), "graph".into()],
+            vec!["graph".into(), "query".into()],
+            vec!["storage".into()],
+        ];
+        Vocab::build(docs)
+    }
+
+    #[test]
+    fn ids_are_dense_and_stable() {
+        let v = vocab();
+        assert_eq!(v.len(), 4);
+        let g = v.id("graph").unwrap();
+        assert_eq!(v.word(g), "graph");
+    }
+
+    #[test]
+    fn counts_and_doc_freqs() {
+        let v = vocab();
+        let g = v.id("graph").unwrap();
+        assert_eq!(v.term_count(g), 3); // twice in doc 0, once in doc 1
+        assert_eq!(v.doc_freq(g), 2); // in 2 documents
+        assert_eq!(v.num_docs(), 3);
+    }
+
+    #[test]
+    fn idf_orders_rare_above_common() {
+        let v = vocab();
+        let g = v.id("graph").unwrap();
+        let s = v.id("storage").unwrap();
+        assert!(v.idf(s) > v.idf(g));
+    }
+
+    #[test]
+    fn encode_skips_unknown() {
+        let v = vocab();
+        let ids = v.encode(["graph", "unknown", "query"]);
+        assert_eq!(ids.len(), 2);
+    }
+
+    #[test]
+    fn frequent_detection() {
+        let v = vocab();
+        let g = v.id("graph").unwrap();
+        assert!(v.is_frequent(g, 0.5)); // 2/3 > 0.5
+        assert!(!v.is_frequent(g, 0.7));
+    }
+
+    #[test]
+    fn empty_vocab() {
+        let v = Vocab::build(Vec::<Vec<String>>::new());
+        assert!(v.is_empty());
+        assert_eq!(v.num_docs(), 0);
+    }
+}

@@ -1,0 +1,78 @@
+//! "Who's who": pick the most ambiguous name in the corpus and print the
+//! distinct authors IUAD reconstructs for it, with their papers, venues,
+//! and active years — the intro's "searching Wei Wang returns 224 entries"
+//! scenario.
+//!
+//! ```sh
+//! cargo run --release --example whos_who
+//! ```
+
+use iuad_suite::core::{Iuad, IuadConfig};
+use iuad_suite::corpus::{select_test_names, Corpus, CorpusConfig};
+
+fn main() {
+    let corpus = Corpus::generate(&CorpusConfig {
+        num_authors: 400,
+        num_papers: 1600,
+        seed: 29,
+        ..Default::default()
+    });
+    let test = select_test_names(&corpus, 2, 3, 1);
+    let target = &test.names[0];
+    println!(
+        "most ambiguous name: \"{}\" — {} true authors, {} papers\n",
+        target.name_string,
+        target.authors.len(),
+        target.num_papers
+    );
+
+    let iuad = Iuad::fit(&corpus, &IuadConfig::default());
+
+    // Group this name's mentions by predicted author cluster.
+    let mentions = corpus.mentions_of_name(target.name);
+    let mut clusters: std::collections::BTreeMap<usize, Vec<_>> = Default::default();
+    for m in &mentions {
+        let cluster = iuad.network.assignment[m].index();
+        clusters.entry(cluster).or_default().push(*m);
+    }
+
+    println!(
+        "IUAD reconstructs {} distinct \"{}\"s:",
+        clusters.len(),
+        target.name_string
+    );
+    for (i, (_, ms)) in clusters.iter().enumerate() {
+        let mut venues: Vec<&str> = ms
+            .iter()
+            .map(|m| corpus.venue_strings[corpus.paper(m.paper).venue.index()].as_str())
+            .collect();
+        venues.sort_unstable();
+        venues.dedup();
+        let years: Vec<u16> = ms.iter().map(|m| corpus.paper(m.paper).year).collect();
+        let (y0, y1) = (
+            years.iter().min().copied().unwrap_or(0),
+            years.iter().max().copied().unwrap_or(0),
+        );
+        // Majority ground-truth author for an honesty check.
+        let mut truth_counts: std::collections::BTreeMap<u32, usize> = Default::default();
+        for m in ms {
+            *truth_counts.entry(corpus.truth_of(*m).0).or_default() += 1;
+        }
+        let purity = truth_counts.values().max().copied().unwrap_or(0) as f64 / ms.len() as f64;
+        println!(
+            "  author #{:<2} {} papers, active {}-{}, venues: {}  (cluster purity {:.0}%)",
+            i + 1,
+            ms.len(),
+            y0,
+            y1,
+            venues.join(", "),
+            purity * 100.0
+        );
+        for m in ms.iter().take(3) {
+            println!("      - {}", corpus.paper(m.paper).title);
+        }
+        if ms.len() > 3 {
+            println!("      … and {} more", ms.len() - 3);
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Umbrella crate for the IUAD reproduction workspace.
+//!
+//! This crate re-exports the public API of every member crate so that
+//! examples and integration tests can use a single dependency. Library
+//! consumers should depend on the individual crates (`iuad-core`,
+//! `iuad-corpus`, ...) directly.
+
+pub use iuad_baselines as baselines;
+pub use iuad_cluster as cluster;
+pub use iuad_core as core;
+pub use iuad_corpus as corpus;
+pub use iuad_ensemble as ensemble;
+pub use iuad_eval as eval;
+pub use iuad_fpgrowth as fpgrowth;
+pub use iuad_graph as graph;
+pub use iuad_mixture as mixture;
+pub use iuad_text as text;

@@ -1,0 +1,144 @@
+//! Cross-crate integration tests: the full IUAD pipeline against the
+//! baselines on one shared corpus, exercising every public API together.
+
+use iuad_suite::baselines::{Aminer, Anon, BaselineContext, Disambiguator, Ghost, NetE};
+use iuad_suite::core::{Iuad, IuadConfig};
+use iuad_suite::corpus::{select_test_names, Corpus, CorpusConfig};
+use iuad_suite::eval::{pairwise_confusion, Confusion, Metrics};
+
+fn corpus() -> Corpus {
+    Corpus::generate(&CorpusConfig {
+        num_authors: 500,
+        num_papers: 2_000,
+        seed: 77,
+        ..Default::default()
+    })
+}
+
+fn eval_disambiguator(c: &Corpus, d: &dyn Disambiguator) -> Metrics {
+    let test = select_test_names(c, 2, 3, 30);
+    let mut conf = Confusion::default();
+    for row in &test.names {
+        let mentions = c.mentions_of_name(row.name);
+        let truth: Vec<u32> = mentions.iter().map(|m| c.truth_of(*m).0).collect();
+        let pred = d.disambiguate(c, row.name, &mentions);
+        conf.add(pairwise_confusion(&pred, &truth));
+    }
+    conf.metrics()
+}
+
+fn eval_iuad(c: &Corpus, iuad: &Iuad) -> Metrics {
+    let test = select_test_names(c, 2, 3, 30);
+    let mut conf = Confusion::default();
+    for row in &test.names {
+        let mentions = c.mentions_of_name(row.name);
+        let truth: Vec<u32> = mentions.iter().map(|m| c.truth_of(*m).0).collect();
+        let pred = iuad.labels_of_name(c, row.name);
+        conf.add(pairwise_confusion(&pred, &truth));
+    }
+    conf.metrics()
+}
+
+#[test]
+fn iuad_beats_structure_only_and_naive_baselines() {
+    let c = corpus();
+    let iuad = Iuad::fit(&c, &IuadConfig::default());
+    let m_iuad = eval_iuad(&c, &iuad);
+
+    let ctx = BaselineContext::build(&c, 16, 9);
+    let m_ghost = eval_disambiguator(&c, &Ghost::new(&ctx));
+    let m_aminer = eval_disambiguator(&c, &Aminer::new(&ctx));
+
+    assert!(
+        m_iuad.f1 > m_ghost.f1,
+        "IUAD {} should beat GHOST {}",
+        m_iuad.f1,
+        m_ghost.f1
+    );
+    assert!(
+        m_iuad.f1 > m_aminer.f1,
+        "IUAD {} should beat Aminer {}",
+        m_iuad.f1,
+        m_aminer.f1
+    );
+    assert!(m_iuad.f1 > 0.6, "IUAD absolute quality: {m_iuad}");
+}
+
+#[test]
+fn all_baselines_produce_valid_partitions() {
+    let c = corpus();
+    let ctx = BaselineContext::build(&c, 16, 9);
+    let anon = Anon::new(&ctx);
+    let nete = NetE::new(&ctx);
+    let aminer = Aminer::new(&ctx);
+    let ghost = Ghost::new(&ctx);
+    let baselines: Vec<&dyn Disambiguator> = vec![&anon, &nete, &aminer, &ghost];
+    let test = select_test_names(&c, 2, 3, 10);
+    for d in baselines {
+        for row in &test.names {
+            let mentions = c.mentions_of_name(row.name);
+            let labels = d.disambiguate(&c, row.name, &mentions);
+            assert_eq!(labels.len(), mentions.len(), "{}", d.label());
+            // Dense labels.
+            let k = labels.iter().max().map_or(0, |&m| m + 1);
+            let mut seen = vec![false; k];
+            labels.iter().for_each(|&l| seen[l] = true);
+            assert!(seen.into_iter().all(|s| s), "{} labels not dense", d.label());
+        }
+    }
+}
+
+#[test]
+fn pipeline_stage2_never_decreases_recall() {
+    let c = corpus();
+    let iuad = Iuad::fit(&c, &IuadConfig::default());
+    let test = select_test_names(&c, 2, 3, 30);
+    let stage1 = iuad.stage1_assignments();
+    let mut conf1 = Confusion::default();
+    let mut conf2 = Confusion::default();
+    for row in &test.names {
+        let mentions = c.mentions_of_name(row.name);
+        let truth: Vec<u32> = mentions.iter().map(|m| c.truth_of(*m).0).collect();
+        let p1: Vec<usize> = mentions.iter().map(|m| stage1[m]).collect();
+        let p2 = iuad.labels_of_name(&c, row.name);
+        conf1.add(pairwise_confusion(&p1, &truth));
+        conf2.add(pairwise_confusion(&p2, &truth));
+    }
+    let (m1, m2) = (conf1.metrics(), conf2.metrics());
+    assert!(
+        m2.recall >= m1.recall,
+        "stage 2 lowered recall: {} -> {}",
+        m1.recall,
+        m2.recall
+    );
+    assert!(m1.precision > 0.75, "SCN precision too low: {m1}");
+}
+
+#[test]
+fn incremental_stream_matches_network_growth() {
+    let full = corpus();
+    let (base, tail) = full.split_tail(40);
+    let mut iuad = Iuad::fit(&base, &IuadConfig::default());
+    let vertices_before = iuad.network.graph.num_vertices();
+    let mut new_vertices = 0usize;
+    for (paper, _) in &tail {
+        for slot in 0..paper.authors.len() {
+            let d = iuad.disambiguate(paper, slot);
+            if matches!(d, iuad_suite::core::Decision::NewAuthor { .. }) {
+                new_vertices += 1;
+            }
+            iuad.absorb(paper, slot, d);
+        }
+    }
+    assert_eq!(
+        iuad.network.graph.num_vertices(),
+        vertices_before + new_vertices
+    );
+    // Every streamed mention is assigned.
+    for (paper, _) in &tail {
+        for slot in 0..paper.authors.len() {
+            let m = iuad_suite::corpus::Mention::new(paper.id, slot);
+            assert!(iuad.network.assignment.contains_key(&m));
+        }
+    }
+}

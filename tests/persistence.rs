@@ -1,0 +1,63 @@
+//! Persistence and determinism integration tests: a corpus written to disk
+//! and reloaded must drive the pipeline to identical results.
+
+use iuad_suite::core::{Iuad, IuadConfig};
+use iuad_suite::corpus::{load_jsonl, save_jsonl, Corpus, CorpusConfig};
+
+#[test]
+fn pipeline_is_identical_after_corpus_roundtrip() {
+    let c = Corpus::generate(&CorpusConfig {
+        num_authors: 200,
+        num_papers: 800,
+        seed: 31,
+        ..Default::default()
+    });
+    let dir = std::env::temp_dir().join("iuad-suite-persistence");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("corpus.jsonl");
+    save_jsonl(&c, &path).unwrap();
+    let reloaded = load_jsonl(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    let a = Iuad::fit(&c, &IuadConfig::default());
+    let b = Iuad::fit(&reloaded, &IuadConfig::default());
+    assert_eq!(a.assignments(), b.assignments());
+    assert_eq!(a.scn.scrs, b.scn.scrs);
+    assert_eq!(a.gcn.num_clusters, b.gcn.num_clusters);
+}
+
+#[test]
+fn prefix_subsampling_preserves_determinism() {
+    let c = Corpus::generate(&CorpusConfig {
+        num_authors: 200,
+        num_papers: 800,
+        seed: 32,
+        ..Default::default()
+    });
+    let p1 = c.prefix(400);
+    let p2 = c.prefix(400);
+    assert_eq!(p1.papers, p2.papers);
+    let a = Iuad::fit(&p1, &IuadConfig::default());
+    let b = Iuad::fit(&p2, &IuadConfig::default());
+    assert_eq!(a.assignments(), b.assignments());
+}
+
+#[test]
+fn config_changes_change_results() {
+    let c = Corpus::generate(&CorpusConfig {
+        num_authors: 200,
+        num_papers: 800,
+        seed: 33,
+        ..Default::default()
+    });
+    let base = Iuad::fit(&c, &IuadConfig::default());
+    let high_eta = Iuad::fit(
+        &c,
+        &IuadConfig {
+            eta: 4,
+            ..Default::default()
+        },
+    );
+    // Higher η mines fewer stable relations.
+    assert!(high_eta.scn.scrs.len() < base.scn.scrs.len());
+}

@@ -1,0 +1,171 @@
+//! Property-based tests over the core data structures and invariants,
+//! spanning crates (proptest).
+
+use proptest::prelude::*;
+
+use iuad_suite::cluster::{densify_labels, hac, Linkage};
+use iuad_suite::corpus::{Corpus, CorpusConfig};
+use iuad_suite::eval::pairwise_confusion;
+use iuad_suite::fpgrowth::{apriori, canonicalize, pairs::pair_counts, FpGrowth};
+use iuad_suite::graph::UnionFind;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// FP-growth and Apriori agree on arbitrary transaction databases.
+    #[test]
+    fn fpgrowth_matches_apriori(
+        txs in prop::collection::vec(
+            prop::collection::btree_set(0u32..10, 1..5),
+            1..20,
+        ),
+        min_support in 1u32..4,
+    ) {
+        let txs: Vec<Vec<u32>> = txs
+            .into_iter()
+            .map(|t| t.into_iter().collect())
+            .collect();
+        let fp = canonicalize(FpGrowth::new(min_support).mine(&txs));
+        let ap = canonicalize(apriori(&txs, min_support));
+        prop_assert_eq!(fp, ap);
+    }
+
+    /// Pair counting agrees with the general miner restricted to pairs.
+    #[test]
+    fn pair_counts_match_fpgrowth(
+        txs in prop::collection::vec(
+            prop::collection::btree_set(0u32..8, 1..5),
+            1..15,
+        ),
+    ) {
+        let txs: Vec<Vec<u32>> = txs
+            .into_iter()
+            .map(|t| t.into_iter().collect())
+            .collect();
+        let counts = pair_counts(txs.iter().map(|t| t.as_slice()));
+        let mined: Vec<_> = FpGrowth::new(1)
+            .with_max_len(2)
+            .mine(&txs)
+            .into_iter()
+            .filter(|(i, _)| i.len() == 2)
+            .collect();
+        prop_assert_eq!(counts.len(), mined.len());
+        for (items, support) in mined {
+            prop_assert_eq!(counts[&(items[0], items[1])], support);
+        }
+    }
+
+    /// Pairwise confusion counts always partition C(n,2).
+    #[test]
+    fn confusion_partitions_pairs(
+        labels in prop::collection::vec((0usize..4, 0usize..4), 0..30),
+    ) {
+        let pred: Vec<usize> = labels.iter().map(|&(p, _)| p).collect();
+        let truth: Vec<usize> = labels.iter().map(|&(_, t)| t).collect();
+        let c = pairwise_confusion(&pred, &truth);
+        let n = labels.len() as u64;
+        prop_assert_eq!(c.total(), n * n.saturating_sub(1) / 2);
+        let m = c.metrics();
+        prop_assert!((0.0..=1.0).contains(&m.accuracy));
+        prop_assert!((0.0..=1.0).contains(&m.precision));
+        prop_assert!((0.0..=1.0).contains(&m.recall));
+        prop_assert!((0.0..=1.0).contains(&m.f1));
+    }
+
+    /// Union-find agrees with a brute-force reference partition.
+    #[test]
+    fn union_find_matches_reference(
+        unions in prop::collection::vec((0usize..12, 0usize..12), 0..30),
+    ) {
+        let n = 12;
+        let mut uf = UnionFind::new(n);
+        // Reference: label propagation to fixpoint.
+        let mut label: Vec<usize> = (0..n).collect();
+        for &(a, b) in &unions {
+            uf.union(a, b);
+            let (la, lb) = (label[a], label[b]);
+            if la != lb {
+                for l in label.iter_mut() {
+                    if *l == lb {
+                        *l = la;
+                    }
+                }
+            }
+        }
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert_eq!(uf.same(i, j), label[i] == label[j], "{} {}", i, j);
+            }
+        }
+        let distinct: std::collections::BTreeSet<usize> = label.into_iter().collect();
+        prop_assert_eq!(uf.num_components(), distinct.len());
+    }
+
+    /// HAC threshold monotonicity: a larger threshold yields a coarser
+    /// partition (fewer or equal clusters) on any point set.
+    #[test]
+    fn hac_threshold_monotone(
+        points in prop::collection::vec(0.0f64..100.0, 2..20),
+        t1 in 0.0f64..10.0,
+        extra in 0.1f64..10.0,
+    ) {
+        let t2 = t1 + extra;
+        let count = |threshold: f64| {
+            let labels = hac(
+                points.len(),
+                |i, j| (points[i] - points[j]).abs(),
+                Linkage::Single,
+                threshold,
+            );
+            labels.iter().copied().collect::<std::collections::BTreeSet<_>>().len()
+        };
+        prop_assert!(count(t2) <= count(t1));
+    }
+
+    /// Densified labels are always 0..k with every value used.
+    #[test]
+    fn densify_labels_dense(labels in prop::collection::vec(0usize..50, 0..40)) {
+        let d = densify_labels(&labels);
+        prop_assert_eq!(d.len(), labels.len());
+        let k = d.iter().max().map_or(0, |&m| m + 1);
+        let mut seen = vec![false; k];
+        for &l in &d {
+            seen[l] = true;
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+        // Same-label inputs stay same-label.
+        for i in 0..labels.len() {
+            for j in 0..labels.len() {
+                prop_assert_eq!(labels[i] == labels[j], d[i] == d[j]);
+            }
+        }
+    }
+
+    /// Generated corpora are always internally consistent, and SCN mention
+    /// assignment is a partition, for arbitrary small configurations.
+    #[test]
+    fn corpus_and_scn_invariants(
+        authors in 30usize..120,
+        papers in 50usize..300,
+        seed in 0u64..1000,
+        eta in 2u32..4,
+    ) {
+        let c = Corpus::generate(&CorpusConfig {
+            num_authors: authors,
+            num_papers: papers,
+            seed,
+            ..Default::default()
+        });
+        prop_assert_eq!(c.validate(), Ok(()));
+        let scn = iuad_suite::core::Scn::build(&c, eta);
+        prop_assert_eq!(scn.assignment.len(), c.num_mentions());
+        let total: usize = scn.graph.vertices().map(|(_, v)| v.mentions.len()).sum();
+        prop_assert_eq!(total, c.num_mentions());
+        // Vertices are name-pure.
+        for (_, payload) in scn.graph.vertices() {
+            for m in &payload.mentions {
+                prop_assert_eq!(c.name_of(*m), payload.name);
+            }
+        }
+    }
+}
