@@ -1,0 +1,30 @@
+# Local entrypoints mirroring .github/workflows/ci.yml — keep the two in
+# sync so "it passes locally" means "it passes in CI".
+
+.PHONY: build test lint fmt bench bench-smoke repro all
+
+all: build test lint
+
+build:
+	cargo build --release
+
+test:
+	cargo test -q
+
+fmt:
+	cargo fmt --check
+
+lint: fmt
+	cargo clippy --workspace --all-targets -- -D warnings
+
+# Full criterion measurements (slow).
+bench:
+	cargo bench -p iuad-bench
+
+# What the scheduled CI job runs: compile benches, one quick pass, no stats.
+bench-smoke:
+	cargo bench -p iuad-bench -- --test
+
+# Regenerate the paper's tables and figures.
+repro:
+	cargo run --release -p iuad-bench --bin repro -- all

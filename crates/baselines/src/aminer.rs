@@ -80,11 +80,8 @@ mod tests {
             let mentions = c.mentions_of_name(row.name);
             for i in 0..mentions.len() {
                 for j in (i + 1)..mentions.len() {
-                    let jac = ctx.coauthor_jaccard(
-                        mentions[i].paper,
-                        mentions[j].paper,
-                        row.name.0,
-                    );
+                    let jac =
+                        ctx.coauthor_jaccard(mentions[i].paper, mentions[j].paper, row.name.0);
                     if jac > 0.5 {
                         // Dist with shared co-authors ≤ dist of the same
                         // titles without them (local term shrinks).

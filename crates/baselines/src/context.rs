@@ -94,7 +94,10 @@ impl BaselineContext {
         let mut papers_of_name: FxHashMap<u32, Vec<PaperId>> = FxHashMap::default();
         for (pid, names) in coauthor_names.iter().enumerate() {
             for &n in names {
-                papers_of_name.entry(n).or_default().push(PaperId::from(pid));
+                papers_of_name
+                    .entry(n)
+                    .or_default()
+                    .push(PaperId::from(pid));
             }
         }
 
@@ -128,14 +131,8 @@ impl BaselineContext {
     /// Jaccard similarity of two papers' co-author sets, excluding the
     /// target name itself.
     pub fn coauthor_jaccard(&self, a: PaperId, b: PaperId, excluding: u32) -> f64 {
-        let sa: FxHashSet<u32> = self
-            .coauthors_excluding(a, excluding)
-            .into_iter()
-            .collect();
-        let sb: FxHashSet<u32> = self
-            .coauthors_excluding(b, excluding)
-            .into_iter()
-            .collect();
+        let sa: FxHashSet<u32> = self.coauthors_excluding(a, excluding).into_iter().collect();
+        let sb: FxHashSet<u32> = self.coauthors_excluding(b, excluding).into_iter().collect();
         if sa.is_empty() && sb.is_empty() {
             return 0.0;
         }

@@ -53,7 +53,15 @@ pub fn pair_features(
         0.0
     };
     let year_gap = (corpus.papers[pa].year as f64 - corpus.papers[pb].year as f64).abs();
-    vec![jac, shared, title_cos, dice, same_venue, venue_rarity, year_gap]
+    vec![
+        jac,
+        shared,
+        title_cos,
+        dice,
+        same_venue,
+        venue_rarity,
+        year_gap,
+    ]
 }
 
 #[cfg(test)]

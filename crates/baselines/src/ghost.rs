@@ -34,11 +34,7 @@ impl<'a> Ghost<'a> {
     /// prescribes.
     fn similarity(&self, a: PaperId, b: PaperId, name: u32) -> f64 {
         let ca = self.ctx.coauthors_excluding(a, name);
-        let cb: FxHashSet<u32> = self
-            .ctx
-            .coauthors_excluding(b, name)
-            .into_iter()
-            .collect();
+        let cb: FxHashSet<u32> = self.ctx.coauthors_excluding(b, name).into_iter().collect();
         if ca.is_empty() || cb.is_empty() {
             return 0.0;
         }
@@ -118,11 +114,9 @@ mod tests {
             let mentions = c.mentions_of_name(row.name);
             for i in 0..mentions.len() {
                 for j in (i + 1)..mentions.len() {
-                    if ctx.coauthor_jaccard(mentions[i].paper, mentions[j].paper, row.name.0)
-                        > 0.0
+                    if ctx.coauthor_jaccard(mentions[i].paper, mentions[j].paper, row.name.0) > 0.0
                     {
-                        let s =
-                            g.similarity(mentions[i].paper, mentions[j].paper, row.name.0);
+                        let s = g.similarity(mentions[i].paper, mentions[j].paper, row.name.0);
                         assert!(s > 0.0);
                         found = true;
                         break 'outer;

@@ -211,7 +211,10 @@ mod tests {
         let pos = ys.iter().filter(|&&y| y).count();
         let neg = ys.len() - pos;
         assert!(pos > 0 && neg > 0);
-        assert!(pos <= neg.max(1) * 2 && neg <= pos.max(1) * 2, "{pos} vs {neg}");
+        assert!(
+            pos <= neg.max(1) * 2 && neg <= pos.max(1) * 2,
+            "{pos} vs {neg}"
+        );
     }
 
     #[test]

@@ -30,10 +30,10 @@ fn bench_mining(c: &mut Criterion) {
     for papers in [1_000usize, 3_000] {
         let lists = name_lists(papers);
         group.bench_function(format!("frequent_pairs/{papers}"), |b| {
-            b.iter(|| frequent_pairs(lists.iter().map(|l| l.as_slice()), black_box(2)))
+            b.iter(|| frequent_pairs(lists.iter().map(Vec::as_slice), black_box(2)));
         });
         group.bench_function(format!("fpgrowth_full/{papers}"), |b| {
-            b.iter(|| FpGrowth::new(2).with_max_len(3).mine(black_box(&lists)))
+            b.iter(|| FpGrowth::new(2).with_max_len(3).mine(black_box(&lists)));
         });
     }
     group.finish();

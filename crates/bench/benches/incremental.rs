@@ -26,7 +26,7 @@ fn bench_incremental(c: &mut Criterion) {
             for slot in 0..paper.authors.len() {
                 black_box(iuad.disambiguate(paper, slot));
             }
-        })
+        });
     });
     group.finish();
 }

@@ -2,7 +2,7 @@
 //! Tables III/IV).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use iuad_core::{Iuad, IuadConfig};
+use iuad_core::{Iuad, IuadConfig, ParallelConfig};
 use iuad_corpus::{Corpus, CorpusConfig};
 
 fn bench_pipeline(c: &mut Criterion) {
@@ -15,10 +15,42 @@ fn bench_pipeline(c: &mut Criterion) {
     let mut group = c.benchmark_group("pipeline");
     group.sample_size(10);
     group.bench_function("iuad_fit/1200", |b| {
-        b.iter(|| Iuad::fit(black_box(&corpus), &IuadConfig::default()))
+        b.iter(|| Iuad::fit(black_box(&corpus), &IuadConfig::default()));
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_pipeline);
+/// The fan-out speedup of `Iuad::fit` (same seeded corpus, 1 thread vs all
+/// cores); the determinism test asserts the outputs are identical.
+fn bench_pipeline_parallel(c: &mut Criterion) {
+    let corpus = Corpus::generate(&CorpusConfig {
+        num_authors: 600,
+        num_papers: 2_400,
+        seed: 42,
+        ..Default::default()
+    });
+    let mut group = c.benchmark_group("pipeline_parallel");
+    group.sample_size(10);
+    for threads in [1usize, 0] {
+        let cfg = IuadConfig {
+            parallel: ParallelConfig {
+                threads,
+                chunk_size: 0,
+            },
+            ..Default::default()
+        };
+        let resolved = cfg.parallel.resolved_threads();
+        if threads == 0 && resolved == 1 {
+            // Single-core machine: the all-cores case would duplicate the
+            // threads-1 benchmark ID.
+            continue;
+        }
+        group.bench_function(format!("iuad_fit/threads-{resolved}"), |b| {
+            b.iter(|| Iuad::fit(black_box(&corpus), &cfg));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_pipeline_parallel);
 criterion_main!(benches);

@@ -17,7 +17,7 @@ fn bench_scale(c: &mut Criterion) {
     for pct in [20usize, 60, 100] {
         let sub = corpus.prefix(corpus.papers.len() * pct / 100);
         group.bench_function(format!("iuad_fit/{pct}pct"), |b| {
-            b.iter(|| Iuad::fit(black_box(&sub), &IuadConfig::default()))
+            b.iter(|| Iuad::fit(black_box(&sub), &IuadConfig::default()));
         });
     }
     group.finish();

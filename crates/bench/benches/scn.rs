@@ -15,7 +15,7 @@ fn bench_scn(c: &mut Criterion) {
             ..Default::default()
         });
         group.bench_function(format!("build/{papers}"), |b| {
-            b.iter(|| Scn::build(black_box(&corpus), 2))
+            b.iter(|| Scn::build(black_box(&corpus), 2));
         });
     }
     group.finish();

@@ -19,14 +19,8 @@ fn bench_similarity(c: &mut Criterion) {
     group.sample_size(15);
     group.bench_function("engine_build", |b| {
         b.iter(|| {
-            SimilarityEngine::build(
-                black_box(&scn),
-                &ctx,
-                0.62,
-                2,
-                CacheScope::AmbiguousOnly,
-            )
-        })
+            SimilarityEngine::build(black_box(&scn), &ctx, 0.62, 2, CacheScope::AmbiguousOnly)
+        });
     });
 
     let engine = SimilarityEngine::build(&scn, &ctx, 0.62, 2, CacheScope::AmbiguousOnly);
@@ -43,7 +37,7 @@ fn bench_similarity(c: &mut Criterion) {
             let i = k % (vs.len() - 1);
             k += 1;
             black_box(engine.similarity(&ctx, vs[i], vs[i + 1]))
-        })
+        });
     });
     group.finish();
 }

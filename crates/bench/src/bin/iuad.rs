@@ -91,7 +91,9 @@ fn main() {
 
     match cmd {
         "generate" => {
-            let Some(out) = args.positional.first() else { usage() };
+            let Some(out) = args.positional.first() else {
+                usage()
+            };
             let config = CorpusConfig {
                 num_papers: args.get("papers").unwrap_or(8_000),
                 num_authors: args.get("authors").unwrap_or(2_000),
@@ -113,7 +115,9 @@ fn main() {
             );
         }
         "fit" | "evaluate" => {
-            let Some(input) = args.positional.first() else { usage() };
+            let Some(input) = args.positional.first() else {
+                usage()
+            };
             let corpus = match load_jsonl(&PathBuf::from(input)) {
                 Ok(c) => c,
                 Err(e) => {

@@ -52,7 +52,10 @@ fn dispatch(id: &str, corpus: &Corpus) -> Option<String> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: repro <artefact>... | all\n  artefacts: {}", ALL.join(" "));
+        eprintln!(
+            "usage: repro <artefact>... | all\n  artefacts: {}",
+            ALL.join(" ")
+        );
         std::process::exit(2);
     }
     let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
@@ -80,7 +83,10 @@ fn main() {
                 println!("== {id} ({:.1?}) ==\n{out}", start.elapsed());
             }
             None => {
-                eprintln!("unknown artefact `{id}` — expected one of: {}", ALL.join(" "));
+                eprintln!(
+                    "unknown artefact `{id}` — expected one of: {}",
+                    ALL.join(" ")
+                );
                 std::process::exit(2);
             }
         }

@@ -48,7 +48,14 @@ fn metrics_row(
 }
 
 fn render(rows: &[Row], extra_header: &str) -> String {
-    let mut t = Table::new(["Variant", "MicroA", "MicroP", "MicroR", "MicroF", extra_header]);
+    let mut t = Table::new([
+        "Variant",
+        "MicroA",
+        "MicroP",
+        "MicroR",
+        "MicroF",
+        extra_header,
+    ]);
     for r in rows {
         t.row([
             r.variant.clone(),
@@ -220,9 +227,7 @@ pub fn run_delta(corpus: &Corpus) -> String {
                 micro_p: m.precision,
                 micro_r: m.recall,
                 micro_f: m.f1,
-                extra: format!(
-                    "merges={merges} pairP={pair_p:.3} pairR={pair_r:.3}"
-                ),
+                extra: format!("merges={merges} pairP={pair_p:.3} pairR={pair_r:.3}"),
             });
         }
     }
@@ -244,8 +249,7 @@ pub fn run_features(corpus: &Corpus) -> String {
     let (train, anchors) = training_rows(&data, &scn, &ctx, &engine, &cfg);
 
     let mut rows = Vec::new();
-    let mut variants: Vec<(String, Vec<usize>)> =
-        vec![("all-six".into(), (0..6).collect())];
+    let mut variants: Vec<(String, Vec<usize>)> = vec![("all-six".into(), (0..6).collect())];
     for (f, name) in FEATURE_NAMES.iter().enumerate() {
         let feats: Vec<usize> = (0..6).filter(|&x| x != f).collect();
         variants.push((format!("minus {name}"), feats));

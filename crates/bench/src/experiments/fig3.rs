@@ -41,7 +41,7 @@ pub fn run(corpus: &Corpus) -> String {
             l
         })
         .collect();
-    let counts = pair_counts(lists.iter().map(|l| l.as_slice()));
+    let counts = pair_counts(lists.iter().map(Vec::as_slice));
     let pair_hist = pair_frequency_histogram(&counts);
     let slope_b = log_log_slope(
         &pair_hist

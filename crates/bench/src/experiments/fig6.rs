@@ -52,7 +52,7 @@ pub fn run(corpus: &Corpus) -> String {
         let scores = scores_for(&model, &data.vectors, &[f]);
         // Sweep δ across the observed score distribution.
         let mut sorted = scores.clone();
-        sorted.sort_by(|a, b| a.total_cmp(b));
+        sorted.sort_by(f64::total_cmp);
         let quantile = |q: f64| sorted[(q * (sorted.len() - 1) as f64) as usize];
         let mut deltas: Vec<f64> = [0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99]
             .iter()

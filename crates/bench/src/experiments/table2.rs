@@ -41,7 +41,10 @@ pub fn run(corpus: &Corpus) -> String {
         "Total".to_string(),
         test.total_authors().to_string(),
         test.total_papers().to_string(),
-        rows.iter().map(|r| r.papers_corpus).sum::<usize>().to_string(),
+        rows.iter()
+            .map(|r| r.papers_corpus)
+            .sum::<usize>()
+            .to_string(),
     ]);
     let out = t.render();
     write_results("table2", &rows, &out);

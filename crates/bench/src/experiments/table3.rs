@@ -9,11 +9,14 @@ use iuad_core::{Iuad, IuadConfig};
 use iuad_corpus::Corpus;
 use iuad_eval::Table;
 
-use crate::{
-    eval_disambiguator, eval_labels, split_train_test_names, write_results, MethodResult,
-};
+use crate::{eval_disambiguator, eval_labels, split_train_test_names, write_results, MethodResult};
 
 /// Run Table III and return the rendered output.
+///
+/// Every method is an independent (train +) evaluate job over the shared
+/// corpus, so the nine rows run concurrently via [`crate::method_parallelism`];
+/// each job is internally seeded, so the table is identical at any thread
+/// count.
 pub fn run(corpus: &Corpus) -> String {
     let (test, train_names) = split_train_test_names(corpus, 50);
     eprintln!(
@@ -21,45 +24,47 @@ pub fn run(corpus: &Corpus) -> String {
         test.names.len(),
         train_names.len()
     );
-    let mut results: Vec<MethodResult> = Vec::new();
-
-    // --- Supervised baselines -------------------------------------------
     let ctx = BaselineContext::build(corpus, 32, 77);
+    let anon = Anon::new(&ctx);
+    let nete = NetE::new(&ctx);
+    let aminer = Aminer::new(&ctx);
+    let ghost = Ghost::new(&ctx);
+    let unsup: Vec<&(dyn Disambiguator + Sync)> = vec![&anon, &nete, &aminer, &ghost];
+
+    type Job<'a> = Box<dyn FnOnce() -> MethodResult + Send + 'a>;
+    let mut jobs: Vec<Job<'_>> = Vec::new();
     for kind in [
         SupervisedKind::AdaBoost,
         SupervisedKind::Gbdt,
         SupervisedKind::RandomForest,
         SupervisedKind::XgBoost,
     ] {
-        eprintln!("table3: training {}", kind.label());
-        let d = SupervisedDisambiguator::train(corpus, &ctx, kind, &train_names, 7);
-        results.push(MethodResult::new(
-            kind.label(),
-            eval_disambiguator(corpus, &test, &d),
-        ));
+        let (ctx, test, train_names) = (&ctx, &test, &train_names);
+        jobs.push(Box::new(move || {
+            eprintln!("table3: training {}", kind.label());
+            let d = SupervisedDisambiguator::train(corpus, ctx, kind, train_names, 7);
+            MethodResult::new(kind.label(), eval_disambiguator(corpus, test, &d))
+        }));
     }
-
-    // --- Unsupervised baselines ------------------------------------------
-    let anon = Anon::new(&ctx);
-    let nete = NetE::new(&ctx);
-    let aminer = Aminer::new(&ctx);
-    let ghost = Ghost::new(&ctx);
-    let unsup: Vec<&dyn Disambiguator> = vec![&anon, &nete, &aminer, &ghost];
     for d in unsup {
-        eprintln!("table3: running {}", d.label());
-        results.push(MethodResult::new(
-            d.label(),
-            eval_disambiguator(corpus, &test, d),
-        ));
+        let test = &test;
+        jobs.push(Box::new(move || {
+            eprintln!("table3: running {}", d.label());
+            MethodResult::new(d.label(), eval_disambiguator(corpus, test, d))
+        }));
     }
-
-    // --- IUAD -------------------------------------------------------------
-    eprintln!("table3: fitting IUAD");
-    let iuad = Iuad::fit(corpus, &IuadConfig::default());
-    results.push(MethodResult::new(
-        "IUAD",
-        eval_labels(corpus, &test, |name| iuad.labels_of_name(corpus, name)),
-    ));
+    {
+        let test = &test;
+        jobs.push(Box::new(move || {
+            eprintln!("table3: fitting IUAD");
+            let iuad = Iuad::fit(corpus, &IuadConfig::default());
+            MethodResult::new(
+                "IUAD",
+                eval_labels(corpus, test, |name| iuad.labels_of_name(corpus, name)),
+            )
+        }));
+    }
+    let results = iuad_par::parallel_jobs(&crate::method_parallelism(), jobs);
 
     let mut t = Table::new(["Algorithm", "MicroA", "MicroP", "MicroR", "MicroF"]);
     for r in &results {

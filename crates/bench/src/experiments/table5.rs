@@ -55,14 +55,8 @@ pub fn run(corpus: &Corpus) -> String {
         };
 
         let per_method: Vec<(String, f64)> = vec![
-            (
-                "ANON".into(),
-                run_baseline(&|ctx| Box::new(Anon::new(ctx))),
-            ),
-            (
-                "NetE".into(),
-                run_baseline(&|ctx| Box::new(NetE::new(ctx))),
-            ),
+            ("ANON".into(), run_baseline(&|ctx| Box::new(Anon::new(ctx)))),
+            ("NetE".into(), run_baseline(&|ctx| Box::new(NetE::new(ctx)))),
             (
                 "Aminer".into(),
                 run_baseline(&|ctx| Box::new(Aminer::new(ctx))),

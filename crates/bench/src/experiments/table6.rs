@@ -34,7 +34,11 @@ pub fn run(corpus: &Corpus) -> String {
 
     for &k in &[100usize, 200, 300] {
         let (base, tail) = corpus.split_tail(k);
-        eprintln!("table6: fitting on {} papers, streaming {}", base.papers.len(), k);
+        eprintln!(
+            "table6: fitting on {} papers, streaming {}",
+            base.papers.len(),
+            k
+        );
         let mut iuad = Iuad::fit(&base, &IuadConfig::default());
         let (test, _) = split_train_test_names(&base, 50);
 
@@ -82,11 +86,7 @@ pub fn run(corpus: &Corpus) -> String {
 
     let mut t = Table::new(["Metric", "100", "200", "300"]);
     for metric in ["MicroA", "MicroP", "MicroR", "MicroF"] {
-        for (suffix, get) in [
-            ("", 0usize),
-            ("+", 1),
-            (" improv.", 2),
-        ] {
+        for (suffix, get) in [("", 0usize), ("+", 1), (" improv.", 2)] {
             let cells: Vec<String> = [100usize, 200, 300]
                 .iter()
                 .map(|&k| {

@@ -94,10 +94,7 @@ pub fn eval_disambiguator<D: Disambiguator + ?Sized>(
 /// heavily shared names down to 2-author names — matching the paper's test
 /// set (2..16 authors per name, mean ≈ 6.7) rather than only the most
 /// extreme outliers.
-pub fn split_train_test_names(
-    corpus: &Corpus,
-    num_test: usize,
-) -> (TestSet, Vec<NameId>) {
+pub fn split_train_test_names(corpus: &Corpus, num_test: usize) -> (TestSet, Vec<NameId>) {
     let all = select_test_names(corpus, 2, 3, usize::MAX);
     if all.names.is_empty() {
         return (TestSet { names: Vec::new() }, Vec::new());

@@ -21,3 +21,20 @@ pub use harness::{
     benchmark_corpus, eval_disambiguator, eval_labels, split_train_test_names, write_results,
     BenchmarkScale, MethodResult,
 };
+
+/// Thread fan-out for method-level concurrency (evaluating independent
+/// methods side by side). Defaults to all cores; set `IUAD_BENCH_THREADS`
+/// to override (e.g. `IUAD_BENCH_THREADS=1` for sequential timing runs,
+/// where concurrent methods would contend for cores). Each method is
+/// internally seeded, so results are identical at any setting.
+pub fn method_parallelism() -> iuad_par::ParallelConfig {
+    match std::env::var("IUAD_BENCH_THREADS") {
+        // `0` means "all cores", matching the ParallelConfig convention.
+        Ok(s) => match s.trim().parse::<usize>() {
+            Ok(0) => iuad_par::ParallelConfig::max_parallelism(),
+            Ok(n) => iuad_par::ParallelConfig::with_threads(n),
+            Err(_) => panic!("IUAD_BENCH_THREADS={s:?} is not a thread count"),
+        },
+        Err(_) => iuad_par::ParallelConfig::max_parallelism(),
+    }
+}

@@ -43,7 +43,7 @@ pub fn affinity_propagation(n: usize, similarity: &[f64], cfg: &ApConfig) -> Vec
             .flat_map(|i| (0..n).filter(move |&j| j != i).map(move |j| (i, j)))
             .map(|(i, j)| similarity[i * n + j])
             .collect();
-        off.sort_by(|a, b| a.total_cmp(b));
+        off.sort_by(f64::total_cmp);
         if off.is_empty() {
             0.0
         } else {
@@ -167,7 +167,10 @@ mod tests {
 
     #[test]
     fn singleton_input() {
-        assert_eq!(affinity_propagation(1, &[0.0], &ApConfig::default()), vec![0]);
+        assert_eq!(
+            affinity_propagation(1, &[0.0], &ApConfig::default()),
+            vec![0]
+        );
     }
 
     #[test]

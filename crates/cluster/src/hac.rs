@@ -18,7 +18,12 @@ pub enum Linkage {
 /// O(n³) worst case with an O(n²) matrix — the workloads here are the papers
 /// of a single ambiguous name (tens to a few hundred items), where this is
 /// faster than asymptotically better structures.
-pub fn hac(n: usize, mut dist: impl FnMut(usize, usize) -> f64, linkage: Linkage, threshold: f64) -> Vec<usize> {
+pub fn hac(
+    n: usize,
+    mut dist: impl FnMut(usize, usize) -> f64,
+    linkage: Linkage,
+    threshold: f64,
+) -> Vec<usize> {
     if n == 0 {
         return Vec::new();
     }
@@ -72,8 +77,7 @@ pub fn hac(n: usize, mut dist: impl FnMut(usize, usize) -> f64, linkage: Linkage
                 Linkage::Single => dik.min(djk),
                 Linkage::Complete => dik.max(djk),
                 Linkage::Average => {
-                    (size[i] as f64 * dik + size[j] as f64 * djk)
-                        / (size[i] + size[j]) as f64
+                    (size[i] as f64 * dik + size[j] as f64 * djk) / (size[i] + size[j]) as f64
                 }
             };
             d[i * n + k] = merged;
@@ -81,7 +85,7 @@ pub fn hac(n: usize, mut dist: impl FnMut(usize, usize) -> f64, linkage: Linkage
         }
         active[j] = false;
         size[i] += size[j];
-        for r in member_root.iter_mut() {
+        for r in &mut member_root {
             if *r == j {
                 *r = i;
             }

@@ -20,9 +20,8 @@ pub fn kmeans(
     debug_assert!(points.iter().all(|p| p.len() == dim));
     let mut rng = StdRng::seed_from_u64(seed);
 
-    let sq_dist = |a: &[f64], b: &[f64]| -> f64 {
-        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
-    };
+    let sq_dist =
+        |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum() };
 
     // k-means++ seeding.
     let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
@@ -114,7 +113,9 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let pts: Vec<Vec<f64>> = (0..30).map(|i| vec![(i % 7) as f64, (i % 3) as f64]).collect();
+        let pts: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![(i % 7) as f64, (i % 3) as f64])
+            .collect();
         let a = kmeans(&pts, 3, 100, 9);
         let b = kmeans(&pts, 3, 100, 9);
         assert_eq!(a.0, b.0);

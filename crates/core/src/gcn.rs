@@ -12,6 +12,7 @@ use rustc_hash::FxHashMap;
 use iuad_corpus::{Corpus, Mention};
 use iuad_graph::{AdjGraph, UnionFind, VertexId};
 use iuad_mixture::{EmConfig, TwoComponentMixture};
+use iuad_par::ParallelConfig;
 
 use crate::profile::ProfileContext;
 use crate::scn::{EdgeData, Scn, ScnVertex};
@@ -83,23 +84,31 @@ pub struct PairData {
 
 /// Compute γ-vectors for every same-name vertex pair (the candidate set `R`).
 pub fn candidate_pair_data(scn: &Scn, ctx: &ProfileContext, engine: &SimilarityEngine) -> PairData {
-    let mut names: Vec<_> = scn
-        .by_name
-        .iter()
-        .filter(|(_, vs)| vs.len() >= 2)
-        .collect();
+    candidate_pair_data_parallel(scn, ctx, engine, &ParallelConfig::sequential())
+}
+
+/// [`candidate_pair_data`] with the O(n²) per-pair γ-vector computation —
+/// the dominant Stage-2 cost — fanned across `par.threads` workers.
+/// γ-vectors are pure functions of the cached engine state, so the output
+/// is identical at any thread count.
+pub fn candidate_pair_data_parallel(
+    scn: &Scn,
+    ctx: &ProfileContext,
+    engine: &SimilarityEngine,
+    par: &ParallelConfig,
+) -> PairData {
+    let mut names: Vec<_> = scn.by_name.iter().filter(|(_, vs)| vs.len() >= 2).collect();
     names.sort_by_key(|(n, _)| n.0);
-    let mut data = PairData::default();
+    let mut pairs: Vec<(VertexId, VertexId)> = Vec::new();
     for (_, vs) in names {
         for i in 0..vs.len() {
             for j in (i + 1)..vs.len() {
-                let (a, b) = (vs[i].min(vs[j]), vs[i].max(vs[j]));
-                data.pairs.push((a, b));
-                data.vectors.push(engine.similarity(ctx, a, b));
+                pairs.push((vs[i].min(vs[j]), vs[i].max(vs[j])));
             }
         }
     }
-    data
+    let vectors = iuad_par::parallel_map(par, &pairs, |&(a, b)| engine.similarity(ctx, a, b));
+    PairData { pairs, vectors }
 }
 
 /// Build the training rows: a seeded `sample_frac` sample of candidate
@@ -129,10 +138,7 @@ pub fn training_rows(
     let mut idx: Vec<usize> = (0..n).collect();
     idx.shuffle(&mut rng);
     idx.truncate(want);
-    let mut rows: Vec<Vec<f64>> = idx
-        .into_iter()
-        .map(|i| data.vectors[i].to_vec())
-        .collect();
+    let mut rows: Vec<Vec<f64>> = idx.into_iter().map(|i| data.vectors[i].to_vec()).collect();
     let mut anchors: Vec<Option<f64>> = vec![None; rows.len()];
 
     if cfg.split_balance {
@@ -191,16 +197,31 @@ pub fn scores_for(
     vectors: &[SimilarityVector],
     features: &[usize],
 ) -> Vec<f64> {
-    let mut buf = vec![0.0f64; features.len()];
     vectors
         .iter()
-        .map(|v| {
-            for (slot, &f) in buf.iter_mut().zip(features) {
-                *slot = v[f];
-            }
-            model.log_odds(&buf)
-        })
+        .map(|v| score_one(model, v, features))
         .collect()
+}
+
+/// Project `v` onto `features` (a stack buffer — `features.len()` is at most
+/// [`NUM_SIMILARITIES`]) and score it under `model`.
+fn score_one(model: &TwoComponentMixture, v: &SimilarityVector, features: &[usize]) -> f64 {
+    let mut buf = [0.0f64; NUM_SIMILARITIES];
+    for (slot, &f) in buf.iter_mut().zip(features) {
+        *slot = v[f];
+    }
+    model.log_odds(&buf[..features.len()])
+}
+
+/// [`scores_for`] fanned across `par.threads` workers. Scoring is pure, so
+/// the output is identical at any thread count.
+pub fn scores_for_parallel(
+    model: &TwoComponentMixture,
+    vectors: &[SimilarityVector],
+    features: &[usize],
+    par: &ParallelConfig,
+) -> Vec<f64> {
+    iuad_par::parallel_map(par, vectors, |v| score_one(model, v, features))
 }
 
 /// Apply merge decisions transitively: union every pair whose score ≥ δ
@@ -248,11 +269,7 @@ pub fn clusters_by_linkage(
         .collect();
 
     let mut uf = UnionFind::new(n);
-    let mut names: Vec<_> = scn
-        .by_name
-        .iter()
-        .filter(|(_, vs)| vs.len() >= 2)
-        .collect();
+    let mut names: Vec<_> = scn.by_name.iter().filter(|(_, vs)| vs.len() >= 2).collect();
     names.sort_by_key(|(n, _)| n.0);
     for (_, vs) in names {
         let labels = iuad_cluster::hac(
@@ -316,41 +333,28 @@ pub struct Gcn {
 }
 
 impl Gcn {
-    /// Run the full Stage 2 over an SCN.
+    /// Run the full Stage 2 over an SCN, sequentially.
     pub fn build(
         scn: &Scn,
         ctx: &ProfileContext,
         engine: &SimilarityEngine,
         cfg: &GcnConfig,
     ) -> Gcn {
-        let data = candidate_pair_data(scn, ctx, engine);
-        let (rows, anchors) = training_rows(&data, scn, ctx, engine, cfg);
-        let all_features: Vec<usize> = (0..NUM_SIMILARITIES).collect();
-        let model = fit_model(&rows, &anchors, &all_features, &cfg.em);
-        let (cluster_of_vertex, num_clusters, num_merges) = match &model {
-            Some(m) => {
-                let scores = scores_for(m, &data.vectors, &all_features);
-                match cfg.merge_policy {
-                    MergePolicy::Transitive => {
-                        clusters_from_scores(scn, &data.pairs, &scores, cfg.delta)
-                    }
-                    MergePolicy::AverageLinkage => {
-                        clusters_by_linkage(scn, &data.pairs, &scores, cfg.delta)
-                    }
-                }
-            }
-            None => {
-                let n = scn.graph.num_vertices();
-                ((0..n).collect(), n, 0)
-            }
-        };
-        Gcn {
-            model,
-            cluster_of_vertex,
-            num_clusters,
-            num_merges,
-            pairs_scored: data.pairs.len(),
-        }
+        Self::build_inner(scn, ctx, engine, cfg, &[], &ParallelConfig::sequential())
+    }
+
+    /// Run the full Stage 2 with the candidate γ-vector computation and
+    /// pair scoring fanned across `par.threads` workers. EM training stays
+    /// sequential (it is a seeded, iterative fixpoint), so the result is
+    /// identical to [`Gcn::build`] at any thread count.
+    pub fn build_parallel(
+        scn: &Scn,
+        ctx: &ProfileContext,
+        engine: &SimilarityEngine,
+        cfg: &GcnConfig,
+        par: &ParallelConfig,
+    ) -> Gcn {
+        Self::build_inner(scn, ctx, engine, cfg, &[], par)
     }
 
     /// Semi-supervised Stage 2: like [`Gcn::build`], but additionally pins
@@ -364,7 +368,18 @@ impl Gcn {
         cfg: &GcnConfig,
         labels: &[LabeledPair],
     ) -> Gcn {
-        let data = candidate_pair_data(scn, ctx, engine);
+        Self::build_inner(scn, ctx, engine, cfg, labels, &ParallelConfig::sequential())
+    }
+
+    fn build_inner(
+        scn: &Scn,
+        ctx: &ProfileContext,
+        engine: &SimilarityEngine,
+        cfg: &GcnConfig,
+        labels: &[LabeledPair],
+        par: &ParallelConfig,
+    ) -> Gcn {
+        let data = candidate_pair_data_parallel(scn, ctx, engine, par);
         let (mut rows, mut anchors) = training_rows(&data, scn, ctx, engine, cfg);
         for &((a, b), matched) in labels {
             let key = (a.min(b), a.max(b));
@@ -379,7 +394,7 @@ impl Gcn {
         let model = fit_model(&rows, &anchors, &all_features, &cfg.em);
         let (cluster_of_vertex, num_clusters, num_merges) = match &model {
             Some(m) => {
-                let scores = scores_for(m, &data.vectors, &all_features);
+                let scores = scores_for_parallel(m, &data.vectors, &all_features, par);
                 match cfg.merge_policy {
                     MergePolicy::Transitive => {
                         clusters_from_scores(scn, &data.pairs, &scores, cfg.delta)
@@ -472,10 +487,7 @@ pub fn merge_network(corpus: &Corpus, scn: &Scn, cluster_of_vertex: &[usize]) ->
 
     let mut by_name = FxHashMap::default();
     for (v, payload) in graph.vertices() {
-        by_name
-            .entry(payload.name)
-            .or_insert_with(Vec::new)
-            .push(v);
+        by_name.entry(payload.name).or_insert_with(Vec::new).push(v);
     }
     Scn {
         graph,
@@ -550,7 +562,7 @@ mod tests {
         let gcn = Gcn::build(&scn, &ctx, &engine, &GcnConfig::default());
         let assign = gcn.assignment(&scn);
         assert_eq!(assign.len(), c.num_mentions());
-        for (_, &cl) in &assign {
+        for &cl in assign.values() {
             assert!(cl < gcn.num_clusters);
         }
     }
@@ -583,10 +595,7 @@ mod tests {
             }
             let mentions = c.mentions_of_name(*name);
             let truth: Vec<u32> = mentions.iter().map(|m| c.truth_of(*m).0).collect();
-            let scn_pred: Vec<usize> = mentions
-                .iter()
-                .map(|m| scn.assignment[m].index())
-                .collect();
+            let scn_pred: Vec<usize> = mentions.iter().map(|m| scn.assignment[m].index()).collect();
             let gcn_pred: Vec<usize> = mentions.iter().map(|m| assign[m]).collect();
             scn_conf.add(pairwise_confusion(&scn_pred, &truth));
             gcn_conf.add(pairwise_confusion(&gcn_pred, &truth));

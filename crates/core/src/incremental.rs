@@ -80,7 +80,10 @@ pub fn disambiguate_mention(
         }
     }
     match best {
-        Some((v, s)) if s >= delta => Decision::Existing { vertex: v, score: s },
+        Some((v, s)) if s >= delta => Decision::Existing {
+            vertex: v,
+            score: s,
+        },
         Some((_, s)) => Decision::NewAuthor {
             best_score: Some(s),
         },
@@ -153,9 +156,8 @@ mod tests {
         let f = fixture();
         for (paper, _) in f.held_out.iter().take(20) {
             for slot in 0..paper.authors.len() {
-                let d = disambiguate_mention(
-                    &f.network, &f.ctx, &f.engine, &f.model, 0.0, paper, slot,
-                );
+                let d =
+                    disambiguate_mention(&f.network, &f.ctx, &f.engine, &f.model, 0.0, paper, slot);
                 match d {
                     Decision::Existing { vertex, score } => {
                         assert!(score.is_finite());
@@ -188,14 +190,10 @@ mod tests {
             f.held_out
                 .iter()
                 .take(30)
-                .flat_map(|(p, _)| {
-                    (0..p.authors.len()).map(move |s| (p, s))
-                })
+                .flat_map(|(p, _)| (0..p.authors.len()).map(move |s| (p, s)))
                 .filter(|(p, s)| {
                     matches!(
-                        disambiguate_mention(
-                            &f.network, &f.ctx, &f.engine, &f.model, delta, p, *s
-                        ),
+                        disambiguate_mention(&f.network, &f.ctx, &f.engine, &f.model, delta, p, *s),
                         Decision::NewAuthor { .. }
                     )
                 })
@@ -213,10 +211,9 @@ mod tests {
         let mut correct = 0usize;
         let mut total = 0usize;
         for (paper, truth) in &f.held_out {
-            for slot in 0..paper.authors.len() {
-                let d = disambiguate_mention(
-                    &f.network, &f.ctx, &f.engine, &f.model, 0.0, paper, slot,
-                );
+            for (slot, slot_truth) in truth.iter().enumerate().take(paper.authors.len()) {
+                let d =
+                    disambiguate_mention(&f.network, &f.ctx, &f.engine, &f.model, 0.0, paper, slot);
                 let Decision::Existing { vertex, .. } = d else {
                     continue;
                 };
@@ -230,7 +227,7 @@ mod tests {
                     .max_by_key(|&(a, n)| (n, std::cmp::Reverse(a)))
                     .map(|(a, _)| a);
                 total += 1;
-                if major == Some(truth[slot].0) {
+                if major == Some(slot_truth.0) {
                     correct += 1;
                 }
             }

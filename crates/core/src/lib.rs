@@ -40,8 +40,9 @@ pub mod scn;
 pub mod similarity;
 
 pub use gcn::{Gcn, GcnConfig, MergePolicy};
+pub use incremental::Decision;
+pub use iuad_par::ParallelConfig;
 pub use pipeline::{Iuad, IuadConfig};
 pub use profile::{ProfileContext, VertexProfile};
 pub use scn::{EdgeData, Scn, ScnVertex};
-pub use incremental::Decision;
 pub use similarity::{CacheScope, SimilarityEngine, SimilarityVector, FAMILIES, NUM_SIMILARITIES};

@@ -4,6 +4,7 @@
 use rustc_hash::FxHashMap;
 
 use iuad_corpus::{Corpus, Mention, NameId, Paper};
+use iuad_par::ParallelConfig;
 
 use crate::gcn::{merge_network, Gcn, GcnConfig};
 use crate::incremental::{disambiguate_mention, Decision};
@@ -26,6 +27,11 @@ pub struct IuadConfig {
     pub alpha: f64,
     /// WL iterations / ego radius h.
     pub wl_iters: usize,
+    /// Thread fan-out for the similarity and scoring hot paths. The default
+    /// is single-threaded, keeping seeded runs bit-for-bit reproducible
+    /// without opting in; any thread count produces the identical network
+    /// (see `tests/determinism.rs`).
+    pub parallel: ParallelConfig,
 }
 
 impl Default for IuadConfig {
@@ -37,6 +43,7 @@ impl Default for IuadConfig {
             embedding_seed: 101,
             alpha: 0.62,
             wl_iters: 2,
+            parallel: ParallelConfig::sequential(),
         }
     }
 }
@@ -60,20 +67,31 @@ pub struct Iuad {
 }
 
 impl Iuad {
-    /// Run both stages on a corpus.
+    /// Run both stages on a corpus. With `config.parallel.threads > 1` the
+    /// O(n²) kernels — per-vertex feature caching, pairwise γ-similarity,
+    /// and pair scoring — fan out across worker threads; the fitted result
+    /// is identical at any thread count.
     pub fn fit(corpus: &Corpus, config: &IuadConfig) -> Iuad {
+        let par = &config.parallel;
         let ctx = ProfileContext::build(corpus, config.embedding_dim, config.embedding_seed);
-        let scn = Scn::build(corpus, config.eta);
-        let stage2_engine =
-            SimilarityEngine::build(&scn, &ctx, config.alpha, config.wl_iters, CacheScope::AmbiguousOnly);
-        let gcn = Gcn::build(&scn, &ctx, &stage2_engine, &config.gcn);
+        let scn = Scn::build_parallel(corpus, config.eta, par);
+        let stage2_engine = SimilarityEngine::build_parallel(
+            &scn,
+            &ctx,
+            config.alpha,
+            config.wl_iters,
+            CacheScope::AmbiguousOnly,
+            par,
+        );
+        let gcn = Gcn::build_parallel(&scn, &ctx, &stage2_engine, &config.gcn, par);
         let network = merge_network(corpus, &scn, &gcn.cluster_of_vertex);
-        let engine = SimilarityEngine::build(
+        let engine = SimilarityEngine::build_parallel(
             &network,
             &ctx,
             config.alpha,
             config.wl_iters,
             CacheScope::AmbiguousOnly,
+            par,
         );
         Iuad {
             config: config.clone(),

@@ -144,11 +144,7 @@ impl VertexProfile {
     /// Profile of a *new* paper that is not part of the context's corpus
     /// (the incremental setting, §V-E). Title keywords are looked up in the
     /// existing vocabulary; unseen words carry no signal and are skipped.
-    pub fn from_new_paper(
-        name: NameId,
-        paper: &iuad_corpus::Paper,
-        ctx: &ProfileContext,
-    ) -> Self {
+    pub fn from_new_paper(name: NameId, paper: &iuad_corpus::Paper, ctx: &ProfileContext) -> Self {
         let tokens = iuad_text::tokenize_filtered(&paper.title);
         let keywords: Vec<u32> = ctx
             .vocab

@@ -12,6 +12,7 @@ use rustc_hash::FxHashMap;
 use iuad_corpus::{Corpus, Mention, NameId, PaperId};
 use iuad_fpgrowth::pairs::frequent_pairs;
 use iuad_graph::{AdjGraph, UnionFind, VertexId};
+use iuad_par::ParallelConfig;
 
 /// A hypothesised author: a name plus the mentions attributed to it.
 #[derive(Debug, Clone)]
@@ -62,21 +63,26 @@ pub struct Scn {
 impl Scn {
     /// Build the SCN from a corpus with support threshold `eta` (η ≥ 2;
     /// η = 1 would declare every co-authorship stable and collapse the
-    /// bottom-up premise).
+    /// bottom-up premise). Fully sequential; see [`Scn::build_parallel`].
     pub fn build(corpus: &Corpus, eta: u32) -> Scn {
+        Self::build_parallel(corpus, eta, &ParallelConfig::sequential())
+    }
+
+    /// [`Scn::build`] with the per-paper preprocessing fanned across
+    /// `par.threads` workers. SCR insertion and mention assignment stay
+    /// sequential (they fold into shared union-find state in a
+    /// deterministic order), so the network is identical at any thread
+    /// count.
+    pub fn build_parallel(corpus: &Corpus, eta: u32, par: &ParallelConfig) -> Scn {
         assert!(eta >= 2, "eta must be at least 2");
         // --- η-SCR mining (frequent 2-itemsets over co-author lists) -----
-        let name_lists: Vec<Vec<u32>> = corpus
-            .papers
-            .iter()
-            .map(|p| {
-                let mut l: Vec<u32> = p.authors.iter().map(|n| n.0).collect();
-                l.sort_unstable();
-                l.dedup();
-                l
-            })
-            .collect();
-        let scrs = frequent_pairs(name_lists.iter().map(|l| l.as_slice()), eta);
+        let name_lists: Vec<Vec<u32>> = iuad_par::parallel_map(par, &corpus.papers, |p| {
+            let mut l: Vec<u32> = p.authors.iter().map(|n| n.0).collect();
+            l.sort_unstable();
+            l.dedup();
+            l
+        });
+        let scrs = frequent_pairs(name_lists.iter().map(Vec::as_slice), eta);
 
         // --- SCR insertion with the stable-triangle rule ------------------
         // Proto graph: one vertex per (name, stable author hypothesis).
@@ -87,8 +93,7 @@ impl Scn {
 
         // Strongest relations first; ties resolved lexicographically so the
         // construction is deterministic.
-        let mut sorted_scrs: Vec<((u32, u32), u32)> =
-            scrs.iter().map(|(&p, &s)| (p, s)).collect();
+        let mut sorted_scrs: Vec<((u32, u32), u32)> = scrs.iter().map(|(&p, &s)| (p, s)).collect();
         sorted_scrs.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
 
         // Find an existing vertex of `name` that closes a stable triangle
@@ -352,11 +357,7 @@ mod tests {
         let scn = Scn::build(&c, 2);
         assert_eq!(scn.assignment.len(), c.num_mentions());
         // Vertex mention lists partition the mentions.
-        let total: usize = scn
-            .graph
-            .vertices()
-            .map(|(_, v)| v.mentions.len())
-            .sum();
+        let total: usize = scn.graph.vertices().map(|(_, v)| v.mentions.len()).sum();
         assert_eq!(total, c.num_mentions());
     }
 
@@ -377,8 +378,7 @@ mod tests {
         let scn = Scn::build(&c, 2);
         // a—b edge exists with support 3 (p1, p3, p4).
         let va = scn.by_name[&NameId(0)][0];
-        let stable_b = scn
-            .by_name[&NameId(1)]
+        let stable_b = scn.by_name[&NameId(1)]
             .iter()
             .copied()
             .find(|&v| scn.graph.vertex(v).mentions.len() == 3)

@@ -25,6 +25,7 @@ use iuad_graph::triangles::triangles_of;
 use iuad_graph::wl::{normalized_kernel, vertex_features, WlFeatures};
 use iuad_graph::VertexId;
 use iuad_mixture::Family;
+use iuad_par::ParallelConfig;
 use iuad_text::cosine;
 
 use crate::profile::{ProfileContext, VertexProfile};
@@ -74,7 +75,7 @@ pub struct SimilarityEngine {
 
 impl SimilarityEngine {
     /// Build the engine, caching profiles for every vertex and structural
-    /// features per `scope`.
+    /// features per `scope`. Fully sequential; see [`Self::build_parallel`].
     pub fn build(
         scn: &Scn,
         ctx: &ProfileContext,
@@ -82,29 +83,56 @@ impl SimilarityEngine {
         wl_iters: usize,
         scope: CacheScope,
     ) -> Self {
-        let profiles: Vec<VertexProfile> = scn
-            .graph
-            .vertices()
-            .map(|(_, payload)| VertexProfile::from_mentions(payload.name, &payload.mentions, ctx))
-            .collect();
+        Self::build_parallel(
+            scn,
+            ctx,
+            alpha,
+            wl_iters,
+            scope,
+            &ParallelConfig::sequential(),
+        )
+    }
+
+    /// Build the engine, fanning the per-vertex profile and structural
+    /// feature extraction (the WL and triangle kernels — the O(n·deg²) hot
+    /// path of engine construction) across `par.threads` workers. Every
+    /// cached feature is a pure function of the network, so the result is
+    /// identical at any thread count.
+    pub fn build_parallel(
+        scn: &Scn,
+        ctx: &ProfileContext,
+        alpha: f64,
+        wl_iters: usize,
+        scope: CacheScope,
+        par: &ParallelConfig,
+    ) -> Self {
+        let verts: Vec<VertexId> = scn.graph.vertices().map(|(v, _)| v).collect();
+        let profiles: Vec<VertexProfile> = iuad_par::parallel_map(par, &verts, |&v| {
+            let payload = scn.graph.vertex(v);
+            VertexProfile::from_mentions(payload.name, &payload.mentions, ctx)
+        });
+
+        let mut scoped: Vec<VertexId> = match scope {
+            CacheScope::AmbiguousOnly => scn
+                .by_name
+                .values()
+                .filter(|vs| vs.len() >= 2)
+                .flatten()
+                .copied()
+                .collect(),
+            CacheScope::All => verts,
+        };
+        scoped.sort_unstable();
+        scoped.dedup();
+        let features = iuad_par::parallel_map(par, &scoped, |&v| {
+            (Self::wl_of(scn, v, wl_iters), Self::name_triangles(scn, v))
+        });
 
         let mut wl = FxHashMap::default();
         let mut tris = FxHashMap::default();
-        let mut cache_vertex = |v: VertexId| {
-            wl.entry(v).or_insert_with(|| Self::wl_of(scn, v, wl_iters));
-            tris.entry(v).or_insert_with(|| Self::name_triangles(scn, v));
-        };
-        match scope {
-            CacheScope::AmbiguousOnly => {
-                for vs in scn.by_name.values().filter(|vs| vs.len() >= 2) {
-                    vs.iter().copied().for_each(&mut cache_vertex);
-                }
-            }
-            CacheScope::All => {
-                for (v, _) in scn.graph.vertices() {
-                    cache_vertex(v);
-                }
-            }
+        for (&v, (w, t)) in scoped.iter().zip(features) {
+            wl.insert(v, w);
+            tris.insert(v, t);
         }
         SimilarityEngine {
             profiles,
@@ -226,10 +254,7 @@ impl SimilarityEngine {
         let name = scn.graph.vertex(v).name;
         let pa = VertexProfile::from_mentions(name, half_a, ctx);
         let pb = VertexProfile::from_mentions(name, half_b, ctx);
-        let wl_nonempty = self
-            .wl
-            .get(&v)
-            .is_some_and(|f| !f.is_empty());
+        let wl_nonempty = self.wl.get(&v).is_some_and(|f| !f.is_empty());
         let g1 = if wl_nonempty { 1.0 } else { 0.0 };
         let empty: Vec<(u32, u32)> = Vec::new();
         let t = self.tris.get(&v).unwrap_or(&empty);
@@ -458,7 +483,10 @@ mod tests {
                 }
             }
         }
-        assert!(n_same > 5 && n_diff > 5, "insufficient pairs: {n_same}/{n_diff}");
+        assert!(
+            n_same > 5 && n_diff > 5,
+            "insufficient pairs: {n_same}/{n_diff}"
+        );
         let mean = |acc: &[f64; NUM_SIMILARITIES], n: usize| {
             let mut m = *acc;
             m.iter_mut().for_each(|x| *x /= n as f64);

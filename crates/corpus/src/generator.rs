@@ -109,9 +109,31 @@ pub struct GeneratorReport {
 
 /// Common academic filler so that stop-word handling has something to do.
 const GENERAL_WORDS: &[&str] = &[
-    "a", "the", "of", "for", "with", "using", "on", "in", "an", "to", "and",
-    "based", "approach", "method", "system", "analysis", "model", "towards",
-    "novel", "efficient", "framework", "via", "study", "evaluation", "design",
+    "a",
+    "the",
+    "of",
+    "for",
+    "with",
+    "using",
+    "on",
+    "in",
+    "an",
+    "to",
+    "and",
+    "based",
+    "approach",
+    "method",
+    "system",
+    "analysis",
+    "model",
+    "towards",
+    "novel",
+    "efficient",
+    "framework",
+    "via",
+    "study",
+    "evaluation",
+    "design",
 ];
 
 /// Per-author state used during generation.
@@ -173,7 +195,7 @@ impl Corpus {
 
         // --- Authors --------------------------------------------------------
         let mut authors: Vec<AuthorState> = Vec::with_capacity(config.num_authors);
-        for a in 0..config.num_authors {
+        for &name in &author_names {
             let topic = rng.gen_range(0..config.num_topics);
             let venue_base = topic * config.venues_per_topic;
             let favourite_venue =
@@ -196,7 +218,7 @@ impl Corpus {
                 }
             }
             authors.push(AuthorState {
-                name: author_names[a],
+                name,
                 topic,
                 favourite_venue,
                 career: (start, end),
@@ -407,10 +429,7 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let a = Corpus::generate(&small());
-        let b = Corpus::generate(&CorpusConfig {
-            seed: 8,
-            ..small()
-        });
+        let b = Corpus::generate(&CorpusConfig { seed: 8, ..small() });
         assert_ne!(a.papers, b.papers);
     }
 
@@ -456,7 +475,11 @@ mod tests {
             let _ = p;
             for i in 0..t.len() {
                 for j in (i + 1)..t.len() {
-                    let key = if t[i] < t[j] { (t[i], t[j]) } else { (t[j], t[i]) };
+                    let key = if t[i] < t[j] {
+                        (t[i], t[j])
+                    } else {
+                        (t[j], t[i])
+                    };
                     *pair_counts.entry(key).or_insert(0) += 1;
                 }
             }

@@ -141,10 +141,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("empty.jsonl");
         std::fs::write(&path, "").unwrap();
-        assert!(matches!(
-            load_jsonl(&path),
-            Err(CorpusIoError::Format(_))
-        ));
+        assert!(matches!(load_jsonl(&path), Err(CorpusIoError::Format(_))));
         std::fs::remove_file(&path).ok();
     }
 

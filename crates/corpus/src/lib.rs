@@ -40,9 +40,7 @@ mod testset;
 
 pub use generator::{CorpusConfig, GeneratorReport};
 pub use io::{load_jsonl, save_jsonl, CorpusIoError};
-pub use model::{
-    AuthorId, Corpus, Mention, NameId, Paper, PaperId, VenueId,
-};
+pub use model::{AuthorId, Corpus, Mention, NameId, Paper, PaperId, VenueId};
 pub use names::NamePools;
 pub use stats::{log_log_slope, papers_per_name, DegreeHistogram};
 pub use testset::{select_test_names, TestName, TestSet};

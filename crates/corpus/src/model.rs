@@ -151,9 +151,9 @@ impl Corpus {
 
     /// Iterate over every mention in the corpus, in (paper, slot) order.
     pub fn mentions(&self) -> impl Iterator<Item = Mention> + '_ {
-        self.papers.iter().flat_map(|p| {
-            (0..p.authors.len()).map(move |slot| Mention::new(p.id, slot))
-        })
+        self.papers
+            .iter()
+            .flat_map(|p| (0..p.authors.len()).map(move |slot| Mention::new(p.id, slot)))
     }
 
     /// All mentions of one name, in (paper, slot) order.
@@ -267,8 +267,7 @@ impl Corpus {
                 }
                 if self.author_names[a.index()] != n {
                     return Err(format!(
-                        "paper {i}: truth author {:?} does not bear name {:?}",
-                        a, n
+                        "paper {i}: truth author {a:?} does not bear name {n:?}"
                     ));
                 }
             }

@@ -10,19 +10,19 @@ use rand::prelude::*;
 
 /// Frequent romanised surnames (rank-ordered; Zipf-weighted at sampling time).
 const SURNAMES: &[&str] = &[
-    "wang", "li", "zhang", "liu", "chen", "yang", "huang", "zhao", "wu", "zhou",
-    "xu", "sun", "ma", "zhu", "hu", "guo", "he", "gao", "lin", "luo",
-    "zheng", "liang", "xie", "tang", "song", "deng", "han", "feng", "cao", "peng",
-    "smith", "johnson", "brown", "miller", "davis", "garcia", "kim", "lee", "park", "singh",
+    "wang", "li", "zhang", "liu", "chen", "yang", "huang", "zhao", "wu", "zhou", "xu", "sun", "ma",
+    "zhu", "hu", "guo", "he", "gao", "lin", "luo", "zheng", "liang", "xie", "tang", "song", "deng",
+    "han", "feng", "cao", "peng", "smith", "johnson", "brown", "miller", "davis", "garcia", "kim",
+    "lee", "park", "singh",
 ];
 
 /// Frequent romanised given names.
 const GIVEN: &[&str] = &[
-    "wei", "min", "jing", "li", "yan", "fang", "lei", "jun", "yang", "tao",
-    "ming", "chao", "hui", "ping", "gang", "hong", "xin", "bo", "jian", "qiang",
-    "na", "yu", "feng", "yong", "bin", "chen", "dan", "fei", "hao", "kai",
-    "lin", "mei", "ning", "peng", "qing", "rui", "shan", "ting", "xia", "ying",
-    "john", "david", "maria", "anna", "james", "robert", "emily", "sara", "tom", "alex",
+    "wei", "min", "jing", "li", "yan", "fang", "lei", "jun", "yang", "tao", "ming", "chao", "hui",
+    "ping", "gang", "hong", "xin", "bo", "jian", "qiang", "na", "yu", "feng", "yong", "bin",
+    "chen", "dan", "fei", "hao", "kai", "lin", "mei", "ning", "peng", "qing", "rui", "shan",
+    "ting", "xia", "ying", "john", "david", "maria", "anna", "james", "robert", "emily", "sara",
+    "tom", "alex",
 ];
 
 /// A deterministic name sampler.
@@ -58,9 +58,8 @@ impl NamePools {
     /// given names. Larger exponents concentrate mass on the most common
     /// names and thus raise the expected ambiguity (authors per name).
     pub fn new(surname_zipf: f64, given_zipf: f64) -> Self {
-        let zipf = |n: usize, s: f64| -> Vec<f64> {
-            (1..=n).map(|r| 1.0 / (r as f64).powf(s)).collect()
-        };
+        let zipf =
+            |n: usize, s: f64| -> Vec<f64> { (1..=n).map(|r| 1.0 / (r as f64).powf(s)).collect() };
         Self {
             surname_weights: zipf(SURNAMES.len(), surname_zipf),
             given_weights: zipf(GIVEN.len(), given_zipf),
@@ -92,7 +91,12 @@ impl NamePools {
             format!("{} {}", GIVEN[g], SURNAMES[s])
         } else {
             let c = g - GIVEN_LEN;
-            format!("{}{} {}", GIVEN[c / GIVEN_LEN], GIVEN[c % GIVEN_LEN], SURNAMES[s])
+            format!(
+                "{}{} {}",
+                GIVEN[c / GIVEN_LEN],
+                GIVEN[c % GIVEN_LEN],
+                SURNAMES[s]
+            )
         }
     }
 

@@ -43,10 +43,7 @@ impl DegreeHistogram {
 
     /// Maximum observed frequency.
     pub fn max_frequency(&self) -> usize {
-        self.counts
-            .iter()
-            .rposition(|&c| c > 0)
-            .unwrap_or(0)
+        self.counts.iter().rposition(|&c| c > 0).unwrap_or(0)
     }
 
     /// Least-squares slope of the log-log histogram — the number printed on
@@ -115,9 +112,7 @@ mod tests {
     #[test]
     fn slope_of_exact_powerlaw_is_exponent() {
         // y = x^-2 exactly.
-        let pts: Vec<(f64, f64)> = (1..50)
-            .map(|x| (x as f64, (x as f64).powi(-2)))
-            .collect();
+        let pts: Vec<(f64, f64)> = (1..50).map(|x| (x as f64, (x as f64).powi(-2))).collect();
         let s = log_log_slope(&pts);
         assert!((s + 2.0).abs() < 1e-9, "slope {s}");
     }

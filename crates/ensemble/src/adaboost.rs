@@ -148,7 +148,14 @@ mod tests {
     fn perfect_stump_short_circuits() {
         let xs = vec![vec![0.0], vec![0.1], vec![0.9], vec![1.0]];
         let ys = vec![false, false, true, true];
-        let model = AdaBoost::fit(&xs, &ys, &AdaBoostConfig { rounds: 50, ..Default::default() });
+        let model = AdaBoost::fit(
+            &xs,
+            &ys,
+            &AdaBoostConfig {
+                rounds: 50,
+                ..Default::default()
+            },
+        );
         assert!(model.len() <= 2, "kept {} stumps", model.len());
         assert_eq!(accuracy(&model, &xs, &ys), 1.0);
     }

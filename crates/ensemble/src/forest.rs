@@ -88,11 +88,7 @@ impl Classifier for RandomForest {
         if self.trees.is_empty() {
             return 0.5;
         }
-        self.trees
-            .iter()
-            .map(|t| t.predict_proba(x))
-            .sum::<f64>()
-            / self.trees.len() as f64
+        self.trees.iter().map(|t| t.predict_proba(x)).sum::<f64>() / self.trees.len() as f64
     }
 }
 

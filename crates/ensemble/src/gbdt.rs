@@ -52,7 +52,16 @@ impl GradTree {
     ) -> Self {
         let mut tree = GradTree { nodes: Vec::new() };
         let idx: Vec<usize> = (0..xs.len()).collect();
-        tree.grow(xs, grad, hess, &idx, max_depth, min_child_weight, criterion, 0);
+        tree.grow(
+            xs,
+            grad,
+            hess,
+            &idx,
+            max_depth,
+            min_child_weight,
+            criterion,
+            0,
+        );
         tree
     }
 
@@ -75,7 +84,11 @@ impl GradTree {
             SplitCriterion::Variance => 0.0,
         };
         // Newton leaf value −G/(H+λ).
-        let leaf_value = if h + lambda > 0.0 { -g / (h + lambda) } else { 0.0 };
+        let leaf_value = if h + lambda > 0.0 {
+            -g / (h + lambda)
+        } else {
+            0.0
+        };
         let make_leaf = |nodes: &mut Vec<GNode>| {
             nodes.push(GNode::Leaf { value: leaf_value });
             nodes.len() - 1
@@ -111,6 +124,9 @@ impl GradTree {
         let mut order: Vec<usize> = idx.to_vec();
         let num_features = xs[0].len();
         let total_w: f64 = idx.iter().map(|&i| hess[i]).sum();
+        // `f` walks the feature (column) axis of the row-major `xs`, so the
+        // iterator rewrite clippy suggests (over rows) does not apply.
+        #[allow(clippy::needless_range_loop)]
         for f in 0..num_features {
             order.sort_unstable_by(|&a, &b| xs[a][f].total_cmp(&xs[b][f]));
             let mut lg = 0.0;
@@ -155,8 +171,26 @@ impl GradTree {
             idx.iter().partition(|&&i| xs[i][feature] <= threshold);
         let slot = self.nodes.len();
         self.nodes.push(GNode::Leaf { value: leaf_value });
-        let left = self.grow(xs, grad, hess, &li, max_depth, min_child_weight, criterion, depth + 1);
-        let right = self.grow(xs, grad, hess, &ri, max_depth, min_child_weight, criterion, depth + 1);
+        let left = self.grow(
+            xs,
+            grad,
+            hess,
+            &li,
+            max_depth,
+            min_child_weight,
+            criterion,
+            depth + 1,
+        );
+        let right = self.grow(
+            xs,
+            grad,
+            hess,
+            &ri,
+            max_depth,
+            min_child_weight,
+            criterion,
+            depth + 1,
+        );
         self.nodes[slot] = GNode::Split {
             feature,
             threshold,
@@ -176,7 +210,13 @@ impl GradTree {
                     threshold,
                     left,
                     right,
-                } => cur = if x[*feature] <= *threshold { *left } else { *right },
+                } => {
+                    cur = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    }
+                }
             }
         }
     }
@@ -232,7 +272,14 @@ impl Gbdt {
                 grad[i] = p - if ys[i] { 1.0 } else { 0.0 };
                 hess[i] = (p * (1.0 - p)).max(1e-12);
             }
-            let tree = GradTree::fit(xs, &grad, &hess, cfg.max_depth, 0.0, SplitCriterion::Variance);
+            let tree = GradTree::fit(
+                xs,
+                &grad,
+                &hess,
+                cfg.max_depth,
+                0.0,
+                SplitCriterion::Variance,
+            );
             for (i, x) in xs.iter().enumerate() {
                 raw[i] += cfg.learning_rate * tree.predict(x);
             }
@@ -247,9 +294,7 @@ impl Gbdt {
 
     /// Raw additive score (log-odds scale).
     pub fn decision_function(&self, x: &[f64]) -> f64 {
-        self.base_score
-            + self.learning_rate
-                * self.trees.iter().map(|t| t.predict(x)).sum::<f64>()
+        self.base_score + self.learning_rate * self.trees.iter().map(|t| t.predict(x)).sum::<f64>()
     }
 }
 
@@ -281,8 +326,22 @@ mod tests {
     #[test]
     fn more_rounds_do_not_hurt_train_accuracy() {
         let (xs, ys) = testdata::xor(300, 33);
-        let short = Gbdt::fit(&xs, &ys, &GbdtConfig { rounds: 5, ..Default::default() });
-        let long = Gbdt::fit(&xs, &ys, &GbdtConfig { rounds: 100, ..Default::default() });
+        let short = Gbdt::fit(
+            &xs,
+            &ys,
+            &GbdtConfig {
+                rounds: 5,
+                ..Default::default()
+            },
+        );
+        let long = Gbdt::fit(
+            &xs,
+            &ys,
+            &GbdtConfig {
+                rounds: 100,
+                ..Default::default()
+            },
+        );
         assert!(accuracy(&long, &xs, &ys) >= accuracy(&short, &xs, &ys));
     }
 
@@ -290,7 +349,14 @@ mod tests {
     fn base_score_reflects_class_prior() {
         let xs = vec![vec![0.0]; 10];
         let ys = vec![true, true, true, true, true, true, true, true, true, false];
-        let model = Gbdt::fit(&xs, &ys, &GbdtConfig { rounds: 0, ..Default::default() });
+        let model = Gbdt::fit(
+            &xs,
+            &ys,
+            &GbdtConfig {
+                rounds: 0,
+                ..Default::default()
+            },
+        );
         assert!((model.predict_proba(&[0.0]) - 0.9).abs() < 1e-9);
     }
 }

@@ -47,6 +47,15 @@ pub struct DecisionTree {
     nodes: Vec<Node>,
 }
 
+/// The training set viewed as parallel arrays, bundled so the recursive
+/// growth only threads one reference.
+#[derive(Clone, Copy)]
+struct Samples<'a> {
+    xs: &'a [Vec<f64>],
+    ys: &'a [bool],
+    weights: &'a [f64],
+}
+
 impl DecisionTree {
     /// Fit on rows `xs` with boolean labels and per-sample weights (pass all
     /// ones for unweighted). `rng` drives feature subsampling only.
@@ -62,20 +71,19 @@ impl DecisionTree {
         assert!(!xs.is_empty(), "cannot fit a tree on no samples");
         let mut tree = DecisionTree { nodes: Vec::new() };
         let indices: Vec<usize> = (0..xs.len()).collect();
-        tree.grow(xs, ys, weights, &indices, cfg, 0, rng);
+        tree.grow(&Samples { xs, ys, weights }, &indices, cfg, 0, rng);
         tree
     }
 
     fn grow(
         &mut self,
-        xs: &[Vec<f64>],
-        ys: &[bool],
-        weights: &[f64],
+        s: &Samples<'_>,
         indices: &[usize],
         cfg: &TreeConfig,
         depth: usize,
         rng: &mut StdRng,
     ) -> usize {
+        let Samples { xs, ys, weights } = *s;
         let (w_pos, w_total) = indices.iter().fold((0.0, 0.0), |(p, t), &i| {
             (p + if ys[i] { weights[i] } else { 0.0 }, t + weights[i])
         });
@@ -128,9 +136,8 @@ impl DecisionTree {
                     continue;
                 }
                 let rp = w_pos - lp;
-                let drop = parent_gini
-                    - (lw / w_total) * gini(lp, lw)
-                    - (rw / w_total) * gini(rp, rw);
+                let drop =
+                    parent_gini - (lw / w_total) * gini(lp, lw) - (rw / w_total) * gini(rp, rw);
                 if best.is_none_or(|(_, _, d)| drop > d) {
                     best = Some((f, (x_here + x_next) / 2.0, drop));
                 }
@@ -150,8 +157,8 @@ impl DecisionTree {
 
         let slot = self.nodes.len();
         self.nodes.push(Node::Leaf { proba }); // placeholder
-        let left = self.grow(xs, ys, weights, &left_idx, cfg, depth + 1, rng);
-        let right = self.grow(xs, ys, weights, &right_idx, cfg, depth + 1, rng);
+        let left = self.grow(s, &left_idx, cfg, depth + 1, rng);
+        let right = self.grow(s, &right_idx, cfg, depth + 1, rng);
         self.nodes[slot] = Node::Split {
             feature,
             threshold,
@@ -189,7 +196,11 @@ impl Classifier for DecisionTree {
                     left,
                     right,
                 } => {
-                    cur = if x[*feature] <= *threshold { *left } else { *right };
+                    cur = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }

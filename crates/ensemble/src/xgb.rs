@@ -91,9 +91,7 @@ impl XgBoost {
 
     /// Raw additive score (log-odds scale).
     pub fn decision_function(&self, x: &[f64]) -> f64 {
-        self.base_score
-            + self.learning_rate
-                * self.trees.iter().map(|t| t.predict(x)).sum::<f64>()
+        self.base_score + self.learning_rate * self.trees.iter().map(|t| t.predict(x)).sum::<f64>()
     }
 }
 
@@ -125,8 +123,24 @@ mod tests {
     #[test]
     fn heavy_regularisation_dampens_leaves() {
         let (xs, ys) = testdata::linear(200, 43);
-        let light = XgBoost::fit(&xs, &ys, &XgBoostConfig { lambda: 0.01, rounds: 1, ..Default::default() });
-        let heavy = XgBoost::fit(&xs, &ys, &XgBoostConfig { lambda: 1e6, rounds: 1, ..Default::default() });
+        let light = XgBoost::fit(
+            &xs,
+            &ys,
+            &XgBoostConfig {
+                lambda: 0.01,
+                rounds: 1,
+                ..Default::default()
+            },
+        );
+        let heavy = XgBoost::fit(
+            &xs,
+            &ys,
+            &XgBoostConfig {
+                lambda: 1e6,
+                rounds: 1,
+                ..Default::default()
+            },
+        );
         // With huge λ, leaf values (and thus score deviation from the prior)
         // collapse towards zero.
         let dev = |m: &XgBoost| {
@@ -140,8 +154,24 @@ mod tests {
     #[test]
     fn gamma_prunes_marginal_splits() {
         let (xs, ys) = testdata::xor(300, 44);
-        let no_gamma = XgBoost::fit(&xs, &ys, &XgBoostConfig { gamma: 0.0, rounds: 10, ..Default::default() });
-        let big_gamma = XgBoost::fit(&xs, &ys, &XgBoostConfig { gamma: 1e9, rounds: 10, ..Default::default() });
+        let no_gamma = XgBoost::fit(
+            &xs,
+            &ys,
+            &XgBoostConfig {
+                gamma: 0.0,
+                rounds: 10,
+                ..Default::default()
+            },
+        );
+        let big_gamma = XgBoost::fit(
+            &xs,
+            &ys,
+            &XgBoostConfig {
+                gamma: 1e9,
+                rounds: 10,
+                ..Default::default()
+            },
+        );
         // With an impossible gain requirement every tree is a single leaf, so
         // training accuracy falls to the prior.
         assert!(accuracy(&no_gamma, &xs, &ys) > accuracy(&big_gamma, &xs, &ys));

@@ -33,7 +33,11 @@ pub fn b_cubed<P: PartialEq, T: PartialEq>(pred: &[P], truth: &[T]) -> (f64, f64
     }
     let p = p_sum / n as f64;
     let r = r_sum / n as f64;
-    let f = if p + r == 0.0 { 0.0 } else { 2.0 * p * r / (p + r) };
+    let f = if p + r == 0.0 {
+        0.0
+    } else {
+        2.0 * p * r / (p + r)
+    };
     (p, r, f)
 }
 

@@ -45,7 +45,11 @@ impl Confusion {
         } else {
             self.tp as f64 / (self.tp + self.fn_) as f64
         };
-        let f = if p + r == 0.0 { 0.0 } else { 2.0 * p * r / (p + r) };
+        let f = if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        };
         Metrics {
             accuracy: a,
             precision: p,

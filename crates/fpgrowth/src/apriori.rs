@@ -42,7 +42,7 @@ pub fn apriori(transactions: &[Vec<Item>], min_support: u32) -> Vec<FrequentItem
 
     // Lk from L(k-1).
     while !level.is_empty() {
-        let prev: FxHashSet<&[Item]> = level.iter().map(|v| v.as_slice()).collect();
+        let prev: FxHashSet<&[Item]> = level.iter().map(Vec::as_slice).collect();
         let mut candidates: FxHashSet<Vec<Item>> = FxHashSet::default();
         for (i, a) in level.iter().enumerate() {
             for b in &level[i + 1..] {

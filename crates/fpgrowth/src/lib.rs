@@ -60,11 +60,7 @@ mod tests {
 
     #[test]
     fn canonicalize_orders_by_length_then_lex() {
-        let out = canonicalize(vec![
-            (vec![3, 1], 2),
-            (vec![2], 5),
-            (vec![1], 9),
-        ]);
+        let out = canonicalize(vec![(vec![3, 1], 2), (vec![2], 5), (vec![1], 9)]);
         assert_eq!(out, vec![(vec![1], 9), (vec![2], 5), (vec![1, 3], 2)]);
     }
 }

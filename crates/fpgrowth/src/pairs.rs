@@ -66,7 +66,7 @@ mod tests {
     #[test]
     fn counts_simple() {
         let txs: Vec<Vec<Item>> = vec![vec![1, 2, 3], vec![1, 2], vec![3, 1]];
-        let c = pair_counts(txs.iter().map(|t| t.as_slice()));
+        let c = pair_counts(txs.iter().map(Vec::as_slice));
         assert_eq!(c[&(1, 2)], 2);
         assert_eq!(c[&(1, 3)], 2);
         assert_eq!(c[&(2, 3)], 1);
@@ -75,7 +75,7 @@ mod tests {
     #[test]
     fn duplicates_in_transaction_count_once() {
         let txs: Vec<Vec<Item>> = vec![vec![1, 1, 2, 2]];
-        let c = pair_counts(txs.iter().map(|t| t.as_slice()));
+        let c = pair_counts(txs.iter().map(Vec::as_slice));
         assert_eq!(c[&(1, 2)], 1);
         assert_eq!(c.len(), 1);
     }
@@ -83,7 +83,7 @@ mod tests {
     #[test]
     fn threshold_filters() {
         let txs: Vec<Vec<Item>> = vec![vec![1, 2], vec![1, 2], vec![2, 3]];
-        let f = frequent_pairs(txs.iter().map(|t| t.as_slice()), 2);
+        let f = frequent_pairs(txs.iter().map(Vec::as_slice), 2);
         assert_eq!(f.len(), 1);
         assert_eq!(f[&(1, 2)], 2);
     }
@@ -101,7 +101,7 @@ mod tests {
             })
             .collect();
         for min in [1u32, 2, 3] {
-            let fast = frequent_pairs(txs.iter().map(|t| t.as_slice()), min);
+            let fast = frequent_pairs(txs.iter().map(Vec::as_slice), min);
             let general: Vec<_> = FpGrowth::new(min)
                 .with_max_len(2)
                 .mine(&txs)
@@ -119,7 +119,7 @@ mod tests {
     #[test]
     fn histogram_sums_to_pair_count() {
         let txs: Vec<Vec<Item>> = vec![vec![1, 2], vec![1, 2], vec![2, 3], vec![4, 5]];
-        let c = pair_counts(txs.iter().map(|t| t.as_slice()));
+        let c = pair_counts(txs.iter().map(Vec::as_slice));
         let h = pair_frequency_histogram(&c);
         let total: u64 = h.iter().map(|&(_, n)| n).sum();
         assert_eq!(total as usize, c.len());
@@ -129,6 +129,6 @@ mod tests {
     #[test]
     fn empty_input() {
         let txs: Vec<Vec<Item>> = Vec::new();
-        assert!(pair_counts(txs.iter().map(|t| t.as_slice())).is_empty());
+        assert!(pair_counts(txs.iter().map(Vec::as_slice)).is_empty());
     }
 }

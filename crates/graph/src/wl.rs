@@ -32,7 +32,7 @@ fn fnv1a_u64(acc: u64, x: u64) -> u64 {
 const FNV_OFFSET: u64 = 0xcbf29ce484222325;
 
 /// Compress `(label, sorted neighbour labels)` into a new label.
-fn compress(label: u64, neighbour_labels: &mut Vec<u64>) -> u64 {
+fn compress(label: u64, neighbour_labels: &mut [u64]) -> u64 {
     neighbour_labels.sort_unstable();
     let mut h = fnv1a_u64(FNV_OFFSET, label);
     for &nl in neighbour_labels.iter() {
@@ -54,8 +54,7 @@ pub fn vertex_features<V, E>(
 ) -> WlFeatures {
     let ball = g.ball(root, h);
     // Dense index for the subgraph.
-    let index: FxHashMap<VertexId, usize> =
-        ball.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let index: FxHashMap<VertexId, usize> = ball.iter().enumerate().map(|(i, &v)| (v, i)).collect();
     let adj: Vec<Vec<usize>> = ball
         .iter()
         .map(|&v| {
@@ -152,8 +151,8 @@ mod tests {
             let pos2 = s2.iter().position(|&x| x == v);
             pos1.or(pos2).unwrap() as u64
         };
-        let f1 = vertex_features(&g, s1[0], 2, &label);
-        let f2 = vertex_features(&g, s2[0], 2, &label);
+        let f1 = vertex_features(&g, s1[0], 2, label);
+        let f2 = vertex_features(&g, s2[0], 2, label);
         assert_eq!(f1, f2);
         assert!((normalized_kernel(&f1, &f2) - 1.0).abs() < 1e-12);
     }
@@ -213,7 +212,7 @@ mod tests {
         // Labels: A and B's i-th leaves share label 100+i; C's leaves 200+i.
         let label = |v: VertexId| -> u64 {
             match v.0 {
-                0 | 1 | 2 => 0, // all centers share the (same-name) label
+                0..=2 => 0, // all centers share the (same-name) label
                 x if x % 3 == 0 => 100 + (x as u64 / 3),
                 x if x % 3 == 1 => 100 + (x as u64 / 3),
                 x => 200 + (x as u64 / 3),

@@ -329,7 +329,11 @@ mod tests {
     fn converges_on_easy_data() {
         let data = two_cluster_data(100);
         let fit = TwoComponentMixture::fit(&families(), &data, &EmConfig::default());
-        assert!(fit.converged, "did not converge in {} iters", fit.iterations);
+        assert!(
+            fit.converged,
+            "did not converge in {} iters",
+            fit.iterations
+        );
     }
 
     #[test]

@@ -123,11 +123,9 @@ impl Params {
         match self {
             Params::Gaussian { mu, .. } => *mu,
             Params::Exponential { lambda } => 1.0 / lambda,
-            Params::Multinomial { probs } => probs
-                .iter()
-                .enumerate()
-                .map(|(h, p)| h as f64 * p)
-                .sum(),
+            Params::Multinomial { probs } => {
+                probs.iter().enumerate().map(|(h, p)| h as f64 * p).sum()
+            }
         }
     }
 }
@@ -213,7 +211,13 @@ mod tests {
     #[test]
     fn log_densities_are_finite() {
         let cases = [
-            (Params::Gaussian { mu: 0.0, sigma2: 1e-6 }, 5.0),
+            (
+                Params::Gaussian {
+                    mu: 0.0,
+                    sigma2: 1e-6,
+                },
+                5.0,
+            ),
             (Params::Exponential { lambda: 1e6 }, 0.0),
             (Params::Exponential { lambda: 2.0 }, -0.1), // clamped to 0
             (
@@ -230,14 +234,24 @@ mod tests {
 
     #[test]
     fn gaussian_density_peaks_at_mean() {
-        let p = Params::Gaussian { mu: 2.0, sigma2: 1.0 };
+        let p = Params::Gaussian {
+            mu: 2.0,
+            sigma2: 1.0,
+        };
         assert!(p.log_density(2.0) > p.log_density(3.0));
         assert!(p.log_density(2.0) > p.log_density(1.0));
     }
 
     #[test]
     fn means_reflect_location() {
-        assert_eq!(Params::Gaussian { mu: 3.0, sigma2: 1.0 }.mean(), 3.0);
+        assert_eq!(
+            Params::Gaussian {
+                mu: 3.0,
+                sigma2: 1.0
+            }
+            .mean(),
+            3.0
+        );
         assert_eq!(Params::Exponential { lambda: 4.0 }.mean(), 0.25);
         let m = Params::Multinomial {
             probs: vec![0.0, 1.0],

@@ -1,0 +1,251 @@
+//! Deterministic chunked data-parallelism for the IUAD pipeline.
+//!
+//! Author disambiguation is embarrassingly parallel across ambiguous names:
+//! each name block is an independent SCN→GCN subproblem, and the O(n²)
+//! pairwise γ-similarity kernels dominate runtime. This crate provides the
+//! fan-out primitive the pipeline uses: [`parallel_map`], a chunked
+//! order-preserving map over a slice built on `std::thread::scope` (the
+//! build environment has no crates.io access, so `rayon` is not available).
+//!
+//! **Determinism contract**: for a pure function `f`, `parallel_map`
+//! returns exactly `items.iter().map(f).collect()` regardless of
+//! [`ParallelConfig::threads`] — workers claim chunks dynamically, but each
+//! output lands at its input's index. Seeded experiment outputs are
+//! therefore reproducible at any thread count, and the single-threaded
+//! default keeps the seed's behaviour bit-for-bit unchanged.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Thread fan-out settings carried by `IuadConfig`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Worker threads. `1` (the default) runs fully sequentially on the
+    /// caller's thread; `0` means "use all available cores".
+    pub threads: usize,
+    /// Items per work chunk. `0` (the default) picks `n / (threads * 4)`,
+    /// clamped to at least 1 — small enough to balance, large enough to
+    /// amortize the claim.
+    pub chunk_size: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig {
+            threads: 1,
+            chunk_size: 0,
+        }
+    }
+}
+
+impl ParallelConfig {
+    /// Fully sequential execution (the deterministic seeded default).
+    pub fn sequential() -> Self {
+        ParallelConfig::default()
+    }
+
+    /// Use every available core.
+    pub fn max_parallelism() -> Self {
+        ParallelConfig {
+            threads: 0,
+            chunk_size: 0,
+        }
+    }
+
+    /// Use exactly `threads` workers.
+    pub fn with_threads(threads: usize) -> Self {
+        ParallelConfig {
+            threads,
+            chunk_size: 0,
+        }
+    }
+
+    /// The worker count after resolving `0` to the machine's parallelism.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            self.threads
+        }
+    }
+
+    fn chunk_size_for(&self, n: usize, threads: usize) -> usize {
+        if self.chunk_size > 0 {
+            self.chunk_size
+        } else {
+            (n / (threads * 4)).max(1)
+        }
+    }
+}
+
+/// Order-preserving parallel map: returns `items.iter().map(f).collect()`,
+/// computed by [`ParallelConfig::threads`] workers over dynamically claimed
+/// chunks. Falls back to a plain sequential map when one thread suffices.
+pub fn parallel_map<T, R, F>(cfg: &ParallelConfig, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    parallel_map_indexed(cfg, items, |_, item| f(item))
+}
+
+/// Like [`parallel_map`], but the mapper also receives the item's index.
+pub fn parallel_map_indexed<T, R, F>(cfg: &ParallelConfig, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = cfg.resolved_threads().min(n.max(1));
+    if threads <= 1 || n < 2 {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+
+    let chunk_size = cfg.chunk_size_for(n, threads);
+    let num_chunks = n.div_ceil(chunk_size);
+    let next_chunk = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, Vec<R>)>();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next_chunk = &next_chunk;
+            let f = &f;
+            scope.spawn(move || loop {
+                let chunk = next_chunk.fetch_add(1, Ordering::Relaxed);
+                if chunk >= num_chunks {
+                    break;
+                }
+                let start = chunk * chunk_size;
+                let end = (start + chunk_size).min(n);
+                let results: Vec<R> = items[start..end]
+                    .iter()
+                    .enumerate()
+                    .map(|(k, x)| f(start + k, x))
+                    .collect();
+                // The receiver outlives the scope; send only fails if the
+                // main thread panicked, which propagates anyway.
+                let _ = tx.send((start, results));
+            });
+        }
+        drop(tx);
+
+        let mut buckets: Vec<(usize, Vec<R>)> = rx.iter().collect();
+        buckets.sort_unstable_by_key(|&(start, _)| start);
+        let mut out = Vec::with_capacity(n);
+        for (_, mut bucket) in buckets {
+            out.append(&mut bucket);
+        }
+        out
+    })
+}
+
+/// Run independent jobs concurrently, returning results in job order.
+/// Convenience wrapper used for method-level concurrency (e.g. evaluating
+/// baselines side by side).
+pub fn parallel_jobs<R, F>(cfg: &ParallelConfig, jobs: Vec<F>) -> Vec<R>
+where
+    R: Send,
+    F: FnOnce() -> R + Send,
+{
+    let threads = cfg.resolved_threads();
+    if threads <= 1 || jobs.len() < 2 {
+        return jobs.into_iter().map(|job| job()).collect();
+    }
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    let queue: Vec<(usize, F)> = jobs.into_iter().enumerate().collect();
+    let queue = std::sync::Mutex::new(queue.into_iter());
+    let n_workers = threads;
+    std::thread::scope(|scope| {
+        for _ in 0..n_workers {
+            let tx = tx.clone();
+            let queue = &queue;
+            scope.spawn(move || loop {
+                let job = queue.lock().map(|mut it| it.next());
+                match job {
+                    Ok(Some((i, job))) => {
+                        let _ = tx.send((i, job()));
+                    }
+                    _ => break,
+                }
+            });
+        }
+        drop(tx);
+        let mut results: Vec<(usize, R)> = rx.iter().collect();
+        results.sort_unstable_by_key(|&(i, _)| i);
+        results.into_iter().map(|(_, r)| r).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_matches_plain_map() {
+        let items: Vec<u64> = (0..1000).collect();
+        let cfg = ParallelConfig::sequential();
+        let got = parallel_map(&cfg, &items, |&x| x * x);
+        let want: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn parallel_preserves_order_for_every_thread_count() {
+        let items: Vec<u64> = (0..4321).collect();
+        let want: Vec<u64> = items
+            .iter()
+            .map(|&x| x.wrapping_mul(31).rotate_left(7))
+            .collect();
+        for threads in [2, 3, 4, 8, 16] {
+            for chunk_size in [0, 1, 7, 1024, 10_000] {
+                let cfg = ParallelConfig {
+                    threads,
+                    chunk_size,
+                };
+                let got = parallel_map(&cfg, &items, |&x| x.wrapping_mul(31).rotate_left(7));
+                assert_eq!(got, want, "threads={threads} chunk={chunk_size}");
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_map_sees_correct_indices() {
+        let items = vec!["a", "b", "c", "d", "e"];
+        let cfg = ParallelConfig::with_threads(3);
+        let got = parallel_map_indexed(&cfg, &items, |i, s| format!("{i}:{s}"));
+        assert_eq!(got, vec!["0:a", "1:b", "2:c", "3:d", "4:e"]);
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs() {
+        let cfg = ParallelConfig::max_parallelism();
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(&cfg, &empty, |&x| x).is_empty());
+        assert_eq!(parallel_map(&cfg, &[5u32], |&x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn jobs_return_in_submission_order() {
+        let cfg = ParallelConfig::with_threads(4);
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..20)
+            .map(|i| {
+                let job: Box<dyn FnOnce() -> usize + Send> = Box::new(move || {
+                    // Stagger finish times to exercise reordering.
+                    std::thread::sleep(std::time::Duration::from_millis((20 - i) as u64 % 5));
+                    i
+                });
+                job
+            })
+            .collect();
+        let got = parallel_jobs(&cfg, jobs);
+        assert_eq!(got, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_available_cores() {
+        assert!(ParallelConfig::max_parallelism().resolved_threads() >= 1);
+    }
+}

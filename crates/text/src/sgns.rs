@@ -54,7 +54,10 @@ fn sigmoid(x: f32) -> f32 {
 /// Train SGNS embeddings over `docs` (documents of word ids drawn from
 /// `0..vocab_size`). Returns the input-vector matrix.
 pub fn train_sgns(docs: &[Vec<u32>], vocab_size: usize, cfg: &SgnsConfig) -> Embeddings {
-    assert!(cfg.dim > 0 && cfg.window > 0, "dim and window must be positive");
+    assert!(
+        cfg.dim > 0 && cfg.window > 0,
+        "dim and window must be positive"
+    );
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
     // Input and output vectors; inputs small-random, outputs zero (standard).
@@ -91,17 +94,16 @@ pub fn train_sgns(docs: &[Vec<u32>], vocab_size: usize, cfg: &SgnsConfig) -> Emb
     for _ in 0..cfg.epochs {
         for doc in docs {
             for (i, &center) in doc.iter().enumerate() {
-                let lr = cfg.lr
-                    * (1.0 - step as f32 / total_steps as f32).max(1e-4);
+                let lr = cfg.lr * (1.0 - step as f32 / total_steps as f32).max(1e-4);
                 step += 1;
                 let win = 1 + rng.gen_range(0..cfg.window);
                 let lo = i.saturating_sub(win);
                 let hi = (i + win + 1).min(doc.len());
-                for j in lo..hi {
+                for (j, &ctx_token) in doc.iter().enumerate().take(hi).skip(lo) {
                     if j == i {
                         continue;
                     }
-                    let context = doc[j] as usize;
+                    let context = ctx_token as usize;
                     let ci = center as usize * cfg.dim;
                     let vi = &mut w_in[ci..ci + cfg.dim];
                     grad.iter_mut().for_each(|g| *g = 0.0);

@@ -4,12 +4,50 @@
 /// title after removing these (§V-B2: "the stop words or the frequent words
 /// in paper titles are excluded").
 const STOPWORDS: &[&str] = &[
-    "a", "an", "analysis", "and", "approach", "are", "as", "at", "based",
-    "be", "by", "design", "effective", "efficient", "evaluation", "for",
-    "framework", "from", "in", "into", "is", "its", "method", "methods",
-    "model", "models", "new", "novel", "of", "on", "or", "our", "over",
-    "study", "system", "systems", "the", "to", "towards", "under", "using",
-    "via", "we", "with",
+    "a",
+    "an",
+    "analysis",
+    "and",
+    "approach",
+    "are",
+    "as",
+    "at",
+    "based",
+    "be",
+    "by",
+    "design",
+    "effective",
+    "efficient",
+    "evaluation",
+    "for",
+    "framework",
+    "from",
+    "in",
+    "into",
+    "is",
+    "its",
+    "method",
+    "methods",
+    "model",
+    "models",
+    "new",
+    "novel",
+    "of",
+    "on",
+    "or",
+    "our",
+    "over",
+    "study",
+    "system",
+    "systems",
+    "the",
+    "to",
+    "towards",
+    "under",
+    "using",
+    "via",
+    "we",
+    "with",
 ];
 
 /// True if `word` (already lowercase) is a stop word.

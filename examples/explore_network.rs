@@ -38,7 +38,7 @@ fn main() {
             l
         })
         .collect();
-    let counts = pair_counts(lists.iter().map(|l| l.as_slice()));
+    let counts = pair_counts(lists.iter().map(Vec::as_slice));
     let pair_hist = pair_frequency_histogram(&counts);
     let pts: Vec<(f64, f64)> = pair_hist
         .iter()
@@ -65,7 +65,14 @@ fn main() {
     // Tail of the pair-frequency histogram (the "surprisingly frequent"
     // collaborations that make Stage 1 sound).
     let mut tail = Table::new(["co-occurrences", "#pairs"]);
-    for &(f, n) in pair_hist.iter().rev().take(5).collect::<Vec<_>>().iter().rev() {
+    for &(f, n) in pair_hist
+        .iter()
+        .rev()
+        .take(5)
+        .collect::<Vec<_>>()
+        .iter()
+        .rev()
+    {
         tail.row([f.to_string(), n.to_string()]);
     }
     println!("heaviest repeat collaborations:\n{tail}");

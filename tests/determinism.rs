@@ -1,0 +1,112 @@
+//! Regression test for the determinism contract of the parallel layer:
+//! `Iuad::fit` must produce bit-identical networks at any thread count, so
+//! that seeded experiment outputs stay reproducible when fan-out is enabled.
+
+use std::collections::BTreeMap;
+
+use iuad_suite::core::{Iuad, IuadConfig, ParallelConfig};
+use iuad_suite::corpus::{Corpus, CorpusConfig};
+
+fn corpus() -> Corpus {
+    Corpus::generate(&CorpusConfig {
+        num_authors: 200,
+        num_papers: 900,
+        seed: 1234,
+        ..Default::default()
+    })
+}
+
+fn fit_with_threads(c: &Corpus, threads: usize) -> Iuad {
+    Iuad::fit(
+        c,
+        &IuadConfig {
+            parallel: ParallelConfig::with_threads(threads),
+            ..Default::default()
+        },
+    )
+}
+
+/// Sorted mention assignments plus the sorted edge list with payloads.
+type Fingerprint = (BTreeMap<(u32, u32), usize>, Vec<(u32, u32, usize, u32)>);
+
+/// Canonical view of a fitted network.
+fn fingerprint(iuad: &Iuad) -> Fingerprint {
+    let assignments: BTreeMap<(u32, u32), usize> = iuad
+        .network
+        .assignment
+        .iter()
+        .map(|(m, v)| ((m.paper.0, m.slot), v.index()))
+        .collect();
+    let mut edges: Vec<(u32, u32, usize, u32)> = Vec::new();
+    for (v, _) in iuad.network.graph.vertices() {
+        for (w, e) in iuad.network.graph.neighbors(v) {
+            if v < w {
+                edges.push((v.0, w.0, e.papers.len(), e.scr_support));
+            }
+        }
+    }
+    edges.sort_unstable();
+    (assignments, edges)
+}
+
+#[test]
+fn fit_is_identical_across_thread_counts() {
+    let c = corpus();
+    let n = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+
+    let start = std::time::Instant::now();
+    let sequential = fit_with_threads(&c, 1);
+    let t_seq = start.elapsed();
+
+    let start = std::time::Instant::now();
+    let parallel = fit_with_threads(&c, n);
+    let t_par = start.elapsed();
+    // Informational only: timing assertions are flaky under CI load. The
+    // speedup is asserted by eye via `cargo bench -p iuad-bench` instead.
+    eprintln!("fit: {t_seq:?} at 1 thread, {t_par:?} at {n} threads");
+
+    let (seq_assign, seq_edges) = fingerprint(&sequential);
+    let (par_assign, par_edges) = fingerprint(&parallel);
+    assert_eq!(seq_assign, par_assign, "mention assignments diverged");
+    assert_eq!(seq_edges, par_edges, "network edges diverged");
+    assert_eq!(
+        sequential.network.graph.num_vertices(),
+        parallel.network.graph.num_vertices()
+    );
+    assert_eq!(sequential.gcn.num_clusters, parallel.gcn.num_clusters);
+    assert_eq!(sequential.gcn.num_merges, parallel.gcn.num_merges);
+    assert_eq!(sequential.gcn.pairs_scored, parallel.gcn.pairs_scored);
+}
+
+#[test]
+fn stage1_network_is_identical_across_thread_counts() {
+    let c = corpus();
+    let a = fit_with_threads(&c, 1);
+    let b = fit_with_threads(&c, 3);
+    assert_eq!(a.stage1_assignments(), b.stage1_assignments());
+    assert_eq!(a.scn.graph.num_vertices(), b.scn.graph.num_vertices());
+    assert_eq!(a.scn.scrs, b.scn.scrs);
+}
+
+#[test]
+fn odd_thread_and_chunk_configurations_agree() {
+    let c = corpus();
+    let baseline = fit_with_threads(&c, 1);
+    for (threads, chunk_size) in [(2, 1), (5, 7), (8, 1024)] {
+        let other = Iuad::fit(
+            &c,
+            &IuadConfig {
+                parallel: ParallelConfig {
+                    threads,
+                    chunk_size,
+                },
+                ..Default::default()
+            },
+        );
+        assert_eq!(
+            fingerprint(&baseline),
+            fingerprint(&other),
+            "threads={threads} chunk={chunk_size}"
+        );
+    }
+}

@@ -42,7 +42,7 @@ proptest! {
             .into_iter()
             .map(|t| t.into_iter().collect())
             .collect();
-        let counts = pair_counts(txs.iter().map(|t| t.as_slice()));
+        let counts = pair_counts(txs.iter().map(Vec::as_slice));
         let mined: Vec<_> = FpGrowth::new(1)
             .with_max_len(2)
             .mine(&txs)
@@ -85,7 +85,7 @@ proptest! {
             uf.union(a, b);
             let (la, lb) = (label[a], label[b]);
             if la != lb {
-                for l in label.iter_mut() {
+                for l in &mut label {
                     if *l == lb {
                         *l = la;
                     }

@@ -1,0 +1,150 @@
+//! Vendored minimal `criterion`: enough of the API surface to compile and
+//! run this workspace's benches without crates.io access.
+//!
+//! Measurement is deliberately simple — median of `sample_size` wall-clock
+//! samples, one closure call per sample, printed as one line per benchmark.
+//! Passing `--test` (as CI's smoke job does via `cargo bench -- --test`)
+//! runs every benchmark body exactly once without timing, matching upstream
+//! criterion's test mode.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            test_mode,
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let sample_size = self.default_sample_size;
+        self.run_one(&name.into(), sample_size, f);
+    }
+
+    fn run_one(&mut self, name: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+        if self.test_mode {
+            let mut b = Bencher {
+                mode: Mode::TestOnce,
+                samples: Vec::new(),
+            };
+            f(&mut b);
+            println!("test {name} ... ok");
+            return;
+        }
+        let mut b = Bencher {
+            mode: Mode::Measure { sample_size },
+            samples: Vec::with_capacity(sample_size),
+        };
+        f(&mut b);
+        b.samples.sort_unstable();
+        let median = b
+            .samples
+            .get(b.samples.len() / 2)
+            .copied()
+            .unwrap_or(Duration::ZERO);
+        println!(
+            "bench {name:<40} median {median:>12.3?} ({} samples)",
+            b.samples.len()
+        );
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, name.into());
+        let sample_size = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        self.criterion.run_one(&full, sample_size, f);
+    }
+
+    /// Finish the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+enum Mode {
+    TestOnce,
+    Measure { sample_size: usize },
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    mode: Mode,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Call `f` repeatedly, timing each call.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        match self.mode {
+            Mode::TestOnce => {
+                black_box(f());
+            }
+            Mode::Measure { sample_size } => {
+                for _ in 0..sample_size {
+                    let start = Instant::now();
+                    black_box(f());
+                    self.samples.push(start.elapsed());
+                }
+            }
+        }
+    }
+}
+
+/// Collect benchmark functions into a group runner, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

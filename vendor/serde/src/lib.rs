@@ -1,0 +1,300 @@
+//! Vendored minimal `serde`: a self-describing value model plus derivable
+//! [`Serialize`] / [`Deserialize`] traits.
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! replaces the visitor-based upstream architecture with a much smaller
+//! [`Value`]-tree design: serializers render a `Value`, deserializers parse
+//! into a `Value` and convert. The only consumer in this workspace is the
+//! vendored `serde_json`, which the design is shaped around.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value (the JSON data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed (negative) integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object, preserving insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrow as an object field list, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Construct from a message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types renderable to a [`Value`].
+pub trait Serialize {
+    /// Render to the serde data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types constructible from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Parse from the serde data model.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+
+    /// Called by derived impls when an object field is absent. Defaults to
+    /// an error; `Option` overrides this to yield `None`, mirroring
+    /// upstream serde's missing-field semantics.
+    fn from_missing(field: &str) -> Result<Self, DeError> {
+        Err(DeError::custom(format!("missing field `{field}`")))
+    }
+}
+
+/// Look up a field of a derived struct's object representation.
+/// Public for use by `serde_derive` expansions only.
+#[doc(hidden)]
+pub fn __find<'v>(fields: &'v [(String, Value)], key: &str) -> Option<&'v Value> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(u64::from(*self))
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = match *v {
+                    Value::U64(n) => n,
+                    Value::I64(n) if n >= 0 => n as u64,
+                    _ => return Err(DeError::custom(concat!("expected ", stringify!($t)))),
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| DeError::custom(concat!(stringify!($t), " out of range")))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32);
+
+macro_rules! impl_unsigned_wide {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = match *v {
+                    Value::U64(n) => n,
+                    Value::I64(n) if n >= 0 => n as u64,
+                    _ => return Err(DeError::custom(concat!("expected ", stringify!($t)))),
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| DeError::custom(concat!(stringify!($t), " out of range")))
+            }
+        }
+    )*};
+}
+impl_unsigned_wide!(u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = i64::from(*self);
+                if n >= 0 {
+                    Value::U64(n as u64)
+                } else {
+                    Value::I64(n)
+                }
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n: i64 = match *v {
+                    Value::I64(n) => n,
+                    Value::U64(n) => {
+                        i64::try_from(n).map_err(|_| DeError::custom("integer out of range"))?
+                    }
+                    _ => return Err(DeError::custom(concat!("expected ", stringify!($t)))),
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| DeError::custom(concat!(stringify!($t), " out of range")))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match *v {
+            Value::F64(x) => Ok(x),
+            Value::U64(n) => Ok(n as f64),
+            Value::I64(n) => Ok(n as f64),
+            _ => Err(DeError::custom("expected number")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match *v {
+            Value::Bool(b) => Ok(b),
+            _ => Err(DeError::custom("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::custom("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(DeError::custom("expected array")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn from_missing(_field: &str) -> Result<Self, DeError> {
+        Ok(None)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Array(items) if items.len() == [$($idx),+].len() => {
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    _ => Err(DeError::custom("expected tuple array")),
+                }
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+}

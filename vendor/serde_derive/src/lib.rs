@@ -1,0 +1,277 @@
+//! Vendored minimal `serde_derive`: `#[derive(Serialize, Deserialize)]` for
+//! structs, hand-parsed from the token stream (no `syn`/`quote`, which are
+//! unavailable in this offline build environment).
+//!
+//! Supported shapes — exactly what this workspace uses:
+//! * named-field structs (missing `Option` fields deserialize to `None`);
+//! * tuple structs, including `#[serde(transparent)]` newtypes;
+//! * unit structs.
+//!
+//! Generics, enums, and other serde attributes are rejected with a compile
+//! error rather than silently mis-serialized.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct StructInfo {
+    name: String,
+    transparent: bool,
+    shape: Shape,
+}
+
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Parse the derive input. Returns `Err(msg)` for unsupported shapes.
+fn parse_struct(input: TokenStream) -> Result<StructInfo, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut transparent = false;
+    let mut i = 0;
+
+    // Leading attributes and visibility.
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    transparent |= attr_is_serde_transparent(g.stream());
+                    i += 2;
+                } else {
+                    return Err("malformed attribute".into());
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => break,
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                return Err("serde_derive (vendored) does not support enums".into());
+            }
+            _ => return Err("expected struct".into()),
+        }
+    }
+
+    // `struct Name`
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected struct name".into()),
+    };
+    i += 1;
+
+    match tokens.get(i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            Err("serde_derive (vendored) does not support generics".into())
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(StructInfo {
+            name,
+            transparent,
+            shape: Shape::Unit,
+        }),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(StructInfo {
+            name,
+            transparent,
+            shape: Shape::Named(parse_named_fields(g.stream())?),
+        }),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Ok(StructInfo {
+            name,
+            transparent,
+            shape: Shape::Tuple(count_tuple_fields(g.stream())),
+        }),
+        _ => Err("unsupported struct body".into()),
+    }
+}
+
+fn attr_is_serde_transparent(attr: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = attr.into_iter().collect();
+    match tokens.as_slice() {
+        [TokenTree::Ident(id), TokenTree::Group(g)] if id.to_string() == "serde" => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(w) if w.to_string() == "transparent")),
+        _ => false,
+    }
+}
+
+/// Field names of a named-field struct body, in declaration order.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip per-field attributes (incl. doc comments) and visibility.
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+            _ => {}
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, found `{other}`")),
+        };
+        match tokens.get(i + 1) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        fields.push(name);
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        i += 2;
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut count = 0usize;
+    let mut any = false;
+    for t in body {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => count += 1,
+            _ => any = true,
+        }
+    }
+    if any {
+        count + 1
+    } else {
+        0
+    }
+}
+
+/// `#[derive(Serialize)]` for structs.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let info = match parse_struct(input) {
+        Ok(info) => info,
+        Err(msg) => return compile_error(&msg),
+    };
+    let name = &info.name;
+    let body = match &info.shape {
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Shape::Tuple(1) if info.transparent => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::Unit => "::serde::Value::Object(::std::vec![])".to_string(),
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+/// `#[derive(Deserialize)]` for structs.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let info = match parse_struct(input) {
+        Ok(info) => info,
+        Err(msg) => return compile_error(&msg),
+    };
+    let name = &info.name;
+    let body = match &info.shape {
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: match ::serde::__find(fields, {f:?}) {{\n\
+                             ::std::option::Option::Some(x) => \
+                                 ::serde::Deserialize::from_value(x)?,\n\
+                             ::std::option::Option::None => \
+                                 ::serde::Deserialize::from_missing({f:?})?,\n\
+                         }}"
+                    )
+                })
+                .collect();
+            format!(
+                "let fields = v.as_object().ok_or_else(|| \
+                     ::serde::DeError::custom(\"expected object\"))?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                entries.join(",\n")
+            )
+        }
+        Shape::Tuple(1) if info.transparent => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::Tuple(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Array(items) if items.len() == {n} => \
+                         ::std::result::Result::Ok({name}({})),\n\
+                     _ => ::std::result::Result::Err(::serde::DeError::custom(\
+                         \"expected array of length {n}\")),\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Shape::Unit => format!("let _ = v; ::std::result::Result::Ok({name})"),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
