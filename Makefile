@@ -1,7 +1,7 @@
 # Local entrypoints mirroring .github/workflows/ci.yml — keep the two in
 # sync so "it passes locally" means "it passes in CI".
 
-.PHONY: build test lint fmt bench bench-smoke repro all
+.PHONY: build test lint fmt bench bench-smoke bench-json repro all
 
 all: build test lint
 
@@ -24,6 +24,11 @@ bench:
 # What the scheduled CI job runs: compile benches, one quick pass, no stats.
 bench-smoke:
 	cargo bench -p iuad-bench -- --test
+
+# Regenerate the committed single-threaded perf baseline
+# (BENCH_pipeline.json; schema in README § Performance).
+bench-json:
+	IUAD_BENCH_THREADS=1 cargo run --release -p iuad-bench --bin repro -- perf
 
 # Regenerate the paper's tables and figures.
 repro:

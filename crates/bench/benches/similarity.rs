@@ -1,9 +1,14 @@
 //! Criterion bench for the six similarity functions (the per-pair cost of
-//! Fig. 6 and GCN construction) and similarity-cache construction.
+//! Fig. 6 and GCN construction), similarity-cache construction, and
+//! kernel-level micro-benchmarks (`normalized_kernel`, γ₄, γ₆) so a
+//! regression in one kernel is visible independently of the end-to-end
+//! pipeline number.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use iuad_core::{CacheScope, ProfileContext, Scn, SimilarityEngine};
-use iuad_corpus::{Corpus, CorpusConfig};
+use iuad_core::similarity::{gamma4_time_consistency, gamma6_communities};
+use iuad_core::{CacheScope, ProfileContext, Scn, SimilarityEngine, VertexProfile};
+use iuad_corpus::{Corpus, CorpusConfig, NameId};
+use iuad_graph::wl::{normalized_kernel, SparseFeatures};
 
 fn bench_similarity(c: &mut Criterion) {
     let corpus = Corpus::generate(&CorpusConfig {
@@ -42,5 +47,83 @@ fn bench_similarity(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_similarity);
+/// Deterministic pseudo-random stream for synthetic kernel inputs (no rng
+/// dependency needed at this fidelity).
+fn lcg(seed: u64) -> impl FnMut() -> u64 {
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+    move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 11
+    }
+}
+
+/// Two overlapping sparse feature vectors of the given sizes: labels drawn
+/// from a shared pool so the merge join exercises both match and advance
+/// paths.
+fn synthetic_features(seed: u64, len_a: usize, len_b: usize) -> (SparseFeatures, SparseFeatures) {
+    let mut next = lcg(seed);
+    let mut draw = |len: usize| -> SparseFeatures {
+        SparseFeatures::from_counts((0..len).map(|_| (next() % 4096, 1 + (next() % 3) as u32)))
+    };
+    (draw(len_a), draw(len_b))
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+
+    // normalized_kernel: balanced (linear merge join) and skewed
+    // (galloping) shapes.
+    let (a, b) = synthetic_features(7, 128, 160);
+    group.bench_function("normalized_kernel/128x160", |bch| {
+        bch.iter(|| normalized_kernel(black_box(&a), black_box(&b)));
+    });
+    let (small, large) = synthetic_features(11, 8, 2048);
+    group.bench_function("normalized_kernel/8x2048_gallop", |bch| {
+        bch.iter(|| normalized_kernel(black_box(&small), black_box(&large)));
+    });
+
+    // γ₄ / γ₆ on realistic profiles from a generated corpus.
+    let corpus = Corpus::generate(&CorpusConfig {
+        num_authors: 200,
+        num_papers: 800,
+        seed: 5,
+        ..Default::default()
+    });
+    let ctx = ProfileContext::build(&corpus, 16, 3);
+    let profiles: Vec<VertexProfile> = (0..40u32)
+        .map(|i| {
+            let name = NameId(i % corpus.num_names() as u32);
+            VertexProfile::from_mentions(name, &corpus.mentions_of_name(name), &ctx)
+        })
+        .collect();
+    group.bench_function("gamma4_time_consistency", |bch| {
+        let mut k = 0usize;
+        bch.iter(|| {
+            let pa = &profiles[k % profiles.len()];
+            let pb = &profiles[(k + 1) % profiles.len()];
+            k += 1;
+            black_box(gamma4_time_consistency(
+                black_box(pa),
+                black_box(pb),
+                3.0,
+                0.62,
+                &ctx,
+            ))
+        });
+    });
+    group.bench_function("gamma6_communities", |bch| {
+        let mut k = 0usize;
+        bch.iter(|| {
+            let pa = &profiles[k % profiles.len()];
+            let pb = &profiles[(k + 1) % profiles.len()];
+            k += 1;
+            black_box(gamma6_communities(black_box(pa), black_box(pb), 3.0, &ctx))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_similarity, bench_kernels);
 criterion_main!(benches);

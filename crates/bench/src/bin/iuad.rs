@@ -20,7 +20,7 @@ use iuad_eval::{pairwise_confusion, Confusion, Table};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  iuad generate [--papers N] [--authors N] [--seed S] <out.jsonl>\n  iuad fit <corpus.jsonl> [--eta N] [--delta X]\n  iuad evaluate <corpus.jsonl> [--eta N] [--delta X]"
+        "usage:\n  iuad generate [--papers N] [--authors N] [--seed S] <out.jsonl>\n  iuad fit <corpus.jsonl> [--eta N] [--delta X] [--bench-json PATH]\n  iuad evaluate <corpus.jsonl> [--eta N] [--delta X] [--bench-json PATH]"
     );
     exit(2)
 }
@@ -131,6 +131,24 @@ fn main() {
             }
             if let Some(delta) = args.get("delta") {
                 config.gcn.delta = delta;
+            }
+            // `--bench-json PATH`: an additional instrumented pipeline run
+            // at the same configuration (including thread count), measured
+            // stage by stage per the BENCH_pipeline.json schema of README
+            // § Performance, before the reporting fit below.
+            if let Some(path) = args.get::<PathBuf>("bench-json") {
+                let bench =
+                    iuad_bench::experiments::perf::measure(&corpus, &config, &config.parallel);
+                match serde_json::to_string(&bench)
+                    .map_err(std::io::Error::other)
+                    .and_then(|json| std::fs::write(&path, json))
+                {
+                    Ok(()) => eprintln!("wrote {}", path.display()),
+                    Err(e) => {
+                        eprintln!("error writing {}: {e}", path.display());
+                        exit(1);
+                    }
+                }
             }
             let (iuad, elapsed) = iuad_eval::time_it(|| Iuad::fit(&corpus, &config));
             println!(

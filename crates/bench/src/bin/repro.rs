@@ -5,15 +5,18 @@
 //! cargo run --release -p iuad-bench --bin repro -- table3 fig6
 //! ```
 //!
-//! Artefact ids: `fig3 table2 table3 table4 table5 fig5 table6 fig6
+//! Artefact ids: `perf fig3 table2 table3 table4 table5 fig5 table6 fig6
 //! ablation-eta ablation-sampling ablation-split ablation-features`.
+//! `perf` measures stage wall-times and writes `BENCH_pipeline.json`
+//! (single-threaded baseline: `IUAD_BENCH_THREADS=1 repro perf`).
 
 use std::time::Instant;
 
 use iuad_bench::{benchmark_corpus, experiments};
 use iuad_corpus::Corpus;
 
-const ALL: [&str; 13] = [
+const ALL: [&str; 14] = [
+    "perf",
     "fig3",
     "table2",
     "table3",
@@ -31,6 +34,7 @@ const ALL: [&str; 13] = [
 
 fn dispatch(id: &str, corpus: &Corpus) -> Option<String> {
     let out = match id {
+        "perf" => experiments::perf::run(corpus),
         "fig3" => experiments::fig3::run(corpus),
         "table2" => experiments::table2::run(corpus),
         "table3" => experiments::table3::run(corpus),

@@ -8,6 +8,7 @@ pub mod ablations;
 pub mod fig3;
 pub mod fig5;
 pub mod fig6;
+pub mod perf;
 pub mod table2;
 pub mod table3;
 pub mod table4;

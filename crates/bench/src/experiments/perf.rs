@@ -1,0 +1,201 @@
+//! Pipeline performance baseline: per-stage wall-times and candidate-pair
+//! throughput on the benchmark corpus, written as the machine-readable
+//! `BENCH_pipeline.json` so every future PR can compare against a recorded
+//! trajectory (see README § Performance for the schema).
+//!
+//! The measurement replicates [`iuad_core::Iuad::fit`] stage by stage via
+//! the public Stage-1/Stage-2 entry points, so a stage timing here is the
+//! cost of exactly that pipeline phase and nothing else. Thread count comes
+//! from `IUAD_BENCH_THREADS` (default: all cores); run with
+//! `IUAD_BENCH_THREADS=1` for the canonical single-threaded baseline.
+
+use std::time::Instant;
+
+use iuad_core::gcn::{
+    self, candidate_pair_data_parallel, fit_model, merge_network, scores_for_parallel,
+    training_rows, MergePolicy,
+};
+use iuad_core::{CacheScope, IuadConfig, ProfileContext, Scn, SimilarityEngine, NUM_SIMILARITIES};
+use iuad_corpus::Corpus;
+use iuad_eval::Table;
+use iuad_par::ParallelConfig;
+use serde::Serialize;
+
+use crate::write_results;
+
+/// Wall-time of one pipeline stage.
+#[derive(Debug, Clone, Serialize)]
+pub struct StageTiming {
+    /// Stage id (stable across PRs; new stages append).
+    pub stage: String,
+    /// Elapsed wall-clock seconds.
+    pub seconds: f64,
+}
+
+/// The `BENCH_pipeline.json` document.
+#[derive(Debug, Clone, Serialize)]
+pub struct PipelineBench {
+    /// Schema version; bump when fields change meaning.
+    pub schema_version: u32,
+    /// Papers in the measured corpus.
+    pub corpus_papers: usize,
+    /// Distinct author names.
+    pub corpus_names: usize,
+    /// Ground-truth authors.
+    pub corpus_authors: usize,
+    /// Author mentions (disambiguation units).
+    pub corpus_mentions: usize,
+    /// Resolved worker-thread count the hot paths ran at.
+    pub threads: usize,
+    /// Per-stage wall-times, in execution order.
+    pub stages: Vec<StageTiming>,
+    /// Same-name candidate pairs scored by Stage 2.
+    pub candidate_pairs: usize,
+    /// Wall-time of `candidate_pair_data` (γ-vector computation) alone.
+    pub candidate_pair_seconds: f64,
+    /// `candidate_pairs / candidate_pair_seconds` — the headline number.
+    pub pairs_per_sec: f64,
+    /// End-to-end fit wall-time (sum of stage timings' wall-clock window).
+    pub total_seconds: f64,
+}
+
+/// Measure the full pipeline on `corpus` under `cfg` at `par`'s thread
+/// count.
+pub fn measure(corpus: &Corpus, cfg: &IuadConfig, par: &ParallelConfig) -> PipelineBench {
+    let mut stages: Vec<StageTiming> = Vec::new();
+    let mut stage = |name: &str, t0: Instant| {
+        stages.push(StageTiming {
+            stage: name.to_string(),
+            seconds: t0.elapsed().as_secs_f64(),
+        });
+    };
+    let total0 = Instant::now();
+
+    let t = Instant::now();
+    let ctx = ProfileContext::build(corpus, cfg.embedding_dim, cfg.embedding_seed);
+    stage("profile_context", t);
+
+    let t = Instant::now();
+    let scn = Scn::build_parallel(corpus, cfg.eta, par);
+    stage("scn_build", t);
+
+    let t = Instant::now();
+    let engine = SimilarityEngine::build_parallel(
+        &scn,
+        &ctx,
+        cfg.alpha,
+        cfg.wl_iters,
+        CacheScope::AmbiguousOnly,
+        par,
+    );
+    stage("similarity_engine_build", t);
+
+    let t = Instant::now();
+    let data = candidate_pair_data_parallel(&scn, &ctx, &engine, par);
+    let candidate_pair_seconds = t.elapsed().as_secs_f64();
+    stage("candidate_pair_data", t);
+
+    let gcn_cfg = &cfg.gcn;
+    let t = Instant::now();
+    let (rows, anchors) = training_rows(&data, &scn, &ctx, &engine, gcn_cfg);
+    let all_features: Vec<usize> = (0..NUM_SIMILARITIES).collect();
+    let model = fit_model(&rows, &anchors, &all_features, &gcn_cfg.em);
+    stage("mixture_fit", t);
+
+    let t = Instant::now();
+    let cluster_of_vertex = match &model {
+        Some(m) => {
+            let scores = scores_for_parallel(m, &data.vectors, &all_features, par);
+            let (clusters, _, _) = match gcn_cfg.merge_policy {
+                MergePolicy::Transitive => {
+                    gcn::clusters_from_scores(&scn, &data.pairs, &scores, gcn_cfg.delta)
+                }
+                MergePolicy::AverageLinkage => {
+                    gcn::clusters_by_linkage(&scn, &data.pairs, &scores, gcn_cfg.delta)
+                }
+            };
+            clusters
+        }
+        None => (0..scn.graph.num_vertices()).collect(),
+    };
+    stage("score_and_cluster", t);
+
+    let t = Instant::now();
+    let network = merge_network(corpus, &scn, &cluster_of_vertex);
+    stage("merge_network", t);
+
+    let t = Instant::now();
+    let _incr_engine = SimilarityEngine::build_parallel(
+        &network,
+        &ctx,
+        cfg.alpha,
+        cfg.wl_iters,
+        CacheScope::AmbiguousOnly,
+        par,
+    );
+    stage("incremental_engine_build", t);
+
+    let candidate_pairs = data.pairs.len();
+    PipelineBench {
+        schema_version: 1,
+        corpus_papers: corpus.papers.len(),
+        corpus_names: corpus.num_names(),
+        corpus_authors: corpus.num_authors(),
+        corpus_mentions: corpus.num_mentions(),
+        threads: par.resolved_threads(),
+        stages,
+        candidate_pairs,
+        candidate_pair_seconds,
+        pairs_per_sec: if candidate_pair_seconds > 0.0 {
+            candidate_pairs as f64 / candidate_pair_seconds
+        } else {
+            0.0
+        },
+        total_seconds: total0.elapsed().as_secs_f64(),
+    }
+}
+
+/// Serialize `bench` to `BENCH_pipeline.json` at the repository root (the
+/// committed perf trajectory) and mirror it under `results/` (the mirror
+/// is best-effort).
+pub fn write_bench_json(bench: &PipelineBench) -> std::io::Result<()> {
+    let json = serde_json::to_string(bench).map_err(std::io::Error::other)?;
+    std::fs::write("BENCH_pipeline.json", &json)?;
+    if std::fs::create_dir_all("results").is_ok() {
+        let _ = std::fs::write("results/BENCH_pipeline.json", &json);
+    }
+    Ok(())
+}
+
+/// Render `bench` as an aligned text table.
+pub fn render(bench: &PipelineBench) -> String {
+    let mut t = Table::new(["stage", "seconds"]);
+    for s in &bench.stages {
+        t.row([s.stage.clone(), format!("{:.3}", s.seconds)]);
+    }
+    t.row(["total".to_string(), format!("{:.3}", bench.total_seconds)]);
+    let mut info = Table::new(["metric", "value"]);
+    info.row(["threads", &bench.threads.to_string()]);
+    info.row(["candidate pairs", &bench.candidate_pairs.to_string()]);
+    info.row(["pairs/sec", &format!("{:.0}", bench.pairs_per_sec)]);
+    format!("{}\n{}", t.render(), info.render())
+}
+
+/// Run the pipeline bench and emit `BENCH_pipeline.json`. The JSON record
+/// is this artefact's product, so a failed write aborts the process
+/// instead of exiting 0 with nothing on disk.
+pub fn run(corpus: &Corpus) -> String {
+    let par = crate::method_parallelism();
+    eprintln!(
+        "perf: measuring pipeline at {} thread(s)…",
+        par.resolved_threads()
+    );
+    let bench = measure(corpus, &IuadConfig::default(), &par);
+    if let Err(e) = write_bench_json(&bench) {
+        eprintln!("error: failed to write BENCH_pipeline.json: {e}");
+        std::process::exit(1);
+    }
+    let out = render(&bench);
+    write_results("perf", std::slice::from_ref(&bench), &out);
+    out
+}

@@ -88,9 +88,12 @@ pub fn candidate_pair_data(scn: &Scn, ctx: &ProfileContext, engine: &SimilarityE
 }
 
 /// [`candidate_pair_data`] with the O(n²) per-pair γ-vector computation —
-/// the dominant Stage-2 cost — fanned across `par.threads` workers.
-/// γ-vectors are pure functions of the cached engine state, so the output
-/// is identical at any thread count.
+/// the dominant Stage-2 cost — fanned across `par.threads` workers, one
+/// job per same-name candidate group. Each group runs through
+/// [`SimilarityEngine::similarity_block`], which shares one WL
+/// inverted-label pass across the whole group; γ-vectors are pure
+/// functions of the cached engine state, so the output is identical at any
+/// thread count (and bit-identical to per-pair [`SimilarityEngine::similarity`]).
 pub fn candidate_pair_data_parallel(
     scn: &Scn,
     ctx: &ProfileContext,
@@ -99,15 +102,18 @@ pub fn candidate_pair_data_parallel(
 ) -> PairData {
     let mut names: Vec<_> = scn.by_name.iter().filter(|(_, vs)| vs.len() >= 2).collect();
     names.sort_by_key(|(n, _)| n.0);
+    let groups: Vec<&[VertexId]> = names.iter().map(|(_, vs)| vs.as_slice()).collect();
     let mut pairs: Vec<(VertexId, VertexId)> = Vec::new();
-    for (_, vs) in names {
+    for vs in &groups {
         for i in 0..vs.len() {
             for j in (i + 1)..vs.len() {
                 pairs.push((vs[i].min(vs[j]), vs[i].max(vs[j])));
             }
         }
     }
-    let vectors = iuad_par::parallel_map(par, &pairs, |&(a, b)| engine.similarity(ctx, a, b));
+    let block_vectors = iuad_par::parallel_map(par, &groups, |vs| engine.similarity_block(ctx, vs));
+    let vectors: Vec<SimilarityVector> = block_vectors.into_iter().flatten().collect();
+    debug_assert_eq!(vectors.len(), pairs.len());
     PairData { pairs, vectors }
 }
 

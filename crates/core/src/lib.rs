@@ -43,6 +43,6 @@ pub use gcn::{Gcn, GcnConfig, MergePolicy};
 pub use incremental::Decision;
 pub use iuad_par::ParallelConfig;
 pub use pipeline::{Iuad, IuadConfig};
-pub use profile::{ProfileContext, VertexProfile};
+pub use profile::{KeywordYears, ProfileContext, VenueCounts, VertexProfile};
 pub use scn::{EdgeData, Scn, ScnVertex};
 pub use similarity::{CacheScope, SimilarityEngine, SimilarityVector, FAMILIES, NUM_SIMILARITIES};

@@ -1,10 +1,14 @@
 //! Vertex profiles: the per-vertex evidence the six similarity functions
 //! consume, plus the corpus-level context (embeddings, frequencies) they
 //! are normalised against.
+//!
+//! The per-vertex containers ([`KeywordYears`], [`VenueCounts`]) are sorted
+//! association lists, not hash maps: the similarity functions γ₄ and γ₆
+//! intersect two profiles per candidate pair, and a two-pointer merge join
+//! over contiguous sorted slices beats per-key hash probes on that hot path
+//! (see `similarity.rs`).
 
-use rustc_hash::FxHashMap;
-
-use iuad_corpus::{Corpus, Mention, NameId, PaperId, VenueId};
+use iuad_corpus::{Corpus, Mention, NameId, Paper, PaperId, VenueId};
 use iuad_text::{centroid, tokenize_filtered, train_sgns, Embeddings, SgnsConfig, Vocab};
 
 /// Corpus-level context shared by all similarity computations.
@@ -26,9 +30,21 @@ pub struct ProfileContext {
     pub paper_venues: Vec<VenueId>,
     /// `F_H(h)`: number of papers published in venue `h` (Equation 9).
     pub venue_freq: Vec<u32>,
+    /// `ln(max(F_B(b), 2))` per word — γ₄'s denominator, hoisted out of the
+    /// per-pair loop so the hot path performs no `ln` calls.
+    pub word_ln_freq: Vec<f64>,
+    /// `1 / ln(max(F_H(h), 2))` per venue — γ₆'s Adamic/Adar weight,
+    /// likewise precomputed.
+    pub venue_aa_weight: Vec<f64>,
     /// Fraction-of-documents threshold above which a word counts as
     /// "frequent" and is excluded from keywords (§V-B2).
     pub frequent_word_fraction: f64,
+}
+
+/// γ₆'s Adamic/Adar weight for a venue unseen at context-build time
+/// (possible in the incremental setting): `F_H` defaults to 1, clamped to 2.
+pub(crate) fn unseen_venue_aa_weight() -> f64 {
+    1.0 / 2.0f64.ln()
 }
 
 impl ProfileContext {
@@ -71,6 +87,13 @@ impl ProfileContext {
         for p in &corpus.papers {
             venue_freq[p.venue.index()] += 1;
         }
+        let word_ln_freq: Vec<f64> = (0..vocab.len() as u32)
+            .map(|w| (vocab.term_count(w) as f64).max(2.0).ln())
+            .collect();
+        let venue_aa_weight: Vec<f64> = venue_freq
+            .iter()
+            .map(|&f| 1.0 / (f64::from(f).max(2.0)).ln())
+            .collect();
         ProfileContext {
             vocab,
             embeddings,
@@ -78,6 +101,8 @@ impl ProfileContext {
             paper_years: corpus.papers.iter().map(|p| p.year).collect(),
             paper_venues: corpus.papers.iter().map(|p| p.venue).collect(),
             venue_freq,
+            word_ln_freq,
+            venue_aa_weight,
             frequent_word_fraction,
         }
     }
@@ -88,6 +113,284 @@ impl ProfileContext {
     }
 }
 
+/// `B(v)` with usage years: keyword → ascending years, in flat
+/// struct-of-arrays layout — strictly ascending `words`, with each word's
+/// years a `offsets[i]..offsets[i+1]` slice of one contiguous `years`
+/// buffer. γ₄'s merge join scans the packed `u32` word array (4 bytes per
+/// step, no per-keyword heap indirection) and only touches years on a
+/// match; the minimum year gap is then a two-pointer scan over the two
+/// ascending year slices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeywordYears {
+    words: Vec<u32>,
+    offsets: Vec<u32>,
+    years: Vec<u16>,
+}
+
+impl Default for KeywordYears {
+    fn default() -> Self {
+        KeywordYears {
+            words: Vec::new(),
+            offsets: vec![0],
+            years: Vec::new(),
+        }
+    }
+}
+
+impl KeywordYears {
+    /// Build from `(keyword, year)` observations in any order.
+    pub fn from_pairs(mut pairs: Vec<(u32, u16)>) -> Self {
+        pairs.sort_unstable();
+        let mut out = KeywordYears::default();
+        for (w, y) in pairs {
+            if out.words.last() != Some(&w) {
+                out.words.push(w);
+                out.offsets.push(out.years.len() as u32);
+            }
+            out.years.push(y);
+            *out.offsets.last_mut().unwrap() = out.years.len() as u32;
+        }
+        out
+    }
+
+    /// Set the years of `word` (sorted on insertion), replacing any previous
+    /// entry. Rebuilds the flat buffers — a test/fixture constructor, not a
+    /// hot path.
+    pub fn insert(&mut self, word: u32, years: Vec<u16>) {
+        let mut pairs: Vec<(u32, u16)> = self
+            .iter()
+            .filter(|&(w, _)| w != word)
+            .flat_map(|(w, ys)| ys.iter().map(move |&y| (w, y)).collect::<Vec<_>>())
+            .collect();
+        pairs.extend(years.into_iter().map(|y| (word, y)));
+        *self = Self::from_pairs(pairs);
+    }
+
+    /// The ascending years of `word`, if present.
+    pub fn years_of(&self, word: u32) -> Option<&[u16]> {
+        self.words
+            .binary_search(&word)
+            .ok()
+            .map(|i| self.years_at(i))
+    }
+
+    /// The strictly ascending keywords.
+    pub fn words(&self) -> &[u32] {
+        &self.words
+    }
+
+    /// Ascending years of the word at position `i` of [`Self::words`].
+    pub fn years_at(&self, i: usize) -> &[u16] {
+        &self.years[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Iterate `(keyword, ascending years)` in ascending keyword order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &[u16])> + '_ {
+        self.words
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| (w, self.years_at(i)))
+    }
+
+    /// Number of distinct keywords.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether no keyword was observed.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Total keyword occurrences (one per usage year recorded).
+    pub fn total_usages(&self) -> usize {
+        self.years.len()
+    }
+
+    /// A copy containing only the words that pass `keep` (years carried
+    /// over verbatim). Used to build join-optimised evidence: when `keep`
+    /// drops only words that provably cannot occur in a join partner, γ₄
+    /// over two such copies is bit-identical to the originals.
+    pub fn filter_words(&self, mut keep: impl FnMut(u32) -> bool) -> KeywordYears {
+        let mut out = KeywordYears::default();
+        for (i, &w) in self.words.iter().enumerate() {
+            if keep(w) {
+                out.words.push(w);
+                out.years.extend_from_slice(self.years_at(i));
+                out.offsets.push(out.years.len() as u32);
+            }
+        }
+        out
+    }
+
+    /// Fold `other` in: union of keywords, years merged sorted.
+    pub fn merge(&mut self, other: &KeywordYears) {
+        let mut out = KeywordYears {
+            words: Vec::with_capacity(self.words.len() + other.words.len()),
+            offsets: Vec::with_capacity(self.words.len() + other.words.len() + 1),
+            years: Vec::with_capacity(self.years.len() + other.years.len()),
+        };
+        out.offsets.push(0);
+        let (mut i, mut j) = (0, 0);
+        while i < self.words.len() || j < other.words.len() {
+            let wa = self.words.get(i).copied();
+            let wb = other.words.get(j).copied();
+            let (w, take_a, take_b) = match (wa, wb) {
+                (Some(a), Some(b)) if a == b => (a, true, true),
+                (Some(a), Some(b)) if a < b => (a, true, false),
+                (Some(_), Some(b)) => (b, false, true),
+                (Some(a), None) => (a, true, false),
+                (None, Some(b)) => (b, false, true),
+                (None, None) => unreachable!(),
+            };
+            out.words.push(w);
+            match (take_a, take_b) {
+                (true, true) => {
+                    // Two ascending runs → one sorted merge.
+                    let (ya, yb) = (self.years_at(i), other.years_at(j));
+                    let (mut p, mut q) = (0, 0);
+                    while p < ya.len() || q < yb.len() {
+                        let next_a = ya.get(p).copied();
+                        match (next_a, yb.get(q).copied()) {
+                            (Some(x), Some(y)) if x <= y => {
+                                out.years.push(x);
+                                p += 1;
+                            }
+                            (_, Some(y)) => {
+                                out.years.push(y);
+                                q += 1;
+                            }
+                            (Some(x), None) => {
+                                out.years.push(x);
+                                p += 1;
+                            }
+                            (None, None) => unreachable!(),
+                        }
+                    }
+                    i += 1;
+                    j += 1;
+                }
+                (true, false) => {
+                    out.years.extend_from_slice(self.years_at(i));
+                    i += 1;
+                }
+                (false, true) => {
+                    out.years.extend_from_slice(other.years_at(j));
+                    j += 1;
+                }
+                (false, false) => unreachable!(),
+            }
+            out.offsets.push(out.years.len() as u32);
+        }
+        *self = out;
+    }
+}
+
+/// Venue multiset `H(v)` as a venue-sorted `(venue, count)` run-length
+/// list; intersections (γ₆) are merge joins and point lookups (γ₅) binary
+/// searches.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VenueCounts(Vec<(u32, u32)>);
+
+impl VenueCounts {
+    /// Build from one venue observation per paper, in any order.
+    pub fn from_venues(mut venues: Vec<u32>) -> Self {
+        venues.sort_unstable();
+        let mut out: Vec<(u32, u32)> = Vec::new();
+        for v in venues {
+            match out.last_mut() {
+                Some((last, c)) if *last == v => *c += 1,
+                _ => out.push((v, 1)),
+            }
+        }
+        VenueCounts(out)
+    }
+
+    /// Set the count of `venue`, replacing any previous entry. Primarily a
+    /// test/fixture constructor.
+    pub fn insert(&mut self, venue: u32, count: u32) {
+        match self.0.binary_search_by_key(&venue, |e| e.0) {
+            Ok(i) => self.0[i].1 = count,
+            Err(i) => self.0.insert(i, (venue, count)),
+        }
+    }
+
+    /// Occurrences of `venue` (0 when absent).
+    pub fn count_of(&self, venue: u32) -> u32 {
+        self.0
+            .binary_search_by_key(&venue, |e| e.0)
+            .map(|i| self.0[i].1)
+            .unwrap_or(0)
+    }
+
+    /// Venue-sorted `(venue, count)` entries.
+    pub fn entries(&self) -> &[(u32, u32)] {
+        &self.0
+    }
+
+    /// Number of distinct venues.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether no venue was observed.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Total papers counted across venues.
+    pub fn total(&self) -> u32 {
+        self.0.iter().map(|&(_, c)| c).sum()
+    }
+
+    /// Fold `other` in, summing counts per venue.
+    pub fn merge(&mut self, other: &VenueCounts) {
+        let mut merged: Vec<(u32, u32)> = Vec::with_capacity(self.0.len() + other.0.len());
+        let (a, b) = (&self.0, &other.0);
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                std::cmp::Ordering::Less => {
+                    merged.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    merged.push(b[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    merged.push((a[i].0, a[i].1 + b[j].1));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        merged.extend_from_slice(&a[i..]);
+        merged.extend_from_slice(&b[j..]);
+        self.0 = merged;
+    }
+
+    /// A copy containing only the venues that pass `keep` (counts carried
+    /// over verbatim) — the γ₅/γ₆ analogue of
+    /// [`KeywordYears::filter_words`].
+    pub fn filter_venues(&self, mut keep: impl FnMut(u32) -> bool) -> VenueCounts {
+        VenueCounts(self.0.iter().copied().filter(|&(v, _)| keep(v)).collect())
+    }
+
+    /// The most frequent venue (ties → smallest id), if any.
+    pub fn representative(&self) -> Option<VenueId> {
+        // Entries are id-ascending, so keeping only strictly greater counts
+        // leaves the smallest id among tied maxima.
+        let mut best: Option<(u32, u32)> = None;
+        for &(v, c) in &self.0 {
+            if best.is_none_or(|(_, bc)| c > bc) {
+                best = Some((v, c));
+            }
+        }
+        best.map(|(v, _)| VenueId(v))
+    }
+}
+
 /// Everything the similarity functions need to know about one vertex.
 #[derive(Debug, Clone)]
 pub struct VertexProfile {
@@ -95,10 +398,10 @@ pub struct VertexProfile {
     pub name: NameId,
     /// Papers (deduplicated, ascending).
     pub papers: Vec<PaperId>,
-    /// Keyword → earliest/every usage years (`B(v)` with years for γ₄).
-    pub keyword_years: FxHashMap<u32, Vec<u16>>,
-    /// Venue multiset `H(v)` as venue → count.
-    pub venue_counts: FxHashMap<u32, u32>,
+    /// Keyword → ascending usage years (`B(v)` with years for γ₄).
+    pub keyword_years: KeywordYears,
+    /// Venue multiset `H(v)`.
+    pub venue_counts: VenueCounts,
     /// The most frequent venue `h^a` (ties → smallest id), if any papers.
     pub representative_venue: Option<VenueId>,
     /// Centroid of keyword embedding vectors (`W(v)` of Equation 6).
@@ -108,27 +411,44 @@ pub struct VertexProfile {
 impl VertexProfile {
     /// Build a profile from the mentions of one vertex.
     pub fn from_mentions(name: NameId, mentions: &[Mention], ctx: &ProfileContext) -> Self {
-        let mut papers: Vec<PaperId> = mentions.iter().map(|m| m.paper).collect();
+        Self::from_papers_of(name, mentions.iter().map(|m| m.paper), ctx)
+    }
+
+    /// Build a profile from the subset of `mentions` selected by `indices`
+    /// — the allocation-light path for synthetic vertex splitting, where
+    /// only an index permutation is shuffled, never the mention list.
+    pub fn from_mention_indices(
+        name: NameId,
+        mentions: &[Mention],
+        indices: &[usize],
+        ctx: &ProfileContext,
+    ) -> Self {
+        Self::from_papers_of(name, indices.iter().map(|&i| mentions[i].paper), ctx)
+    }
+
+    fn from_papers_of(
+        name: NameId,
+        paper_ids: impl Iterator<Item = PaperId>,
+        ctx: &ProfileContext,
+    ) -> Self {
+        let mut papers: Vec<PaperId> = paper_ids.collect();
         papers.sort_unstable();
         papers.dedup();
 
-        let mut keyword_years: FxHashMap<u32, Vec<u16>> = FxHashMap::default();
-        let mut venue_counts: FxHashMap<u32, u32> = FxHashMap::default();
+        let mut keyword_year_pairs: Vec<(u32, u16)> = Vec::new();
+        let mut venues: Vec<u32> = Vec::with_capacity(papers.len());
         let mut all_keywords: Vec<u32> = Vec::new();
         for &p in &papers {
             let year = ctx.paper_years[p.index()];
             for &w in &ctx.paper_keywords[p.index()] {
-                keyword_years.entry(w).or_default().push(year);
+                keyword_year_pairs.push((w, year));
                 all_keywords.push(w);
             }
-            *venue_counts
-                .entry(ctx.paper_venues[p.index()].0)
-                .or_insert(0) += 1;
+            venues.push(ctx.paper_venues[p.index()].0);
         }
-        let representative_venue = venue_counts
-            .iter()
-            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
-            .map(|(&v, _)| VenueId(v));
+        let keyword_years = KeywordYears::from_pairs(keyword_year_pairs);
+        let venue_counts = VenueCounts::from_venues(venues);
+        let representative_venue = venue_counts.representative();
         let keyword_centroid = centroid(&ctx.embeddings, &all_keywords);
 
         VertexProfile {
@@ -144,7 +464,7 @@ impl VertexProfile {
     /// Profile of a *new* paper that is not part of the context's corpus
     /// (the incremental setting, §V-E). Title keywords are looked up in the
     /// existing vocabulary; unseen words carry no signal and are skipped.
-    pub fn from_new_paper(name: NameId, paper: &iuad_corpus::Paper, ctx: &ProfileContext) -> Self {
+    pub fn from_new_paper(name: NameId, paper: &Paper, ctx: &ProfileContext) -> Self {
         let tokens = iuad_text::tokenize_filtered(&paper.title);
         let keywords: Vec<u32> = ctx
             .vocab
@@ -152,12 +472,9 @@ impl VertexProfile {
             .into_iter()
             .filter(|&w| !ctx.vocab.is_frequent(w, ctx.frequent_word_fraction))
             .collect();
-        let mut keyword_years: FxHashMap<u32, Vec<u16>> = FxHashMap::default();
-        for &w in &keywords {
-            keyword_years.entry(w).or_default().push(paper.year);
-        }
-        let mut venue_counts = FxHashMap::default();
-        venue_counts.insert(paper.venue.0, 1);
+        let keyword_years =
+            KeywordYears::from_pairs(keywords.iter().map(|&w| (w, paper.year)).collect());
+        let venue_counts = VenueCounts::from_venues(vec![paper.venue.0]);
         VertexProfile {
             name,
             papers: vec![paper.id],
@@ -176,7 +493,7 @@ impl VertexProfile {
 
     /// Total keyword occurrences (weights the centroid when merging).
     fn keyword_mass(&self) -> usize {
-        self.keyword_years.values().map(Vec::len).sum()
+        self.keyword_years.total_usages()
     }
 
     /// Fold another profile into this one (used when a new mention is
@@ -187,20 +504,9 @@ impl VertexProfile {
         self.papers.extend_from_slice(&other.papers);
         self.papers.sort_unstable();
         self.papers.dedup();
-        for (w, years) in &other.keyword_years {
-            self.keyword_years
-                .entry(*w)
-                .or_default()
-                .extend_from_slice(years);
-        }
-        for (v, c) in &other.venue_counts {
-            *self.venue_counts.entry(*v).or_insert(0) += c;
-        }
-        self.representative_venue = self
-            .venue_counts
-            .iter()
-            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
-            .map(|(&v, _)| VenueId(v));
+        self.keyword_years.merge(&other.keyword_years);
+        self.venue_counts.merge(&other.venue_counts);
+        self.representative_venue = self.venue_counts.representative();
         // Centroid: mass-weighted mean of the two centroids.
         let total = my_mass + their_mass;
         if total > 0.0 {
@@ -264,8 +570,7 @@ mod tests {
             ps.len()
         });
         assert!(prof.representative_venue.is_some());
-        let total_venues: u32 = prof.venue_counts.values().sum();
-        assert_eq!(total_venues as usize, prof.num_papers());
+        assert_eq!(prof.venue_counts.total() as usize, prof.num_papers());
     }
 
     #[test]
@@ -286,8 +591,61 @@ mod tests {
         let mentions = c.mentions_of_name(name);
         let prof = VertexProfile::from_mentions(name, &mentions, &ctx);
         if let Some(rep) = prof.representative_venue {
-            let max = prof.venue_counts.values().max().copied().unwrap();
-            assert_eq!(prof.venue_counts[&rep.0], max);
+            let max = prof
+                .venue_counts
+                .entries()
+                .iter()
+                .map(|&(_, c)| c)
+                .max()
+                .unwrap();
+            assert_eq!(prof.venue_counts.count_of(rep.0), max);
         }
+    }
+
+    #[test]
+    fn keyword_years_are_sorted_and_mergeable() {
+        let mut a = KeywordYears::from_pairs(vec![(5, 2010), (1, 2001), (5, 2003)]);
+        assert_eq!(a.years_of(5), Some(&[2003, 2010][..]));
+        assert_eq!(a.years_of(1), Some(&[2001][..]));
+        assert_eq!(a.years_of(2), None);
+        assert_eq!(a.total_usages(), 3);
+
+        let b = KeywordYears::from_pairs(vec![(5, 2005), (9, 1999)]);
+        a.merge(&b);
+        assert_eq!(a.years_of(5), Some(&[2003, 2005, 2010][..]));
+        assert_eq!(a.years_of(9), Some(&[1999][..]));
+        assert!(a.words().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn venue_counts_merge_and_representative() {
+        let mut a = VenueCounts::from_venues(vec![3, 1, 3]);
+        assert_eq!(a.count_of(3), 2);
+        assert_eq!(a.total(), 3);
+        let b = VenueCounts::from_venues(vec![1, 1, 7]);
+        a.merge(&b);
+        assert_eq!(a.count_of(1), 3);
+        assert_eq!(a.count_of(7), 1);
+        assert_eq!(a.total(), 6);
+        assert_eq!(a.representative(), Some(VenueId(1)));
+        // Tie → smallest id.
+        let t = VenueCounts::from_venues(vec![4, 2]);
+        assert_eq!(t.representative(), Some(VenueId(2)));
+    }
+
+    #[test]
+    fn split_by_indices_matches_direct_construction() {
+        let c = small_corpus();
+        let ctx = ProfileContext::build(&c, 16, 1);
+        let name = c.papers[0].authors[0];
+        let mentions = c.mentions_of_name(name);
+        let idx: Vec<usize> = (0..mentions.len()).step_by(2).collect();
+        let via_indices = VertexProfile::from_mention_indices(name, &mentions, &idx, &ctx);
+        let subset: Vec<Mention> = idx.iter().map(|&i| mentions[i]).collect();
+        let direct = VertexProfile::from_mentions(name, &subset, &ctx);
+        assert_eq!(via_indices.papers, direct.papers);
+        assert_eq!(via_indices.keyword_years, direct.keyword_years);
+        assert_eq!(via_indices.venue_counts, direct.venue_counts);
+        assert_eq!(via_indices.keyword_centroid, direct.keyword_centroid);
     }
 }

@@ -18,17 +18,21 @@
 //! FutureRank *decay* factor; a positive exponent rewards temporally distant
 //! reuse, contradicting the stated intuition, so we implement the decay
 //! `e^{−α·min(b)}` (see DESIGN.md).
-
-use rustc_hash::FxHashMap;
+//!
+//! Hot-path layout: every per-pair input is a sorted slice — WL features
+//! ([`SparseFeatures`]), name triangles, keyword years, venue counts — so
+//! each γ is a two-pointer merge join over contiguous memory, and the
+//! engine's caches are dense `Vec` slabs indexed by vertex id, so a
+//! candidate-pair evaluation performs no hash lookups at all.
 
 use iuad_graph::triangles::triangles_of;
-use iuad_graph::wl::{normalized_kernel, vertex_features, WlFeatures};
+use iuad_graph::wl::{normalized_kernel, vertex_features, SparseFeatures};
 use iuad_graph::VertexId;
 use iuad_mixture::Family;
 use iuad_par::ParallelConfig;
-use iuad_text::cosine;
+use iuad_text::cosine_with_norms;
 
-use crate::profile::{ProfileContext, VertexProfile};
+use crate::profile::{KeywordYears, ProfileContext, VenueCounts, VertexProfile};
 use crate::scn::Scn;
 
 /// Number of similarity functions.
@@ -62,15 +66,73 @@ pub enum CacheScope {
 /// Owns its caches (no borrows), so it can live inside [`crate::Iuad`]
 /// alongside the network it was built from; methods take the graph/context
 /// by reference where needed.
+///
+/// The structural caches are index-addressed slabs parallel to `profiles`:
+/// `wl[v] == None` / `tris[v] == None` means the vertex is out of cache
+/// scope or was invalidated by [`SimilarityEngine::absorb`].
 #[derive(Debug)]
 pub struct SimilarityEngine {
     profiles: Vec<VertexProfile>,
-    wl: FxHashMap<VertexId, WlFeatures>,
-    tris: FxHashMap<VertexId, Vec<(u32, u32)>>,
-    /// Decay factor α of γ₄ (paper: 0.62).
-    pub alpha: f64,
-    /// WL refinement iterations h (and ego radius).
-    pub wl_iters: usize,
+    wl: Vec<Option<SparseFeatures>>,
+    tris: Vec<Option<Vec<(u32, u32)>>>,
+    /// Group-filtered pair evidence parallel to `profiles`; `None` falls
+    /// back to the full per-vertex evidence (see [`JoinEvidence`]).
+    join: Vec<Option<JoinEvidence>>,
+    /// Members of each name group that holds join evidence, so `absorb`
+    /// can invalidate a group in O(group) instead of scanning every
+    /// profile. Entries are removed once invalidated.
+    join_groups: rustc_hash::FxHashMap<iuad_corpus::NameId, Vec<VertexId>>,
+    /// Keyword-centroid L2 norms parallel to `profiles`, hoisting γ₃'s
+    /// self-norm passes out of the pairwise loop.
+    cnorm: Vec<f64>,
+    /// `e^{−α·gap}` for gaps `0..GAMMA4_TABLE_LEN` — γ₄'s decay factors,
+    /// precomputed so the pairwise loop performs no `exp` calls for
+    /// realistic year gaps.
+    g4_exp: Vec<f64>,
+    /// Decay factor α of γ₄ (paper: 0.62). Private: `g4_exp` is baked from
+    /// it at construction, so post-build mutation would silently split γ₄
+    /// between two decay rates.
+    alpha: f64,
+    /// WL refinement iterations h (and ego radius). Private: cached
+    /// features were extracted at this radius.
+    wl_iters: usize,
+}
+
+/// γ₄ decay factors precomputed for year gaps below this bound (five
+/// centuries — any larger gap falls back to a direct `exp`).
+const GAMMA4_TABLE_LEN: usize = 512;
+
+/// Join-optimised evidence for one vertex: each component keeps only the
+/// items (WL labels, triangles, keywords, venues) that occur in ≥ 2
+/// vertices of the owner's *name group*. [`SimilarityEngine::similarity`]
+/// only ever compares same-name vertices, and an item held by a single
+/// member can never match inside the group — so same-name pair scores over
+/// this evidence are bit-identical to the full per-vertex evidence while
+/// scanning ~an order of magnitude fewer entries (Stage 1 kept same-name
+/// vertices apart precisely because their evidence barely overlaps).
+///
+/// Ad-hoc queries ([`SimilarityEngine::similarity_against`]) must use the
+/// full evidence: an external profile can match items this filter dropped.
+#[derive(Debug)]
+struct JoinEvidence {
+    /// Filtered WL features with the *full* norm retained, so the
+    /// normalised kernel still divides by the full self-kernels.
+    wl: SparseFeatures,
+    tris: Vec<(u32, u32)>,
+    kw: KeywordYears,
+    venues: VenueCounts,
+}
+
+/// Borrowed evidence for one side of a γ-vector evaluation: either a
+/// vertex's [`JoinEvidence`] (cached same-name pair path) or its full
+/// profile-backed evidence (fallback and ad-hoc paths).
+struct Side<'a> {
+    wl: Option<&'a SparseFeatures>,
+    tris: &'a [(u32, u32)],
+    kw: &'a KeywordYears,
+    venues: &'a VenueCounts,
+    profile: &'a VertexProfile,
+    cnorm: f64,
 }
 
 impl SimilarityEngine {
@@ -128,22 +190,132 @@ impl SimilarityEngine {
             (Self::wl_of(scn, v, wl_iters), Self::name_triangles(scn, v))
         });
 
-        let mut wl = FxHashMap::default();
-        let mut tris = FxHashMap::default();
+        let mut wl: Vec<Option<SparseFeatures>> = vec![None; profiles.len()];
+        let mut tris: Vec<Option<Vec<(u32, u32)>>> = vec![None; profiles.len()];
         for (&v, (w, t)) in scoped.iter().zip(features) {
-            wl.insert(v, w);
-            tris.insert(v, t);
+            wl[v.index()] = Some(w);
+            tris[v.index()] = Some(t);
         }
+        // Build per-group [`JoinEvidence`] (see its docs for why this is
+        // exact), fanned across workers — groups are independent.
+        let groups: Vec<&[VertexId]> = scn
+            .by_name
+            .values()
+            .filter(|vs| vs.len() >= 2)
+            .map(Vec::as_slice)
+            .collect();
+        let group_evidence = iuad_par::parallel_map(par, &groups, |vs| {
+            Self::group_join_evidence(vs, &wl, &tris, &profiles)
+        });
+        let mut join: Vec<Option<JoinEvidence>> = Vec::with_capacity(profiles.len());
+        join.resize_with(profiles.len(), || None);
+        let mut join_groups: rustc_hash::FxHashMap<iuad_corpus::NameId, Vec<VertexId>> =
+            rustc_hash::FxHashMap::default();
+        for (vs, evidence) in groups.iter().zip(group_evidence) {
+            for (&v, e) in vs.iter().zip(evidence) {
+                join[v.index()] = e;
+            }
+            if let Some(&v0) = vs.first() {
+                join_groups.insert(profiles[v0.index()].name, vs.to_vec());
+            }
+        }
+        let cnorm: Vec<f64> = profiles
+            .iter()
+            .map(|p| iuad_text::norm(&p.keyword_centroid))
+            .collect();
+        let g4_exp: Vec<f64> = (0..GAMMA4_TABLE_LEN)
+            .map(|g| (-alpha * g as f64).exp())
+            .collect();
         SimilarityEngine {
             profiles,
             wl,
             tris,
+            join,
+            join_groups,
+            cnorm,
+            g4_exp,
             alpha,
             wl_iters,
         }
     }
 
-    fn wl_of(scn: &Scn, v: VertexId, wl_iters: usize) -> WlFeatures {
+    /// [`JoinEvidence`] for every member of one name group, in `vs` order
+    /// (`None` for members without cached structural features).
+    fn group_join_evidence(
+        vs: &[VertexId],
+        wl: &[Option<SparseFeatures>],
+        tris: &[Option<Vec<(u32, u32)>>],
+        profiles: &[VertexProfile],
+    ) -> Vec<Option<JoinEvidence>> {
+        let mut label_count: rustc_hash::FxHashMap<u64, u32> = rustc_hash::FxHashMap::default();
+        let mut tri_count: rustc_hash::FxHashMap<(u32, u32), u32> =
+            rustc_hash::FxHashMap::default();
+        let mut word_count: rustc_hash::FxHashMap<u32, u32> = rustc_hash::FxHashMap::default();
+        let mut venue_count: rustc_hash::FxHashMap<u32, u32> = rustc_hash::FxHashMap::default();
+        for &v in vs {
+            if let Some(f) = &wl[v.index()] {
+                for &l in f.labels() {
+                    *label_count.entry(l).or_insert(0) += 1;
+                }
+            }
+            if let Some(t) = &tris[v.index()] {
+                // `name_triangles` dedups, so each triangle counts once per
+                // member — count ≥ 2 really means "held by ≥ 2 vertices".
+                for &t in t {
+                    *tri_count.entry(t).or_insert(0) += 1;
+                }
+            }
+            let p = &profiles[v.index()];
+            for &w in p.keyword_years.words() {
+                *word_count.entry(w).or_insert(0) += 1;
+            }
+            for &(h, _) in p.venue_counts.entries() {
+                *venue_count.entry(h).or_insert(0) += 1;
+            }
+        }
+        vs.iter()
+            .map(|&v| {
+                let (Some(f), Some(t)) = (&wl[v.index()], &tris[v.index()]) else {
+                    return None;
+                };
+                let p = &profiles[v.index()];
+                Some(JoinEvidence {
+                    wl: f.filter_labels(|l| label_count[&l] >= 2),
+                    tris: t.iter().copied().filter(|t| tri_count[t] >= 2).collect(),
+                    kw: p.keyword_years.filter_words(|w| word_count[&w] >= 2),
+                    venues: p.venue_counts.filter_venues(|h| venue_count[&h] >= 2),
+                })
+            })
+            .collect()
+    }
+
+    /// The evidence [`Side`] of a vertex: the group-filtered
+    /// [`JoinEvidence`] when present, the full per-vertex evidence
+    /// otherwise.
+    fn side(&self, v: VertexId) -> Side<'_> {
+        let profile = &self.profiles[v.index()];
+        let cnorm = self.cnorm[v.index()];
+        match &self.join[v.index()] {
+            Some(j) => Side {
+                wl: Some(&j.wl),
+                tris: &j.tris,
+                kw: &j.kw,
+                venues: &j.venues,
+                profile,
+                cnorm,
+            },
+            None => Side {
+                wl: self.wl[v.index()].as_ref(),
+                tris: self.tris[v.index()].as_deref().unwrap_or(&[]),
+                kw: &profile.keyword_years,
+                venues: &profile.venue_counts,
+                profile,
+                cnorm,
+            },
+        }
+    }
+
+    fn wl_of(scn: &Scn, v: VertexId, wl_iters: usize) -> SparseFeatures {
         vertex_features(&scn.graph, v, wl_iters, |w| {
             scn.graph.vertex(w).name.0 as u64
         })
@@ -170,6 +342,16 @@ impl SimilarityEngine {
         &self.profiles[v.index()]
     }
 
+    /// γ₄'s decay factor α the engine was built with.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// WL refinement iterations (and ego radius) the caches were built at.
+    pub fn wl_iters(&self) -> usize {
+        self.wl_iters
+    }
+
     /// Absorb a new mention's profile into the cache: merge into vertex
     /// `v`'s profile, or append when `v` is a vertex created after the
     /// engine was built. Structural caches (WL, triangles) for `v` are
@@ -186,22 +368,96 @@ impl SimilarityEngine {
             );
             self.profiles.push(delta.clone());
         }
-        self.wl.remove(&v);
-        self.tris.remove(&v);
+        // Slabs stay parallel to `profiles`; a `None` slot is the lazy
+        // invalidation marker.
+        self.wl.resize(self.profiles.len(), None);
+        self.tris.resize(self.profiles.len(), None);
+        self.join.resize_with(self.profiles.len(), || None);
+        self.cnorm.resize(self.profiles.len(), 0.0);
+        self.wl[v.index()] = None;
+        self.tris[v.index()] = None;
+        self.cnorm[v.index()] = iuad_text::norm(&self.profiles[v.index()].keyword_centroid);
+        // The group-filtered evidence basis of `v`'s whole name group is
+        // stale: `v`'s new items could match items the filter dropped from
+        // its peers. Drop the group to the exact full-evidence fallback
+        // (O(group); the removed entry keeps repeat absorbs O(1)).
+        let name = self.profiles[v.index()].name;
+        if let Some(members) = self.join_groups.remove(&name) {
+            for u in members {
+                self.join[u.index()] = None;
+            }
+        }
     }
 
-    /// γ-vector between two same-name vertices (both must be in cache scope).
+    /// γ-vector between two *same-name* vertices (both must be in cache
+    /// scope; γ₁ is computed over the name group's shared label basis, so
+    /// cross-name queries would see a zero kernel).
     pub fn similarity(&self, ctx: &ProfileContext, vi: VertexId, vj: VertexId) -> SimilarityVector {
-        let pi = &self.profiles[vi.index()];
-        let pj = &self.profiles[vj.index()];
-        let g1 = match (self.wl.get(&vi), self.wl.get(&vj)) {
+        let si = self.side(vi);
+        let sj = self.side(vj);
+        let g1 = match (si.wl, sj.wl) {
             (Some(a), Some(b)) => normalized_kernel(a, b),
             _ => 0.0,
         };
-        let empty: Vec<(u32, u32)> = Vec::new();
-        let ti = self.tris.get(&vi).unwrap_or(&empty);
-        let tj = self.tris.get(&vj).unwrap_or(&empty);
-        self.assemble(ctx, g1, ti, tj, pi, pj)
+        self.assemble(ctx, g1, &si, &sj)
+    }
+
+    /// γ-vectors for every unordered pair of `vs` (the `i < j` pairs of the
+    /// slice, in nested-loop order) — the batch path Stage 2 uses per
+    /// same-name candidate group.
+    ///
+    /// Produces bit-identical vectors to calling [`Self::similarity`] per
+    /// pair, but computes all WL kernels of the group in one pass over an
+    /// inverted label index: each vertex's feature list is scanned once per
+    /// *group* instead of once per *pair*, which is the dominant Stage-2
+    /// saving on heavily ambiguous names.
+    pub fn similarity_block(&self, ctx: &ProfileContext, vs: &[VertexId]) -> Vec<SimilarityVector> {
+        let k = vs.len();
+        if k < 2 {
+            return Vec::new();
+        }
+        let tri = |i: usize, j: usize| i * (2 * k - i - 1) / 2 + (j - i - 1);
+        let mut dots = vec![0.0f64; k * (k - 1) / 2];
+        let sides: Vec<Side<'_>> = vs.iter().map(|&v| self.side(v)).collect();
+        // Inverted label index over the group: `head` maps a label to a
+        // chain of (vertex slot, count) nodes in `arena` (`0` = end, node
+        // ids offset by 1). Processing vertices in slice order and labels
+        // in ascending order makes every pair's dot product accumulate in
+        // ascending shared-label order — the merge join's exact sequence.
+        let mut head: rustc_hash::FxHashMap<u64, u32> = rustc_hash::FxHashMap::default();
+        let mut arena: Vec<(u32, u32, u32)> = Vec::new();
+        for (j, s) in sides.iter().enumerate() {
+            let Some(f) = s.wl else {
+                continue;
+            };
+            for (l, c) in f.iter() {
+                let slot = head.entry(l).or_insert(0);
+                let mut cur = *slot;
+                while cur != 0 {
+                    let (i, ci, next) = arena[(cur - 1) as usize];
+                    dots[tri(i as usize, j)] += f64::from(ci) * f64::from(c);
+                    cur = next;
+                }
+                arena.push((j as u32, c, *slot));
+                *slot = arena.len() as u32;
+            }
+        }
+
+        let mut out = Vec::with_capacity(dots.len());
+        for i in 0..k {
+            for j in (i + 1)..k {
+                let g1 = match (sides[i].wl, sides[j].wl) {
+                    (Some(fa), Some(fb)) if fa.norm() != 0.0 && fb.norm() != 0.0 => {
+                        (dots[tri(i, j)] / (fa.norm() * fb.norm())).clamp(0.0, 1.0)
+                    }
+                    _ => 0.0,
+                };
+                // Orient like `similarity(min, max)` does.
+                let (lo, hi) = if vs[i] <= vs[j] { (i, j) } else { (j, i) };
+                out.push(self.assemble(ctx, g1, &sides[lo], &sides[hi]));
+            }
+        }
+        out
     }
 
     /// γ-vector between an ad-hoc profile (e.g. a new paper in the
@@ -213,20 +469,43 @@ impl SimilarityEngine {
         scn: &Scn,
         ctx: &ProfileContext,
         new_profile: &VertexProfile,
-        new_wl: &WlFeatures,
+        new_wl: &SparseFeatures,
         new_tris: &[(u32, u32)],
         vj: VertexId,
     ) -> SimilarityVector {
         let pj = &self.profiles[vj.index()];
-        let g1 = match self.wl.get(&vj) {
+        let g1 = match &self.wl[vj.index()] {
             Some(b) => normalized_kernel(new_wl, b),
             None => normalized_kernel(new_wl, &Self::wl_of(scn, vj, self.wl_iters)),
         };
-        let tj = match self.tris.get(&vj) {
-            Some(t) => t.clone(),
-            None => Self::name_triangles(scn, vj),
+        // Cached triangles are borrowed; only a cache miss materialises.
+        // Both sides use *full* evidence: the ad-hoc profile is outside the
+        // group basis the join filter was computed against.
+        let computed;
+        let tj: &[(u32, u32)] = match &self.tris[vj.index()] {
+            Some(t) => t,
+            None => {
+                computed = Self::name_triangles(scn, vj);
+                &computed
+            }
         };
-        self.assemble(ctx, g1, new_tris, &tj, new_profile, pj)
+        let si = Side {
+            wl: None,
+            tris: new_tris,
+            kw: &new_profile.keyword_years,
+            venues: &new_profile.venue_counts,
+            profile: new_profile,
+            cnorm: iuad_text::norm(&new_profile.keyword_centroid),
+        };
+        let sj = Side {
+            wl: None,
+            tris: tj,
+            kw: &pj.keyword_years,
+            venues: &pj.venue_counts,
+            profile: pj,
+            cnorm: self.cnorm[vj.index()],
+        };
+        self.assemble(ctx, g1, &si, &sj)
     }
 
     /// Synthetic matched pair from splitting one vertex in half (§V-F2, the
@@ -248,36 +527,65 @@ impl SimilarityEngine {
         if mentions.len() < 4 {
             return None;
         }
-        let mut shuffled = mentions.clone();
-        shuffled.shuffle(rng);
-        let (half_a, half_b) = shuffled.split_at(shuffled.len() / 2);
+        // Shuffle an index permutation, not the mention list: same rng
+        // stream and same resulting halves, no payload clone.
+        let mut idx: Vec<usize> = (0..mentions.len()).collect();
+        idx.shuffle(rng);
+        let (idx_a, idx_b) = idx.split_at(idx.len() / 2);
         let name = scn.graph.vertex(v).name;
-        let pa = VertexProfile::from_mentions(name, half_a, ctx);
-        let pb = VertexProfile::from_mentions(name, half_b, ctx);
-        let wl_nonempty = self.wl.get(&v).is_some_and(|f| !f.is_empty());
+        let pa = VertexProfile::from_mention_indices(name, mentions, idx_a, ctx);
+        let pb = VertexProfile::from_mention_indices(name, mentions, idx_b, ctx);
+        let wl_nonempty = self.wl[v.index()].as_ref().is_some_and(|f| !f.is_empty());
         let g1 = if wl_nonempty { 1.0 } else { 0.0 };
-        let empty: Vec<(u32, u32)> = Vec::new();
-        let t = self.tris.get(&v).unwrap_or(&empty);
-        Some(self.assemble(ctx, g1, t, t, &pa, &pb))
+        // Both halves take the vertex's *full* triangle list (the split is
+        // structural-identity by construction) and their own full ad-hoc
+        // profile evidence.
+        let t = self.tris[v.index()].as_deref().unwrap_or(&[]);
+        fn side_of<'a>(p: &'a VertexProfile, t: &'a [(u32, u32)]) -> Side<'a> {
+            Side {
+                wl: None,
+                tris: t,
+                kw: &p.keyword_years,
+                venues: &p.venue_counts,
+                profile: p,
+                cnorm: iuad_text::norm(&p.keyword_centroid),
+            }
+        }
+        Some(self.assemble(ctx, g1, &side_of(&pa, t), &side_of(&pb, t)))
     }
 
     fn assemble(
         &self,
         ctx: &ProfileContext,
         g1: f64,
-        tris_i: &[(u32, u32)],
-        tris_j: &[(u32, u32)],
-        pi: &VertexProfile,
-        pj: &VertexProfile,
+        si: &Side<'_>,
+        sj: &Side<'_>,
     ) -> SimilarityVector {
-        let tau = pi.num_papers().min(pj.num_papers()).max(1) as f64;
+        let tau = si.profile.num_papers().min(sj.profile.num_papers()).max(1) as f64;
         [
             g1,
-            gamma2_cliques(tris_i, tris_j, tau),
-            cosine(&pi.keyword_centroid, &pj.keyword_centroid),
-            gamma4_time_consistency(pi, pj, tau, self.alpha, ctx),
-            gamma5_representative(pi, pj, tau),
-            gamma6_communities(pi, pj, tau, ctx),
+            gamma2_cliques(si.tris, sj.tris, tau),
+            cosine_with_norms(
+                &si.profile.keyword_centroid,
+                &sj.profile.keyword_centroid,
+                si.cnorm,
+                sj.cnorm,
+            ),
+            gamma4_join(si.kw, sj.kw, tau, ctx, |gap| {
+                // Table hit for realistic gaps; identical bits either way.
+                match self.g4_exp.get(usize::from(gap)) {
+                    Some(&e) => e,
+                    None => (-self.alpha * f64::from(gap)).exp(),
+                }
+            }),
+            gamma5_counts(
+                si.venues,
+                si.profile.representative_venue,
+                sj.venues,
+                sj.profile.representative_venue,
+                tau,
+            ),
+            gamma6_join(si.venues, sj.venues, tau, ctx),
         ]
     }
 
@@ -285,7 +593,7 @@ impl SimilarityEngine {
     /// names around the target name, refined `wl_iters` times. Lives here so
     /// the incremental path shares the label space (name ids) with cached
     /// features.
-    pub fn star_features(&self, target: u32, coauthor_names: &[u32]) -> WlFeatures {
+    pub fn star_features(&self, target: u32, coauthor_names: &[u32]) -> SparseFeatures {
         let mut g: iuad_graph::AdjGraph<u32, ()> = iuad_graph::AdjGraph::new();
         let center = g.add_vertex(target);
         for &n in coauthor_names {
@@ -297,7 +605,7 @@ impl SimilarityEngine {
 }
 
 /// γ₂ (Equation 5): `|L(v_i) ∩ L(v_j)| / τ` over sorted name-pair triangles.
-fn gamma2_cliques(a: &[(u32, u32)], b: &[(u32, u32)], tau: f64) -> f64 {
+pub fn gamma2_cliques(a: &[(u32, u32)], b: &[(u32, u32)], tau: f64) -> f64 {
     let mut i = 0;
     let mut j = 0;
     let mut common = 0usize;
@@ -315,69 +623,138 @@ fn gamma2_cliques(a: &[(u32, u32)], b: &[(u32, u32)], tau: f64) -> f64 {
     common as f64 / tau
 }
 
+/// Smallest absolute difference between two ascending year lists, by
+/// two-pointer scan — O(|a| + |b|) against the nested O(|a|·|b|) loop.
+fn min_year_gap(a: &[u16], b: &[u16]) -> u16 {
+    let mut i = 0;
+    let mut j = 0;
+    let mut best = u16::MAX;
+    while i < a.len() && j < b.len() {
+        let (ya, yb) = (a[i], b[j]);
+        best = best.min(ya.abs_diff(yb));
+        if best == 0 {
+            return 0;
+        }
+        if ya <= yb {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    best
+}
+
 /// γ₄ (Equation 7, with the decay sign fixed): over common keywords `b`,
 /// `Σ e^{−α·min(b)} / ln F_B(b) / τ` where `min(b)` is the smallest year gap
-/// between the two vertices' usages of `b`.
-fn gamma4_time_consistency(
+/// between the two vertices' usages of `b`. Common keywords come from a
+/// merge join over the keyword-sorted profiles.
+pub fn gamma4_time_consistency(
     pi: &VertexProfile,
     pj: &VertexProfile,
     tau: f64,
     alpha: f64,
     ctx: &ProfileContext,
 ) -> f64 {
-    let (small, large) = if pi.keyword_years.len() <= pj.keyword_years.len() {
-        (&pi.keyword_years, &pj.keyword_years)
-    } else {
-        (&pj.keyword_years, &pi.keyword_years)
-    };
+    gamma4_join(&pi.keyword_years, &pj.keyword_years, tau, ctx, |gap| {
+        (-alpha * f64::from(gap)).exp()
+    })
+}
+
+/// The γ₄ merge join with the decay factor abstracted: the engine supplies
+/// a table lookup, the public entry point a direct `exp`.
+#[inline]
+fn gamma4_join(
+    a: &KeywordYears,
+    b: &KeywordYears,
+    tau: f64,
+    ctx: &ProfileContext,
+    decay: impl Fn(u16) -> f64,
+) -> f64 {
+    let (wa, wb) = (a.words(), b.words());
+    let mut i = 0;
+    let mut j = 0;
     let mut sum = 0.0;
-    for (w, years_a) in small {
-        let Some(years_b) = large.get(w) else {
-            continue;
-        };
-        let mut min_gap = u16::MAX;
-        for &ya in years_a {
-            for &yb in years_b {
-                min_gap = min_gap.min(ya.abs_diff(yb));
-            }
+    while i < wa.len() && j < wb.len() {
+        let (x, y) = (wa[i], wb[j]);
+        if x == y {
+            let min_gap = min_year_gap(a.years_at(i), b.years_at(j));
+            sum += decay(min_gap) / ctx.word_ln_freq[x as usize];
+            i += 1;
+            j += 1;
+        } else {
+            // Branchless advance: exactly one side moves.
+            i += usize::from(x < y);
+            j += usize::from(y < x);
         }
-        let fb = (ctx.word_freq(*w) as f64).max(2.0);
-        sum += (-alpha * min_gap as f64).exp() / fb.ln();
     }
     sum / tau
 }
 
 /// γ₅ (Equation 8): cross-counts of each vertex's representative venue in
 /// the other's venue multiset, over τ.
-fn gamma5_representative(pi: &VertexProfile, pj: &VertexProfile, tau: f64) -> f64 {
-    let cnt = |counts: &FxHashMap<u32, u32>, venue: Option<iuad_corpus::VenueId>| -> u32 {
-        venue.and_then(|v| counts.get(&v.0).copied()).unwrap_or(0)
+pub fn gamma5_representative(pi: &VertexProfile, pj: &VertexProfile, tau: f64) -> f64 {
+    gamma5_counts(
+        &pi.venue_counts,
+        pi.representative_venue,
+        &pj.venue_counts,
+        pj.representative_venue,
+        tau,
+    )
+}
+
+/// γ₅ over explicit venue multisets (the engine passes group-filtered ones;
+/// exact because a representative venue is always in its owner's multiset,
+/// so a cross-count > 0 implies the venue is shared and survives the
+/// filter).
+fn gamma5_counts(
+    venues_i: &VenueCounts,
+    rep_i: Option<iuad_corpus::VenueId>,
+    venues_j: &VenueCounts,
+    rep_j: Option<iuad_corpus::VenueId>,
+    tau: f64,
+) -> f64 {
+    let cnt = |counts: &VenueCounts, venue: Option<iuad_corpus::VenueId>| -> u32 {
+        venue.map_or(0, |v| counts.count_of(v.0))
     };
-    let c = cnt(&pj.venue_counts, pi.representative_venue)
-        + cnt(&pi.venue_counts, pj.representative_venue);
-    c as f64 / tau
+    let c = cnt(venues_j, rep_i) + cnt(venues_i, rep_j);
+    f64::from(c) / tau
 }
 
 /// γ₆ (Equation 9): Adamic/Adar over common venues, emphasising small
-/// minority venues via `1 / ln F_H(h)`.
-fn gamma6_communities(
+/// minority venues via `1 / ln F_H(h)`. Common venues come from a merge
+/// join over the venue-sorted multisets.
+pub fn gamma6_communities(
     pi: &VertexProfile,
     pj: &VertexProfile,
     tau: f64,
     ctx: &ProfileContext,
 ) -> f64 {
-    let (small, large) = if pi.venue_counts.len() <= pj.venue_counts.len() {
-        (&pi.venue_counts, &pj.venue_counts)
-    } else {
-        (&pj.venue_counts, &pi.venue_counts)
-    };
+    gamma6_join(&pi.venue_counts, &pj.venue_counts, tau, ctx)
+}
+
+/// The γ₆ merge join over explicit venue multisets.
+fn gamma6_join(va: &VenueCounts, vb: &VenueCounts, tau: f64, ctx: &ProfileContext) -> f64 {
+    let a = va.entries();
+    let b = vb.entries();
+    let mut i = 0;
+    let mut j = 0;
     let mut sum = 0.0;
-    for h in small.keys() {
-        if large.contains_key(h) {
-            // `get` guards venues unseen at context-build time (possible in
-            // the incremental setting).
-            let fh = (ctx.venue_freq.get(*h as usize).copied().unwrap_or(1) as f64).max(2.0);
-            sum += 1.0 / fh.ln();
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let h = a[i].0;
+                // `get` guards venues unseen at context-build time (possible
+                // in the incremental setting).
+                sum += ctx
+                    .venue_aa_weight
+                    .get(h as usize)
+                    .copied()
+                    .unwrap_or_else(crate::profile::unseen_venue_aa_weight);
+                i += 1;
+                j += 1;
+            }
         }
     }
     sum / tau
@@ -387,6 +764,7 @@ fn gamma6_communities(
 mod tests {
     use super::*;
     use iuad_corpus::{Corpus, CorpusConfig, NameId};
+    use rustc_hash::FxHashMap;
 
     fn setup() -> (Corpus, Scn) {
         let c = Corpus::generate(&CorpusConfig {
@@ -538,6 +916,25 @@ mod tests {
     }
 
     #[test]
+    fn min_year_gap_matches_nested_scan() {
+        let cases: [(&[u16], &[u16]); 5] = [
+            (&[2000], &[2010]),
+            (&[1999, 2004, 2010], &[2002, 2003]),
+            (&[1990, 2020], &[2000, 2001, 2002]),
+            (&[2000, 2000], &[2000]),
+            (&[1995], &[1990, 1996, 2005]),
+        ];
+        for (a, b) in cases {
+            let brute = a
+                .iter()
+                .flat_map(|&x| b.iter().map(move |&y| x.abs_diff(y)))
+                .min()
+                .unwrap();
+            assert_eq!(min_year_gap(a, b), brute, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
     fn gamma5_counts_cross_representative_venues() {
         let (c, _) = setup();
         let ctx = ProfileContext::build(&c, 16, 2);
@@ -612,6 +1009,57 @@ mod tests {
         assert!(eng
             .synthetic_split_vector(&scn, &ctx, small, &mut rng)
             .is_none());
+    }
+
+    #[test]
+    fn block_matches_per_pair_similarity_exactly() {
+        let (c, scn) = setup();
+        let ctx = ProfileContext::build(&c, 16, 2);
+        let eng = SimilarityEngine::build(&scn, &ctx, 0.62, 2, CacheScope::AmbiguousOnly);
+        let mut compared = 0usize;
+        for vs in scn.by_name.values().filter(|vs| vs.len() >= 2) {
+            let block = eng.similarity_block(&ctx, vs);
+            let mut it = block.iter();
+            for i in 0..vs.len() {
+                for j in (i + 1)..vs.len() {
+                    let per_pair = eng.similarity(&ctx, vs[i].min(vs[j]), vs[i].max(vs[j]));
+                    // Bit-identical, not approximately equal: the batch
+                    // path accumulates in the merge join's exact order.
+                    assert_eq!(it.next().unwrap(), &per_pair, "pair {i},{j}");
+                    compared += 1;
+                }
+            }
+        }
+        assert!(compared > 50, "too few pairs compared: {compared}");
+    }
+
+    #[test]
+    fn absorb_drops_group_to_exact_full_evidence() {
+        let (c, scn) = setup();
+        let ctx = ProfileContext::build(&c, 16, 2);
+        let mut eng = SimilarityEngine::build(&scn, &ctx, 0.62, 2, CacheScope::AmbiguousOnly);
+        let vs = scn
+            .by_name
+            .values()
+            .find(|vs| vs.len() >= 3)
+            .expect("a 3+ group exists")
+            .clone();
+        let before: Vec<SimilarityVector> = vec![
+            eng.similarity(&ctx, vs[0], vs[1]),
+            eng.similarity(&ctx, vs[1], vs[2]),
+        ];
+        // Absorb a new paper's profile into vs[0]: its whole name group
+        // falls back to full (unfiltered) evidence.
+        let paper = &c.papers[0];
+        let delta = VertexProfile::from_new_paper(scn.graph.vertex(vs[0]).name, paper, &ctx);
+        eng.absorb(vs[0], &delta);
+        // Pairs involving the absorbed vertex lose their structural cache…
+        let touched = eng.similarity(&ctx, vs[0], vs[1]);
+        assert_eq!(touched[0], 0.0, "γ1 must drop to 0 after invalidation");
+        // …while pairs among untouched members are *bit-identical* on the
+        // full-evidence fallback — the group filter never changed a value.
+        let untouched = eng.similarity(&ctx, vs[1], vs[2]);
+        assert_eq!(untouched, before[1]);
     }
 
     #[test]

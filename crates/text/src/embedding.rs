@@ -45,19 +45,32 @@ impl Embeddings {
 
 /// Cosine similarity of two equal-length vectors; 0.0 if either is zero.
 pub fn cosine(a: &[f32], b: &[f32]) -> f64 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut dot = 0.0f64;
-    let mut na = 0.0f64;
-    let mut nb = 0.0f64;
-    for (&x, &y) in a.iter().zip(b) {
-        dot += x as f64 * y as f64;
-        na += x as f64 * x as f64;
-        nb += y as f64 * y as f64;
+    cosine_with_norms(a, b, norm(a), norm(b))
+}
+
+/// L2 norm of a vector, accumulated in index order — bit-compatible with
+/// the self-norms [`cosine`] computes internally, so norms may be hoisted
+/// out of pairwise loops without changing any cosine value.
+pub fn norm(a: &[f32]) -> f64 {
+    let mut n = 0.0f64;
+    for &x in a {
+        n += x as f64 * x as f64;
     }
+    n.sqrt()
+}
+
+/// [`cosine`] with the two norms supplied by the caller (precomputed via
+/// [`norm`]); only the dot product is evaluated per call.
+pub fn cosine_with_norms(a: &[f32], b: &[f32], na: f64, nb: f64) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
     if na == 0.0 || nb == 0.0 {
         return 0.0;
     }
-    (dot / (na.sqrt() * nb.sqrt())).clamp(-1.0, 1.0)
+    let mut dot = 0.0f64;
+    for (&x, &y) in a.iter().zip(b) {
+        dot += x as f64 * y as f64;
+    }
+    (dot / (na * nb)).clamp(-1.0, 1.0)
 }
 
 /// Mean of the vectors of `ids` (the "center of all keyword vectors" of

@@ -23,7 +23,7 @@ mod sgns;
 mod tokenize;
 mod vocab;
 
-pub use embedding::{centroid, cosine, Embeddings};
+pub use embedding::{centroid, cosine, cosine_with_norms, norm, Embeddings};
 pub use sgns::{train_sgns, SgnsConfig};
 pub use tokenize::{is_stopword, tokenize, tokenize_filtered};
 pub use vocab::Vocab;

@@ -49,6 +49,50 @@ fn fingerprint(iuad: &Iuad) -> Fingerprint {
     (assignments, edges)
 }
 
+/// Stable FNV-1a hash of a fingerprint, so the canonical seed output can be
+/// recorded as a constant and compared across refactors.
+fn fingerprint_hash(fp: &Fingerprint) -> u64 {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+    let mut h = OFFSET;
+    let mut mix = |x: u64| {
+        for b in x.to_le_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+    };
+    for (&(paper, slot), &v) in &fp.0 {
+        mix(u64::from(paper));
+        mix(u64::from(slot));
+        mix(v as u64);
+    }
+    for &(a, b, papers, support) in &fp.1 {
+        mix(u64::from(a));
+        mix(u64::from(b));
+        mix(papers as u64);
+        mix(u64::from(support));
+    }
+    h
+}
+
+/// Hash of the seed corpus fingerprint, recorded from the pre-refactor
+/// (hash-map kernel) implementation. The sparse-vector similarity engine
+/// must reproduce the seed output bit for bit: any drift here means a merge
+/// decision flipped, not just a perf change.
+const SEED_FINGERPRINT_HASH: u64 = 0x4c2f68efdf24bbcc;
+
+#[test]
+fn fingerprint_matches_recorded_seed_baseline() {
+    let c = corpus();
+    let fp = fingerprint(&fit_with_threads(&c, 1));
+    assert_eq!(
+        fingerprint_hash(&fp),
+        SEED_FINGERPRINT_HASH,
+        "seeded fit diverged from the recorded pre-refactor baseline \
+         (actual hash: {:#018x})",
+        fingerprint_hash(&fp)
+    );
+}
+
 #[test]
 fn fit_is_identical_across_thread_counts() {
     let c = corpus();

@@ -1,13 +1,113 @@
 //! Property-based tests over the core data structures and invariants,
 //! spanning crates (proptest).
 
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+
 use proptest::prelude::*;
 
 use iuad_suite::cluster::{densify_labels, hac, Linkage};
-use iuad_suite::corpus::{Corpus, CorpusConfig};
+use iuad_suite::core::similarity::{gamma4_time_consistency, gamma6_communities};
+use iuad_suite::core::{KeywordYears, ProfileContext, VenueCounts, VertexProfile};
+use iuad_suite::corpus::{Corpus, CorpusConfig, NameId};
 use iuad_suite::eval::pairwise_confusion;
 use iuad_suite::fpgrowth::{apriori, canonicalize, pairs::pair_counts, FpGrowth};
+use iuad_suite::graph::wl::{kernel, normalized_kernel, SparseFeatures};
 use iuad_suite::graph::UnionFind;
+
+/// Shared corpus + context for the γ merge-join properties (SGNS training
+/// is too slow to repeat per proptest case).
+fn gamma_ctx() -> &'static (Corpus, ProfileContext) {
+    static CTX: OnceLock<(Corpus, ProfileContext)> = OnceLock::new();
+    CTX.get_or_init(|| {
+        let c = Corpus::generate(&CorpusConfig {
+            num_authors: 80,
+            num_papers: 250,
+            seed: 91,
+            ..Default::default()
+        });
+        let ctx = ProfileContext::build(&c, 8, 7);
+        (c, ctx)
+    })
+}
+
+/// Reference WL kernel: BTreeMap dot product. Ascending-key iteration sums
+/// shared labels in the same order as the merge join, so agreement is
+/// *exact*, not approximate.
+fn kernel_reference(a: &[(u64, u32)], b: &[(u64, u32)]) -> f64 {
+    let fold = |pairs: &[(u64, u32)]| {
+        let mut m: BTreeMap<u64, u32> = BTreeMap::new();
+        for &(l, c) in pairs {
+            *m.entry(l).or_insert(0) += c;
+        }
+        m
+    };
+    let (ma, mb) = (fold(a), fold(b));
+    ma.iter()
+        .filter_map(|(l, &ca)| mb.get(l).map(|&cb| f64::from(ca) * f64::from(cb)))
+        .sum()
+}
+
+/// Reference γ₄: hash-map (BTreeMap) intersection with the nested
+/// min-year-gap loop, computing `exp`/`ln` directly per common keyword.
+fn gamma4_reference(
+    a: &BTreeMap<u32, Vec<u16>>,
+    b: &BTreeMap<u32, Vec<u16>>,
+    tau: f64,
+    alpha: f64,
+    ctx: &ProfileContext,
+) -> f64 {
+    let mut sum = 0.0;
+    for (w, years_a) in a {
+        let Some(years_b) = b.get(w) else { continue };
+        let mut min_gap = u16::MAX;
+        for &ya in years_a {
+            for &yb in years_b {
+                min_gap = min_gap.min(ya.abs_diff(yb));
+            }
+        }
+        let fb = (ctx.word_freq(*w) as f64).max(2.0);
+        sum += (-alpha * f64::from(min_gap)).exp() / fb.ln();
+    }
+    sum / tau
+}
+
+/// Reference γ₆: BTreeMap venue intersection with direct `ln` per venue.
+fn gamma6_reference(
+    a: &BTreeMap<u32, u32>,
+    b: &BTreeMap<u32, u32>,
+    tau: f64,
+    ctx: &ProfileContext,
+) -> f64 {
+    let mut sum = 0.0;
+    for h in a.keys() {
+        if b.contains_key(h) {
+            let fh = (ctx.venue_freq.get(*h as usize).copied().unwrap_or(1) as f64).max(2.0);
+            sum += 1.0 / fh.ln();
+        }
+    }
+    sum / tau
+}
+
+/// An empty profile with the given keyword/venue evidence installed.
+fn profile_with(
+    kw: &BTreeMap<u32, Vec<u16>>,
+    venues: &BTreeMap<u32, u32>,
+    ctx: &ProfileContext,
+) -> VertexProfile {
+    let mut p = VertexProfile::from_mentions(NameId(0), &[], ctx);
+    let mut ky = KeywordYears::default();
+    for (w, years) in kw {
+        ky.insert(*w, years.clone());
+    }
+    let mut vc = VenueCounts::default();
+    for (v, c) in venues {
+        vc.insert(*v, *c);
+    }
+    p.keyword_years = ky;
+    p.venue_counts = vc;
+    p
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(40))]
@@ -139,6 +239,70 @@ proptest! {
                 prop_assert_eq!(labels[i] == labels[j], d[i] == d[j]);
             }
         }
+    }
+
+    /// The sorted-vector merge-join WL kernel (with its branchless and
+    /// galloping variants) agrees exactly with a map-based reference dot
+    /// product on arbitrary inputs, and the precomputed norm matches the
+    /// self-kernel.
+    #[test]
+    fn sparse_kernel_matches_reference(
+        a in prop::collection::vec((0u64..60, 1u32..5), 0..50),
+        b in prop::collection::vec((0u64..60, 1u32..5), 0..400),
+    ) {
+        let fa = SparseFeatures::from_counts(a.iter().copied());
+        let fb = SparseFeatures::from_counts(b.iter().copied());
+        prop_assert_eq!(kernel(&fa, &fb), kernel_reference(&a, &b));
+        prop_assert_eq!(kernel(&fb, &fa), kernel_reference(&a, &b));
+        prop_assert!((fa.norm() - kernel(&fa, &fa).sqrt()).abs() < 1e-12);
+        let nk = normalized_kernel(&fa, &fb);
+        prop_assert!((0.0..=1.0).contains(&nk));
+    }
+
+    /// γ₄'s keyword merge join + two-pointer year scan agrees exactly with
+    /// the straightforward hash-map + nested-loop reference.
+    #[test]
+    fn gamma4_merge_join_matches_reference(
+        a in prop::collection::vec((0u32..12, 1980u16..2024), 0..25),
+        b in prop::collection::vec((0u32..12, 1980u16..2024), 0..25),
+        tau in 1u32..6,
+    ) {
+        let (_, ctx) = gamma_ctx();
+        let fold = |pairs: &[(u32, u16)]| {
+            let mut m: BTreeMap<u32, Vec<u16>> = BTreeMap::new();
+            for &(w, y) in pairs {
+                m.entry(w).or_default().push(y);
+            }
+            m
+        };
+        let (ma, mb) = (fold(&a), fold(&b));
+        let (pa, pb) = (profile_with(&ma, &BTreeMap::new(), ctx), profile_with(&mb, &BTreeMap::new(), ctx));
+        let fast = gamma4_time_consistency(&pa, &pb, f64::from(tau), 0.62, ctx);
+        let slow = gamma4_reference(&ma, &mb, f64::from(tau), 0.62, ctx);
+        prop_assert_eq!(fast, slow);
+    }
+
+    /// γ₆'s venue merge join agrees exactly with the map-intersection
+    /// reference.
+    #[test]
+    fn gamma6_merge_join_matches_reference(
+        a in prop::collection::vec((0u32..40, 1u32..4), 0..15),
+        b in prop::collection::vec((0u32..40, 1u32..4), 0..15),
+        tau in 1u32..6,
+    ) {
+        let (_, ctx) = gamma_ctx();
+        let fold = |pairs: &[(u32, u32)]| {
+            let mut m: BTreeMap<u32, u32> = BTreeMap::new();
+            for &(v, c) in pairs {
+                *m.entry(v).or_insert(0) += c;
+            }
+            m
+        };
+        let (ma, mb) = (fold(&a), fold(&b));
+        let (pa, pb) = (profile_with(&BTreeMap::new(), &ma, ctx), profile_with(&BTreeMap::new(), &mb, ctx));
+        let fast = gamma6_communities(&pa, &pb, f64::from(tau), ctx);
+        let slow = gamma6_reference(&ma, &mb, f64::from(tau), ctx);
+        prop_assert_eq!(fast, slow);
     }
 
     /// Generated corpora are always internally consistent, and SCN mention
