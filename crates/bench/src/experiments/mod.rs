@@ -9,6 +9,7 @@ pub mod fig3;
 pub mod fig5;
 pub mod fig6;
 pub mod perf;
+pub mod scenarios;
 pub mod table2;
 pub mod table3;
 pub mod table4;

@@ -1,0 +1,160 @@
+//! Scenario conformance scorecard: run the adversarial scenario matrix
+//! (fit + metamorphic invariants + differential oracles) and emit the
+//! machine-readable `SCENARIOS.json` at the repository root, mirroring the
+//! committed perf trajectory in `BENCH_pipeline.json`.
+//!
+//! Schema (`schema_version` 1):
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "scenarios": [ <ScenarioOutcome>, ... ]
+//! }
+//! ```
+//!
+//! where each `ScenarioOutcome` records the scenario's master seed and the
+//! derived seeds (corpus / embeddings / eval split), the corpus shape, the
+//! canonical-partition `fingerprint`, per-invariant `{name, passed,
+//! detail}` reports, the differential `methods` panel (truth oracle,
+//! trivial partitions, IUAD both stages, all baselines — pairwise micro +
+//! B³ + K-metric each), and streaming statistics from the incremental
+//! interface.
+
+use iuad_corpus::scenario_matrix;
+use iuad_eval::Table;
+use iuad_scenarios::{run_scenario, ScenarioOutcome};
+use serde::Serialize;
+
+use crate::write_results;
+
+/// The `SCENARIOS.json` document.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScenarioScorecard {
+    /// Schema version; bump when fields change meaning.
+    pub schema_version: u32,
+    /// One outcome per scenario, in matrix order.
+    pub scenarios: Vec<ScenarioOutcome>,
+}
+
+/// Run the whole matrix.
+pub fn run_matrix() -> ScenarioScorecard {
+    let specs = scenario_matrix();
+    let mut scenarios = Vec::with_capacity(specs.len());
+    for (i, spec) in specs.iter().enumerate() {
+        eprintln!(
+            "scenarios: [{}/{}] {} — {}",
+            i + 1,
+            specs.len(),
+            spec.name,
+            spec.summary
+        );
+        let t0 = std::time::Instant::now();
+        let outcome = run_scenario(spec);
+        eprintln!(
+            "scenarios: [{}/{}] {} done in {:.1?} (fingerprint {}, invariants {})",
+            i + 1,
+            specs.len(),
+            spec.name,
+            t0.elapsed(),
+            outcome.fingerprint,
+            if outcome.all_invariants_passed() {
+                "all passed"
+            } else {
+                "FAILED"
+            }
+        );
+        scenarios.push(outcome);
+    }
+    ScenarioScorecard {
+        schema_version: 1,
+        scenarios,
+    }
+}
+
+/// Serialise the scorecard to `SCENARIOS.json` at the repository root (one
+/// scenario object per line, so diffs localise) and mirror it under
+/// `results/`.
+pub fn write_scenarios_json(card: &ScenarioScorecard) -> std::io::Result<()> {
+    let mut json = format!(
+        "{{\n  \"schema_version\": {},\n  \"scenarios\": [\n",
+        card.schema_version
+    );
+    for (i, s) in card.scenarios.iter().enumerate() {
+        let row = serde_json::to_string(s).map_err(std::io::Error::other)?;
+        json.push_str("    ");
+        json.push_str(&row);
+        json.push_str(if i + 1 < card.scenarios.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("SCENARIOS.json", &json)?;
+    if std::fs::create_dir_all("results").is_ok() {
+        let _ = std::fs::write("results/SCENARIOS.json", &json);
+    }
+    Ok(())
+}
+
+/// Render the scorecard as aligned text tables.
+pub fn render(card: &ScenarioScorecard) -> String {
+    let mut overview = Table::new([
+        "scenario",
+        "seed",
+        "papers",
+        "ambig",
+        "max/name",
+        "fingerprint",
+        "invariants",
+    ]);
+    for s in &card.scenarios {
+        let failed: Vec<&str> = s
+            .invariants
+            .iter()
+            .filter(|i| !i.passed)
+            .map(|i| i.name.as_str())
+            .collect();
+        overview.row([
+            s.name.clone(),
+            format!("{:#x}", s.master_seed),
+            s.corpus.papers.to_string(),
+            s.corpus.ambiguous_names.to_string(),
+            s.corpus.max_authors_per_name.to_string(),
+            s.fingerprint.clone(),
+            if failed.is_empty() {
+                format!("{}/{} ok", s.invariants.len(), s.invariants.len())
+            } else {
+                format!("FAILED: {}", failed.join(","))
+            },
+        ]);
+    }
+
+    let mut diff = Table::new(["scenario", "method", "pairF", "b3F", "K"]);
+    for s in &card.scenarios {
+        for m in &s.methods {
+            diff.row([
+                s.name.clone(),
+                m.method.clone(),
+                format!("{:.4}", m.pairwise_f),
+                format!("{:.4}", m.b3_f),
+                format!("{:.4}", m.k_metric),
+            ]);
+        }
+    }
+    format!("{}\n{}", overview.render(), diff.render())
+}
+
+/// Run the matrix and emit `SCENARIOS.json`. The JSON record is this
+/// artefact's product, so a failed write aborts instead of exiting 0 with
+/// nothing on disk.
+pub fn run() -> String {
+    let card = run_matrix();
+    if let Err(e) = write_scenarios_json(&card) {
+        eprintln!("error: failed to write SCENARIOS.json: {e}");
+        std::process::exit(1);
+    }
+    let out = render(&card);
+    write_results("scenarios", &card.scenarios, &out);
+    out
+}

@@ -151,6 +151,29 @@ impl Iuad {
         )
     }
 
+    /// Incrementally disambiguate every slot of a new paper against the
+    /// fitted network — the paper-level face of [`Iuad::disambiguate`],
+    /// delegating to [`crate::incremental::disambiguate_paper`] so the two
+    /// entry points stay behaviourally identical (asserted per scenario by
+    /// the conformance harness).
+    pub fn disambiguate_paper(&self, paper: &Paper) -> Vec<(NameId, Decision)> {
+        let Some(model) = &self.gcn.model else {
+            return paper
+                .authors
+                .iter()
+                .map(|&n| (n, Decision::NewAuthor { best_score: None }))
+                .collect();
+        };
+        crate::incremental::disambiguate_paper(
+            &self.network,
+            &self.ctx,
+            &self.engine,
+            model,
+            self.config.gcn.delta,
+            paper,
+        )
+    }
+
     /// Fold a disambiguated mention into the network *without* refitting:
     /// appends the mention to the matched vertex (or a fresh vertex) so that
     /// subsequent incremental queries see it. Structural caches are not

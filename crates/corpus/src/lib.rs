@@ -35,6 +35,7 @@ mod generator;
 mod io;
 mod model;
 mod names;
+pub mod scenario;
 mod stats;
 mod testset;
 
@@ -42,5 +43,9 @@ pub use generator::{CorpusConfig, GeneratorReport};
 pub use io::{load_jsonl, save_jsonl, CorpusIoError};
 pub use model::{AuthorId, Corpus, Mention, NameId, Paper, PaperId, VenueId};
 pub use names::NamePools;
+pub use scenario::{
+    accent_surnames, derive_seed, duplicate_papers, fold_given_names, permute_papers,
+    scenario_matrix, ArrivalOrder, NameNoise, ScenarioSpec,
+};
 pub use stats::{log_log_slope, papers_per_name, DegreeHistogram};
-pub use testset::{select_test_names, TestName, TestSet};
+pub use testset::{select_test_names, select_test_names_seeded, TestName, TestSet};

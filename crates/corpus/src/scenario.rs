@@ -1,0 +1,643 @@
+//! Adversarial scenario presets for the conformance harness.
+//!
+//! The single seeded benchmark corpus exercises one regime: medium size,
+//! moderate ambiguity, healthy collaboration structure. Disambiguation
+//! quality is known to be sensitive to regimes that corpus never enters —
+//! degree skew and name-frequency distribution (Kim 2018), and sparse
+//! topology where structural signals carry nothing (Amancio et al. 2013).
+//! Each [`ScenarioSpec`] here names one such regime and generates it
+//! reproducibly from a single master seed:
+//!
+//! * **homonym storms** — Zipf exponents cranked up so many distinct
+//!   authors share one name;
+//! * **synonym/variant names** — post-generation name-noise transforms:
+//!   given names folded to initials (abbreviation-induced collisions) and
+//!   accented transliterations of surnames (unicode handling);
+//! * **scale-free skew** — extreme Pareto productivity plus sticky ties, so
+//!   a few hub authors dominate the collaboration graph;
+//! * **tiny / sparse corpora** — edge regimes where most vertices are
+//!   singletons and Stage 1 has almost nothing to hold on to;
+//! * **streaming arrival orders** — a held-out paper stream, optionally
+//!   shuffled or reversed, for the incremental interface.
+//!
+//! Every derived seed (corpus, embeddings, evaluation split, shuffles)
+//! comes from [`derive_seed`] on the master seed, so a scenario is fully
+//! reproducible from one recorded `u64`.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rustc_hash::FxHashMap;
+
+use crate::generator::CorpusConfig;
+use crate::model::{AuthorId, Corpus, NameId, Paper};
+
+/// Deterministic seed stream: splitmix64 over `master` and a stream index.
+/// Stream 0 is the corpus seed by convention; other subsystems (embeddings,
+/// evaluation splits, shuffles) take their own stream so changing one never
+/// perturbs another.
+pub fn derive_seed(master: u64, stream: u64) -> u64 {
+    let mut z = master
+        .wrapping_add(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(stream.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Post-generation noise applied to author *name strings* (and, for
+/// folding, to name identity itself).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NameNoise {
+    /// Names exactly as generated.
+    None,
+    /// Fold given names to initials ("wei wang" → "w. wang"), merging every
+    /// name that collides after folding — the abbreviation ambiguity of real
+    /// bibliographies.
+    AbbreviateGiven,
+    /// Rewrite a seeded fraction of surnames with accented transliterations
+    /// ("wang" → "wáng"): multi-byte unicode through every string path.
+    AccentSurnames,
+    /// Both of the above, folding first.
+    AbbreviateAndAccent,
+}
+
+/// Order in which held-out papers arrive at the incremental interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalOrder {
+    /// Corpus (generation) order — roughly chronological per author.
+    Corpus,
+    /// Newest first.
+    Reversed,
+    /// Seeded uniform shuffle.
+    Shuffled,
+}
+
+/// One named adversarial regime: a corpus recipe plus the streaming
+/// protocol for the incremental path.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Stable scenario id (kebab-case; test names and goldens key on it).
+    pub name: &'static str,
+    /// One-line description of the regime under test.
+    pub summary: &'static str,
+    /// The single seed everything derives from.
+    pub master_seed: u64,
+    /// Generator configuration; its `seed` field is overwritten with
+    /// `derive_seed(master_seed, 0)` at build time.
+    pub config: CorpusConfig,
+    /// Name-string noise applied after generation.
+    pub name_noise: NameNoise,
+    /// Papers held out as the incremental stream.
+    pub stream_tail: usize,
+    /// Arrival order of the held-out stream.
+    pub arrival: ArrivalOrder,
+    /// Allowed |ΔB³-F| between the fit on the original and on a
+    /// paper-order-permuted corpus (embedding training is order-sensitive,
+    /// so the full pipeline is only *robust*, not invariant; Stage 1 must
+    /// be exactly invariant regardless of this bound).
+    pub permutation_b3_tolerance: f64,
+}
+
+impl ScenarioSpec {
+    /// Seed stream indices (documented so SCENARIOS.json readers can
+    /// re-derive them): 0 = corpus, 1 = embeddings, 2 = evaluation split,
+    /// 3 = paper permutation, 4 = baseline context, 5 = accent noise,
+    /// 6 = arrival shuffle, 7 = duplicate injection.
+    pub fn corpus_seed(&self) -> u64 {
+        derive_seed(self.master_seed, 0)
+    }
+
+    /// Embedding-training seed (stream 1).
+    pub fn embedding_seed(&self) -> u64 {
+        derive_seed(self.master_seed, 1)
+    }
+
+    /// Evaluation-split seed (stream 2), for
+    /// [`crate::select_test_names_seeded`].
+    pub fn eval_seed(&self) -> u64 {
+        derive_seed(self.master_seed, 2)
+    }
+
+    /// Baseline-context seed (stream 4), for the differential panel's
+    /// shared baseline embeddings.
+    pub fn baseline_seed(&self) -> u64 {
+        derive_seed(self.master_seed, 4)
+    }
+
+    /// Generate the scenario corpus: seeded generation plus name noise.
+    pub fn build_corpus(&self) -> Corpus {
+        let config = CorpusConfig {
+            seed: self.corpus_seed(),
+            ..self.config.clone()
+        };
+        let mut corpus = Corpus::generate(&config);
+        match self.name_noise {
+            NameNoise::None => {}
+            NameNoise::AbbreviateGiven => corpus = fold_given_names(&corpus),
+            NameNoise::AccentSurnames => {
+                corpus = accent_surnames(&corpus, derive_seed(self.master_seed, 5), 0.4);
+            }
+            NameNoise::AbbreviateAndAccent => {
+                corpus = fold_given_names(&corpus);
+                corpus = accent_surnames(&corpus, derive_seed(self.master_seed, 5), 0.4);
+            }
+        }
+        debug_assert_eq!(corpus.validate(), Ok(()));
+        corpus
+    }
+
+    /// Split the scenario corpus for the incremental experiment: a base to
+    /// fit on and the held-out stream in this scenario's arrival order.
+    #[allow(clippy::type_complexity)]
+    pub fn split_for_streaming(&self, corpus: &Corpus) -> (Corpus, Vec<(Paper, Vec<AuthorId>)>) {
+        let (base, mut tail) = corpus.split_tail(self.stream_tail.min(corpus.papers.len() / 2));
+        match self.arrival {
+            ArrivalOrder::Corpus => {}
+            ArrivalOrder::Reversed => tail.reverse(),
+            ArrivalOrder::Shuffled => {
+                let mut rng = StdRng::seed_from_u64(derive_seed(self.master_seed, 6));
+                tail.shuffle(&mut rng);
+            }
+        }
+        (base, tail)
+    }
+}
+
+/// The conformance matrix: every named adversarial regime the harness runs.
+/// Sizes are tuned so the whole matrix (several fits per scenario) stays
+/// test-suite friendly in debug builds while still exercising each regime.
+pub fn scenario_matrix() -> Vec<ScenarioSpec> {
+    let base = CorpusConfig::default;
+    vec![
+        ScenarioSpec {
+            name: "baseline-reference",
+            summary: "the generator's default regime at small scale — the control row",
+            master_seed: 0x5ce0_0001,
+            config: CorpusConfig {
+                num_authors: 150,
+                num_papers: 600,
+                surname_zipf: 1.6,
+                given_zipf: 1.6,
+                ..base()
+            },
+            name_noise: NameNoise::None,
+            stream_tail: 30,
+            arrival: ArrivalOrder::Corpus,
+            permutation_b3_tolerance: 0.10,
+        },
+        ScenarioSpec {
+            name: "homonym-storm",
+            summary: "steep Zipf name pools: many distinct authors share each popular name",
+            master_seed: 0x5ce0_0002,
+            config: CorpusConfig {
+                num_authors: 260,
+                num_papers: 780,
+                surname_zipf: 2.2,
+                given_zipf: 2.2,
+                ..base()
+            },
+            name_noise: NameNoise::None,
+            stream_tail: 30,
+            arrival: ArrivalOrder::Corpus,
+            permutation_b3_tolerance: 0.12,
+        },
+        ScenarioSpec {
+            name: "abbreviated-variants",
+            summary: "given names folded to initials: abbreviation-induced homonyms",
+            master_seed: 0x5ce0_0003,
+            config: CorpusConfig {
+                num_authors: 180,
+                num_papers: 620,
+                ..base()
+            },
+            name_noise: NameNoise::AbbreviateGiven,
+            stream_tail: 25,
+            arrival: ArrivalOrder::Corpus,
+            permutation_b3_tolerance: 0.12,
+        },
+        ScenarioSpec {
+            name: "unicode-transliteration",
+            summary: "accented surname transliterations: multi-byte names end to end",
+            master_seed: 0x5ce0_0004,
+            config: CorpusConfig {
+                num_authors: 150,
+                num_papers: 520,
+                surname_zipf: 1.4,
+                ..base()
+            },
+            name_noise: NameNoise::AbbreviateAndAccent,
+            stream_tail: 20,
+            arrival: ArrivalOrder::Corpus,
+            permutation_b3_tolerance: 0.12,
+        },
+        ScenarioSpec {
+            name: "scale-free-hubs",
+            summary: "extreme Pareto productivity + sticky ties: hub-dominated degree skew",
+            master_seed: 0x5ce0_0005,
+            config: CorpusConfig {
+                num_authors: 200,
+                num_papers: 700,
+                surname_zipf: 1.6,
+                given_zipf: 1.6,
+                productivity_alpha: 1.05,
+                tie_strength: 0.95,
+                max_coauthors: 10,
+                mean_coauthors: 3.0,
+                ..base()
+            },
+            name_noise: NameNoise::None,
+            stream_tail: 30,
+            arrival: ArrivalOrder::Corpus,
+            permutation_b3_tolerance: 0.12,
+        },
+        ScenarioSpec {
+            name: "tiny-sparse",
+            summary: "a few dozen authors, short papers: the small-corpus edge regime",
+            master_seed: 0x5ce0_0006,
+            config: CorpusConfig {
+                num_authors: 26,
+                num_papers: 110,
+                num_topics: 4,
+                surname_zipf: 2.0,
+                given_zipf: 2.0,
+                mean_coauthors: 1.0,
+                ..base()
+            },
+            name_noise: NameNoise::None,
+            stream_tail: 10,
+            arrival: ArrivalOrder::Corpus,
+            permutation_b3_tolerance: 0.20,
+        },
+        ScenarioSpec {
+            name: "singleton-desert",
+            summary: "collaboration so sparse that topology-only signals break down",
+            master_seed: 0x5ce0_0007,
+            config: CorpusConfig {
+                num_authors: 160,
+                num_papers: 500,
+                surname_zipf: 1.6,
+                given_zipf: 1.6,
+                mean_coauthors: 0.4,
+                tie_strength: 0.15,
+                cross_topic_prob: 0.3,
+                ..base()
+            },
+            name_noise: NameNoise::None,
+            stream_tail: 25,
+            arrival: ArrivalOrder::Corpus,
+            permutation_b3_tolerance: 0.15,
+        },
+        ScenarioSpec {
+            name: "dense-cliques",
+            summary: "large co-author teams: triangle-heavy cliques stress the merge rules",
+            master_seed: 0x5ce0_0008,
+            config: CorpusConfig {
+                num_authors: 140,
+                num_papers: 460,
+                surname_zipf: 1.6,
+                given_zipf: 1.6,
+                max_coauthors: 9,
+                mean_coauthors: 4.5,
+                tie_strength: 0.9,
+                ..base()
+            },
+            name_noise: NameNoise::None,
+            stream_tail: 20,
+            arrival: ArrivalOrder::Corpus,
+            permutation_b3_tolerance: 0.12,
+        },
+        ScenarioSpec {
+            name: "topic-blur",
+            summary: "titles and venues mostly noise: content channels carry little signal",
+            master_seed: 0x5ce0_0009,
+            config: CorpusConfig {
+                num_authors: 160,
+                num_papers: 560,
+                surname_zipf: 1.6,
+                given_zipf: 1.6,
+                title_noise: 0.85,
+                venue_noise: 0.75,
+                ..base()
+            },
+            name_noise: NameNoise::None,
+            stream_tail: 25,
+            arrival: ArrivalOrder::Corpus,
+            permutation_b3_tolerance: 0.15,
+        },
+        ScenarioSpec {
+            name: "streaming-churn",
+            summary: "a large shuffled held-out stream drives the incremental interface",
+            master_seed: 0x5ce0_000a,
+            config: CorpusConfig {
+                num_authors: 180,
+                num_papers: 660,
+                surname_zipf: 1.6,
+                given_zipf: 1.6,
+                ..base()
+            },
+            name_noise: NameNoise::None,
+            stream_tail: 90,
+            arrival: ArrivalOrder::Shuffled,
+            permutation_b3_tolerance: 0.10,
+        },
+    ]
+}
+
+/// Look up one scenario by name.
+pub fn scenario(name: &str) -> Option<ScenarioSpec> {
+    scenario_matrix().into_iter().find(|s| s.name == name)
+}
+
+/// Fold every given name to its initial ("wei wang" → "w. wang") and merge
+/// the names that collide after folding. Authors keep their identity; only
+/// the *name* they publish under coarsens, so ambiguity rises sharply. If
+/// folding makes two co-authors of one paper share a name, the later slot
+/// is dropped (real bibliographies list each rendered name once).
+pub fn fold_given_names(corpus: &Corpus) -> Corpus {
+    let fold = |s: &str| -> String {
+        match s.split_once(' ') {
+            Some((given, rest)) => {
+                let initial = given.chars().next().map(String::from).unwrap_or_default();
+                format!("{initial}. {rest}")
+            }
+            None => s.to_string(),
+        }
+    };
+
+    // Old name id → new (folded) name id, first-occurrence order.
+    let mut folded_ids: FxHashMap<String, NameId> = FxHashMap::default();
+    let mut new_strings: Vec<String> = Vec::new();
+    let mut remap: Vec<NameId> = Vec::with_capacity(corpus.name_strings.len());
+    for s in &corpus.name_strings {
+        let f = fold(s);
+        let id = *folded_ids.entry(f.clone()).or_insert_with(|| {
+            new_strings.push(f);
+            NameId::from(new_strings.len() - 1)
+        });
+        remap.push(id);
+    }
+
+    let mut papers = Vec::with_capacity(corpus.papers.len());
+    let mut truth = Vec::with_capacity(corpus.truth.len());
+    for (p, t) in corpus.papers.iter().zip(&corpus.truth) {
+        let mut authors: Vec<NameId> = Vec::with_capacity(p.authors.len());
+        let mut slot_truth: Vec<AuthorId> = Vec::with_capacity(t.len());
+        for (&n, &a) in p.authors.iter().zip(t) {
+            let folded = remap[n.index()];
+            if authors.contains(&folded) {
+                continue; // collision within one paper: drop the later slot
+            }
+            authors.push(folded);
+            slot_truth.push(a);
+        }
+        papers.push(Paper {
+            authors,
+            ..p.clone()
+        });
+        truth.push(slot_truth);
+    }
+
+    let out = Corpus {
+        papers,
+        name_strings: new_strings,
+        venue_strings: corpus.venue_strings.clone(),
+        truth,
+        author_names: corpus
+            .author_names
+            .iter()
+            .map(|n| remap[n.index()])
+            .collect(),
+        config: corpus.config.clone(),
+    };
+    debug_assert_eq!(out.validate(), Ok(()));
+    out
+}
+
+/// Rewrite a seeded `fraction` of name strings with accented surname
+/// transliterations. Pure string noise: name *identity* is untouched, so
+/// the partitioning problem is unchanged while every string-handling path
+/// (serialization, tables, reports) sees multi-byte unicode.
+pub fn accent_surnames(corpus: &Corpus, seed: u64, fraction: f64) -> Corpus {
+    let accent = |c: char| -> char {
+        match c {
+            'a' => 'á',
+            'e' => 'é',
+            'i' => 'í',
+            'o' => 'ó',
+            'u' => 'ú',
+            'n' => 'ñ',
+            other => other,
+        }
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let name_strings: Vec<String> = corpus
+        .name_strings
+        .iter()
+        .map(|s| {
+            if rng.gen::<f64>() >= fraction {
+                return s.clone();
+            }
+            match s.rsplit_once(' ') {
+                Some((given, surname)) => {
+                    let accented: String = surname.chars().map(accent).collect();
+                    format!("{given} {accented}")
+                }
+                None => s.chars().map(accent).collect(),
+            }
+        })
+        .collect();
+    let out = Corpus {
+        name_strings,
+        ..corpus.clone()
+    };
+    debug_assert_eq!(out.validate(), Ok(()));
+    out
+}
+
+/// Return a copy of `corpus` with its papers permuted by the seeded
+/// permutation, ids renumbered to stay self-consistent, together with
+/// `perm` where `perm[new_position] = old_paper_index`. The metamorphic
+/// harness uses this to check order-(in)sensitivity of the pipeline.
+pub fn permute_papers(corpus: &Corpus, seed: u64) -> (Corpus, Vec<usize>) {
+    let mut perm: Vec<usize> = (0..corpus.papers.len()).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    perm.shuffle(&mut rng);
+    let papers: Vec<Paper> = perm
+        .iter()
+        .enumerate()
+        .map(|(new, &old)| Paper {
+            id: crate::model::PaperId::from(new),
+            ..corpus.papers[old].clone()
+        })
+        .collect();
+    let truth: Vec<Vec<AuthorId>> = perm.iter().map(|&old| corpus.truth[old].clone()).collect();
+    let out = Corpus {
+        papers,
+        truth,
+        name_strings: corpus.name_strings.clone(),
+        venue_strings: corpus.venue_strings.clone(),
+        author_names: corpus.author_names.clone(),
+        config: corpus.config.clone(),
+    };
+    debug_assert_eq!(out.validate(), Ok(()));
+    (out, perm)
+}
+
+/// Append exact duplicates of `count` seeded multi-author papers (same
+/// title, venue, year, authors; fresh ids). Returns the new corpus and the
+/// (original, duplicate) paper-id pairs. Because a duplicated paper repeats
+/// every one of its co-author name pairs, each such pair reaches η = 2
+/// support, so duplicate mention pairs *must* co-cluster — the
+/// duplicate-injection idempotence invariant.
+pub fn duplicate_papers(corpus: &Corpus, count: usize, seed: u64) -> (Corpus, Vec<(usize, usize)>) {
+    let mut candidates: Vec<usize> = corpus
+        .papers
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.authors.len() >= 2)
+        .map(|(i, _)| i)
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    candidates.shuffle(&mut rng);
+    candidates.truncate(count);
+    candidates.sort_unstable(); // deterministic append order
+
+    let mut out = corpus.clone();
+    let mut pairs = Vec::with_capacity(candidates.len());
+    for &orig in &candidates {
+        let new_id = out.papers.len();
+        let mut dup = corpus.papers[orig].clone();
+        dup.id = crate::model::PaperId::from(new_id);
+        out.papers.push(dup);
+        out.truth.push(corpus.truth[orig].clone());
+        pairs.push((orig, new_id));
+    }
+    debug_assert_eq!(out.validate(), Ok(()));
+    (out, pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_names_are_unique_and_plentiful() {
+        let m = scenario_matrix();
+        assert!(m.len() >= 8, "need at least 8 scenarios, have {}", m.len());
+        let mut names: Vec<&str> = m.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), m.len(), "duplicate scenario names");
+    }
+
+    #[test]
+    fn derive_seed_streams_are_distinct() {
+        let a = derive_seed(7, 0);
+        let b = derive_seed(7, 1);
+        let c = derive_seed(8, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // And stable.
+        assert_eq!(derive_seed(7, 0), a);
+    }
+
+    #[test]
+    fn scenario_corpora_are_reproducible_from_master_seed() {
+        for spec in scenario_matrix() {
+            let a = spec.build_corpus();
+            let b = spec.build_corpus();
+            assert_eq!(a.papers, b.papers, "{}", spec.name);
+            assert_eq!(a.truth, b.truth, "{}", spec.name);
+            assert_eq!(a.name_strings, b.name_strings, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn folding_merges_names_and_keeps_consistency() {
+        let spec = scenario("abbreviated-variants").unwrap();
+        let raw = Corpus::generate(&CorpusConfig {
+            seed: spec.corpus_seed(),
+            ..spec.config.clone()
+        });
+        let folded = fold_given_names(&raw);
+        assert_eq!(folded.validate(), Ok(()));
+        assert!(
+            folded.num_names() < raw.num_names(),
+            "folding should merge names: {} -> {}",
+            raw.num_names(),
+            folded.num_names()
+        );
+        // Every folded name is an initial form.
+        for s in &folded.name_strings {
+            let given = s.split(' ').next().unwrap();
+            assert!(given.ends_with('.'), "unfolded given name: {s}");
+        }
+    }
+
+    #[test]
+    fn accenting_changes_strings_only() {
+        let spec = scenario("unicode-transliteration").unwrap();
+        let raw = Corpus::generate(&CorpusConfig {
+            seed: spec.corpus_seed(),
+            ..spec.config.clone()
+        });
+        let accented = accent_surnames(&raw, 11, 0.5);
+        assert_eq!(accented.validate(), Ok(()));
+        assert_eq!(accented.papers, raw.papers);
+        assert_eq!(accented.truth, raw.truth);
+        assert!(
+            accented.name_strings.iter().any(|s| !s.is_ascii()),
+            "expected some accented names"
+        );
+    }
+
+    #[test]
+    fn permutation_roundtrips_mentions() {
+        let spec = scenario("baseline-reference").unwrap();
+        let c = spec.build_corpus();
+        let (p, perm) = permute_papers(&c, 3);
+        assert_eq!(p.validate(), Ok(()));
+        assert_eq!(p.papers.len(), c.papers.len());
+        for (new, &old) in perm.iter().enumerate() {
+            assert_eq!(p.papers[new].title, c.papers[old].title);
+            assert_eq!(p.papers[new].authors, c.papers[old].authors);
+            assert_eq!(p.truth[new], c.truth[old]);
+        }
+    }
+
+    #[test]
+    fn duplication_appends_exact_copies() {
+        let spec = scenario("baseline-reference").unwrap();
+        let c = spec.build_corpus();
+        let (d, pairs) = duplicate_papers(&c, 15, 5);
+        assert_eq!(d.validate(), Ok(()));
+        assert_eq!(d.papers.len(), c.papers.len() + pairs.len());
+        for &(orig, dup) in &pairs {
+            assert_eq!(d.papers[dup].authors, c.papers[orig].authors);
+            assert_eq!(d.papers[dup].title, c.papers[orig].title);
+            assert_eq!(d.truth[dup], c.truth[orig]);
+            assert!(d.papers[orig].authors.len() >= 2);
+        }
+    }
+
+    #[test]
+    fn homonym_storm_is_actually_stormy() {
+        let spec = scenario("homonym-storm").unwrap();
+        let c = spec.build_corpus();
+        let by_name = c.authors_by_name();
+        let max = by_name.iter().map(Vec::len).max().unwrap_or(0);
+        assert!(max >= 6, "homonym storm max authors/name = {max}");
+    }
+
+    #[test]
+    fn streaming_orders_cover_the_same_papers() {
+        let spec = scenario("streaming-churn").unwrap();
+        let c = spec.build_corpus();
+        let (base, tail) = spec.split_for_streaming(&c);
+        assert_eq!(base.papers.len() + tail.len(), c.papers.len());
+        let mut ids: Vec<u32> = tail.iter().map(|(p, _)| p.id.0).collect();
+        ids.sort_unstable();
+        let expect: Vec<u32> = (base.papers.len() as u32..c.papers.len() as u32).collect();
+        assert_eq!(ids, expect);
+    }
+}

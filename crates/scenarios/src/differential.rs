@@ -1,0 +1,214 @@
+//! Differential oracle scoring: IUAD against every baseline, the trivial
+//! partitions, and the ground-truth oracle, on pairwise micro metrics, B³,
+//! and the K-metric.
+//!
+//! The oracle rows serve as *executable checks on the scoring machinery
+//! itself*: for any scenario, ground truth must score exactly 1.0
+//! everywhere, all-merged must reach recall 1.0, and all-split must reach
+//! B³ precision 1.0. The baseline rows turn an absolute score into a
+//! relative one — "IUAD dropped below the structure-only baseline on
+//! `homonym-storm`" localises a regression far better than a bare number.
+
+use iuad_baselines::{Aminer, Anon, BaselineContext, Disambiguator, Ghost, NetE};
+use iuad_core::Iuad;
+use iuad_corpus::{Corpus, NameId, TestSet};
+use iuad_eval::{b_cubed, pairwise_confusion, Confusion};
+use serde::Serialize;
+
+/// One method's scores over a scenario's test names.
+#[derive(Debug, Clone, Serialize)]
+pub struct MethodScore {
+    /// Method label (stable across PRs; rows append).
+    pub method: String,
+    /// Pairwise micro accuracy.
+    pub pairwise_a: f64,
+    /// Pairwise micro precision.
+    pub pairwise_p: f64,
+    /// Pairwise micro recall.
+    pub pairwise_r: f64,
+    /// Pairwise micro F1.
+    pub pairwise_f: f64,
+    /// B³ precision (mention-weighted across test names).
+    pub b3_p: f64,
+    /// B³ recall.
+    pub b3_r: f64,
+    /// B³ F.
+    pub b3_f: f64,
+    /// K-metric (geometric mean of the B³ components).
+    pub k_metric: f64,
+}
+
+/// Score one labelling function over the test names: pairwise micro
+/// confusion plus mention-weighted (i.e. pooled) B³ and K.
+pub fn score_labels(
+    corpus: &Corpus,
+    test: &TestSet,
+    label: &str,
+    mut labels_of: impl FnMut(NameId) -> Vec<usize>,
+) -> MethodScore {
+    let mut conf = Confusion::default();
+    let mut b3_p_sum = 0.0;
+    let mut b3_r_sum = 0.0;
+    let mut mention_total = 0usize;
+    for row in &test.names {
+        let mentions = corpus.mentions_of_name(row.name);
+        let truth: Vec<u32> = mentions.iter().map(|m| corpus.truth_of(*m).0).collect();
+        let pred = labels_of(row.name);
+        assert_eq!(
+            pred.len(),
+            truth.len(),
+            "label arity for {:?} under {label}",
+            row.name
+        );
+        conf.add(pairwise_confusion(&pred, &truth));
+        let (p, r, _) = b_cubed(&pred, &truth);
+        b3_p_sum += p * mentions.len() as f64;
+        b3_r_sum += r * mentions.len() as f64;
+        mention_total += mentions.len();
+    }
+    let m = conf.metrics();
+    let (b3_p, b3_r) = if mention_total == 0 {
+        (0.0, 0.0)
+    } else {
+        (
+            b3_p_sum / mention_total as f64,
+            b3_r_sum / mention_total as f64,
+        )
+    };
+    let b3_f = if b3_p + b3_r == 0.0 {
+        0.0
+    } else {
+        2.0 * b3_p * b3_r / (b3_p + b3_r)
+    };
+    MethodScore {
+        method: label.to_string(),
+        pairwise_a: m.accuracy,
+        pairwise_p: m.precision,
+        pairwise_r: m.recall,
+        pairwise_f: m.f1,
+        b3_p,
+        b3_r,
+        b3_f,
+        k_metric: (b3_p * b3_r).sqrt(),
+    }
+}
+
+/// Score the full differential panel on one scenario: oracles, IUAD (both
+/// stages), and every baseline sharing one [`BaselineContext`].
+pub fn score_scenario_methods(
+    corpus: &Corpus,
+    test: &TestSet,
+    iuad: &Iuad,
+    baseline_seed: u64,
+) -> Vec<MethodScore> {
+    let mut out = Vec::new();
+    out.push(score_labels(corpus, test, "truth-oracle", |name| {
+        corpus
+            .mentions_of_name(name)
+            .iter()
+            .map(|m| corpus.truth_of(*m).0 as usize)
+            .collect()
+    }));
+    out.push(score_labels(corpus, test, "all-split", |name| {
+        (0..corpus.mentions_of_name(name).len()).collect()
+    }));
+    out.push(score_labels(corpus, test, "all-merged", |name| {
+        vec![0; corpus.mentions_of_name(name).len()]
+    }));
+    out.push(score_labels(corpus, test, "iuad", |name| {
+        iuad.labels_of_name(corpus, name)
+    }));
+    let stage1 = iuad.stage1_assignments();
+    out.push(score_labels(corpus, test, "iuad-stage1", |name| {
+        corpus
+            .mentions_of_name(name)
+            .iter()
+            .map(|m| stage1[m])
+            .collect()
+    }));
+
+    let ctx = BaselineContext::build(corpus, 16, baseline_seed);
+    let ghost = Ghost::new(&ctx);
+    let aminer = Aminer::new(&ctx);
+    let anon = Anon::new(&ctx);
+    let nete = NetE::new(&ctx);
+    let baselines: [&dyn Disambiguator; 4] = [&ghost, &aminer, &anon, &nete];
+    for d in baselines {
+        out.push(score_labels(corpus, test, d.label(), |name| {
+            let mentions = corpus.mentions_of_name(name);
+            d.disambiguate(corpus, name, &mentions)
+        }));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iuad_corpus::{select_test_names, CorpusConfig};
+
+    fn fixture() -> (Corpus, TestSet) {
+        let c = Corpus::generate(&CorpusConfig {
+            num_authors: 120,
+            num_papers: 420,
+            seed: 23,
+            ..Default::default()
+        });
+        let test = select_test_names(&c, 2, 3, 10);
+        (c, test)
+    }
+
+    #[test]
+    fn truth_oracle_scores_exactly_one() {
+        let (c, test) = fixture();
+        assert!(!test.names.is_empty());
+        let s = score_labels(&c, &test, "truth", |name| {
+            c.mentions_of_name(name)
+                .iter()
+                .map(|m| c.truth_of(*m).0 as usize)
+                .collect()
+        });
+        assert_eq!(s.pairwise_f, 1.0);
+        assert_eq!(s.b3_f, 1.0);
+        assert_eq!(s.k_metric, 1.0);
+    }
+
+    #[test]
+    fn trivial_partitions_hit_their_extremes() {
+        let (c, test) = fixture();
+        let merged = score_labels(&c, &test, "all-merged", |name| {
+            vec![0; c.mentions_of_name(name).len()]
+        });
+        assert_eq!(merged.pairwise_r, 1.0);
+        assert_eq!(merged.b3_r, 1.0);
+        let split = score_labels(&c, &test, "all-split", |name| {
+            (0..c.mentions_of_name(name).len()).collect()
+        });
+        assert_eq!(split.b3_p, 1.0);
+        assert!(split.b3_r < 1.0);
+    }
+
+    #[test]
+    fn scores_are_bounded() {
+        let (c, test) = fixture();
+        let s = score_labels(&c, &test, "alt", |name| {
+            c.mentions_of_name(name)
+                .iter()
+                .enumerate()
+                .map(|(i, _)| i % 2)
+                .collect()
+        });
+        for v in [
+            s.pairwise_a,
+            s.pairwise_p,
+            s.pairwise_r,
+            s.pairwise_f,
+            s.b3_p,
+            s.b3_r,
+            s.b3_f,
+            s.k_metric,
+        ] {
+            assert!((0.0..=1.0).contains(&v), "{v}");
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Golden per-scenario fingerprints.
+//!
+//! Each entry pins the canonical-partition fingerprint of one scenario's
+//! seeded fit. A mismatch means a merge decision flipped on *that named
+//! regime* — far more actionable than a generic test failure. When a PR
+//! intentionally changes pipeline behaviour, regenerate with
+//! `make scenarios` (or `repro scenarios`) and update the table alongside
+//! the committed `SCENARIOS.json`, calling out the drift in the PR.
+
+/// `(scenario name, canonical fingerprint)` — one row per matrix entry.
+pub const GOLDEN_FINGERPRINTS: &[(&str, &str)] = &[
+    ("baseline-reference", "0x8c5578e7244c2a75"),
+    ("homonym-storm", "0x6c3120d5fac6644b"),
+    ("abbreviated-variants", "0x75cad52e80f0083a"),
+    ("unicode-transliteration", "0xd20a607a1eb12e40"),
+    ("scale-free-hubs", "0x0f6911ed02d09760"),
+    ("tiny-sparse", "0x670a701ffe2b01de"),
+    ("singleton-desert", "0x188c7dbf14c1be63"),
+    ("dense-cliques", "0xf6dedcb3f82efd75"),
+    ("topic-blur", "0x831787ebded1a225"),
+    ("streaming-churn", "0x0f01b8155d04953c"),
+];
+
+/// The golden fingerprint for `scenario`, if pinned.
+pub fn golden_fingerprint(scenario: &str) -> Option<&'static str> {
+    GOLDEN_FINGERPRINTS
+        .iter()
+        .find(|(n, _)| *n == scenario)
+        .map(|&(_, fp)| fp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iuad_corpus::scenario_matrix;
+
+    #[test]
+    fn every_scenario_has_a_golden_pin() {
+        for spec in scenario_matrix() {
+            assert!(
+                golden_fingerprint(spec.name).is_some(),
+                "scenario `{}` has no golden fingerprint — add it to \
+                 GOLDEN_FINGERPRINTS after a seeded run",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn goldens_reference_real_scenarios() {
+        let names: Vec<&str> = scenario_matrix().iter().map(|s| s.name).collect();
+        for (n, _) in GOLDEN_FINGERPRINTS {
+            assert!(names.contains(n), "golden `{n}` names no scenario");
+        }
+    }
+}

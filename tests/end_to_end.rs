@@ -122,6 +122,79 @@ fn pipeline_stage2_never_decreases_recall() {
 }
 
 #[test]
+fn incremental_paper_api_agrees_with_mention_api() {
+    // `disambiguate_paper` must be slot-for-slot identical to
+    // `disambiguate` (the §V-E mention-level entry point), decisions must
+    // be name-pure with finite scores, and matched vertices should usually
+    // carry the mention's true author.
+    let full = corpus();
+    let (base, tail) = full.split_tail(50);
+    let iuad = Iuad::fit(&base, &IuadConfig::default());
+    let mut matched = 0usize;
+    let mut correct = 0usize;
+    for (paper, truth) in &tail {
+        let decisions = iuad.disambiguate_paper(paper);
+        assert_eq!(decisions.len(), paper.authors.len());
+        for (slot, (name, decision)) in decisions.iter().enumerate() {
+            assert_eq!(*name, paper.authors[slot]);
+            assert_eq!(
+                *decision,
+                iuad.disambiguate(paper, slot),
+                "paper-level and mention-level decisions diverge at {:?}/{slot}",
+                paper.id
+            );
+            if let iuad_suite::core::Decision::Existing { vertex, score } = decision {
+                assert!(score.is_finite());
+                let v = iuad.network.graph.vertex(*vertex);
+                assert_eq!(v.name, paper.authors[slot], "matched vertex name");
+                // Majority ground truth of the matched vertex.
+                let mut counts = std::collections::HashMap::new();
+                for m in &v.mentions {
+                    *counts.entry(full.truth_of(*m).0).or_insert(0usize) += 1;
+                }
+                let major = counts
+                    .into_iter()
+                    .max_by_key(|&(a, n)| (n, std::cmp::Reverse(a)))
+                    .map(|(a, _)| a);
+                matched += 1;
+                if major == Some(truth[slot].0) {
+                    correct += 1;
+                }
+            }
+        }
+    }
+    assert!(matched > 20, "too few matched decisions: {matched}");
+    let acc = correct as f64 / matched as f64;
+    assert!(acc > 0.5, "incremental accuracy too low: {acc:.3}");
+}
+
+#[test]
+fn incremental_decisions_respect_delta_threshold() {
+    // Existing decisions must score at least δ; every accepted score must
+    // also be the arg-max over same-name candidates, so re-running with a
+    // stricter δ can only turn Existing into NewAuthor, never change the
+    // matched vertex.
+    let full = corpus();
+    let (base, tail) = full.split_tail(30);
+    let iuad = Iuad::fit(&base, &IuadConfig::default());
+    let delta = iuad.config.gcn.delta;
+    for (paper, _) in &tail {
+        for slot in 0..paper.authors.len() {
+            match iuad.disambiguate(paper, slot) {
+                iuad_suite::core::Decision::Existing { score, .. } => {
+                    assert!(score >= delta, "accepted below δ: {score} < {delta}");
+                }
+                iuad_suite::core::Decision::NewAuthor { best_score } => {
+                    if let Some(s) = best_score {
+                        assert!(s < delta, "rejected above δ: {s} >= {delta}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn incremental_stream_matches_network_growth() {
     let full = corpus();
     let (base, tail) = full.split_tail(40);

@@ -10,7 +10,7 @@ use iuad_suite::cluster::{densify_labels, hac, Linkage};
 use iuad_suite::core::similarity::{gamma4_time_consistency, gamma6_communities};
 use iuad_suite::core::{KeywordYears, ProfileContext, VenueCounts, VertexProfile};
 use iuad_suite::corpus::{Corpus, CorpusConfig, NameId};
-use iuad_suite::eval::pairwise_confusion;
+use iuad_suite::eval::{b_cubed, k_metric, pairwise_confusion};
 use iuad_suite::fpgrowth::{apriori, canonicalize, pairs::pair_counts, FpGrowth};
 use iuad_suite::graph::wl::{kernel, normalized_kernel, SparseFeatures};
 use iuad_suite::graph::UnionFind;
@@ -87,6 +87,41 @@ fn gamma6_reference(
         }
     }
     sum / tau
+}
+
+/// Brute-force B³ reference: per-mention precision/recall via explicit
+/// label-indexed membership maps, summed in the same mention order as the
+/// production implementation so agreement is *exact*, not approximate.
+fn b_cubed_reference(pred: &[usize], truth: &[usize]) -> (f64, f64, f64) {
+    let n = pred.len();
+    if n == 0 {
+        return (0.0, 0.0, 0.0);
+    }
+    let members = |labels: &[usize]| -> BTreeMap<usize, Vec<usize>> {
+        let mut m: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (i, &l) in labels.iter().enumerate() {
+            m.entry(l).or_default().push(i);
+        }
+        m
+    };
+    let (cm, tm) = (members(pred), members(truth));
+    let mut p_sum = 0.0;
+    let mut r_sum = 0.0;
+    for i in 0..n {
+        let cluster = &cm[&pred[i]];
+        let author = &tm[&truth[i]];
+        let both = cluster.iter().filter(|j| truth[**j] == truth[i]).count();
+        p_sum += both as f64 / cluster.len() as f64;
+        r_sum += both as f64 / author.len() as f64;
+    }
+    let p = p_sum / n as f64;
+    let r = r_sum / n as f64;
+    let f = if p + r == 0.0 {
+        0.0
+    } else {
+        2.0 * p * r / (p + r)
+    };
+    (p, r, f)
 }
 
 /// An empty profile with the given keyword/venue evidence installed.
@@ -303,6 +338,75 @@ proptest! {
         let fast = gamma6_communities(&pa, &pb, f64::from(tau), ctx);
         let slow = gamma6_reference(&ma, &mb, f64::from(tau), ctx);
         prop_assert_eq!(fast, slow);
+    }
+
+    /// B³ agrees exactly with the brute-force membership-map reference on
+    /// random clusterings, and K is the geometric mean of its components.
+    #[test]
+    fn b_cubed_matches_brute_force(
+        labels in prop::collection::vec((0usize..5, 0usize..5), 0..40),
+    ) {
+        let pred: Vec<usize> = labels.iter().map(|&(p, _)| p).collect();
+        let truth: Vec<usize> = labels.iter().map(|&(_, t)| t).collect();
+        let fast = b_cubed(&pred, &truth);
+        let slow = b_cubed_reference(&pred, &truth);
+        prop_assert_eq!(fast, slow);
+        let (p, r, f) = fast;
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!((0.0..=1.0).contains(&r));
+        prop_assert!((0.0..=1.0).contains(&f));
+        let k = k_metric(&pred, &truth);
+        prop_assert_eq!(k, (p * r).sqrt());
+        prop_assert!((0.0..=1.0).contains(&k));
+    }
+
+    /// All-singleton predictions have closed-form B³: precision 1, recall
+    /// the mean reciprocal true-cluster size.
+    #[test]
+    fn b_cubed_singletons_closed_form(truth in prop::collection::vec(0usize..6, 1..30)) {
+        let n = truth.len();
+        let pred: Vec<usize> = (0..n).collect();
+        let (p, r, _) = b_cubed(&pred, &truth);
+        prop_assert_eq!(p, 1.0);
+        let sizes: BTreeMap<usize, usize> = truth.iter().fold(BTreeMap::new(), |mut m, &t| {
+            *m.entry(t).or_insert(0) += 1;
+            m
+        });
+        let expect: f64 = truth
+            .iter()
+            .map(|t| 1.0 / sizes[t] as f64)
+            .sum::<f64>() / n as f64;
+        prop_assert!((r - expect).abs() < 1e-12, "r = {}, expect = {}", r, expect);
+        // K = sqrt(p · r) with p = 1.
+        prop_assert!((k_metric(&pred, &truth) - r.sqrt()).abs() < 1e-12);
+    }
+
+    /// The all-merged prediction has closed-form B³: recall 1, precision
+    /// the mean true-cluster-size fraction.
+    #[test]
+    fn b_cubed_all_merged_closed_form(truth in prop::collection::vec(0usize..6, 1..30)) {
+        let n = truth.len();
+        let pred = vec![0usize; n];
+        let (p, r, _) = b_cubed(&pred, &truth);
+        prop_assert_eq!(r, 1.0);
+        let sizes: BTreeMap<usize, usize> = truth.iter().fold(BTreeMap::new(), |mut m, &t| {
+            *m.entry(t).or_insert(0) += 1;
+            m
+        });
+        let expect: f64 = truth
+            .iter()
+            .map(|t| sizes[t] as f64 / n as f64)
+            .sum::<f64>() / n as f64;
+        prop_assert!((p - expect).abs() < 1e-12, "p = {}, expect = {}", p, expect);
+    }
+
+    /// Perfect predictions score exactly 1.0 on B³ and K for any labelling
+    /// (including the singleton and all-merged degenerate truths).
+    #[test]
+    fn b_cubed_perfect_is_one(truth in prop::collection::vec(0usize..4, 1..25)) {
+        let (p, r, f) = b_cubed(&truth, &truth);
+        prop_assert_eq!((p, r, f), (1.0, 1.0, 1.0));
+        prop_assert_eq!(k_metric(&truth, &truth), 1.0);
     }
 
     /// Generated corpora are always internally consistent, and SCN mention

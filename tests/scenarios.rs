@@ -1,0 +1,148 @@
+//! Scenario conformance driver: every preset of the adversarial scenario
+//! matrix runs through the full pipeline, the metamorphic invariant layer,
+//! and the differential oracle panel; its canonical fingerprint is pinned
+//! against the committed golden. One `#[test]` per scenario, so a failure
+//! names the regime that broke ("homonym-storm") instead of "the test
+//! failed".
+
+use iuad_suite::scenarios::{golden_fingerprint, run_scenario, ScenarioOutcome};
+
+fn outcome(name: &str) -> ScenarioOutcome {
+    let spec = iuad_suite::corpus::scenario::scenario(name)
+        .unwrap_or_else(|| panic!("scenario `{name}` is not in the matrix"));
+    run_scenario(&spec)
+}
+
+/// The shared conformance assertion: invariants, golden fingerprint, and
+/// the differential oracle sanity rows.
+fn check(name: &str) {
+    let out = outcome(name);
+
+    // 1. Every metamorphic invariant holds.
+    for inv in &out.invariants {
+        assert!(
+            inv.passed,
+            "scenario `{name}`: invariant `{}` failed — {}",
+            inv.name, inv.detail
+        );
+    }
+
+    // 2. The canonical partition matches the committed golden.
+    let golden = golden_fingerprint(name)
+        .unwrap_or_else(|| panic!("scenario `{name}` has no golden fingerprint"));
+    assert_eq!(
+        out.fingerprint, golden,
+        "scenario `{name}`: fingerprint drifted from the golden — a merge \
+         decision changed on this regime. If intentional, regenerate with \
+         `make scenarios` and update crates/scenarios/src/golden.rs."
+    );
+
+    // 3. Differential oracle sanity: the scoring machinery itself is pinned
+    // by the oracle rows on every corpus shape.
+    assert!(
+        out.test_names > 0,
+        "scenario `{name}` selected no ambiguous test names"
+    );
+    let truth = out.method("truth-oracle").expect("oracle row");
+    assert_eq!(truth.pairwise_f, 1.0, "scenario `{name}`: oracle pairwise");
+    assert_eq!(truth.b3_f, 1.0, "scenario `{name}`: oracle B³");
+    assert_eq!(truth.k_metric, 1.0, "scenario `{name}`: oracle K");
+    let merged = out.method("all-merged").expect("all-merged row");
+    assert_eq!(merged.pairwise_r, 1.0, "scenario `{name}`: merged recall");
+    assert_eq!(merged.b3_r, 1.0, "scenario `{name}`: merged B³ recall");
+    let split = out.method("all-split").expect("all-split row");
+    assert_eq!(split.b3_p, 1.0, "scenario `{name}`: split B³ precision");
+
+    // 4. Every method's scores are well-formed probabilities.
+    for m in &out.methods {
+        for (metric, v) in [
+            ("pairwise_a", m.pairwise_a),
+            ("pairwise_p", m.pairwise_p),
+            ("pairwise_r", m.pairwise_r),
+            ("pairwise_f", m.pairwise_f),
+            ("b3_p", m.b3_p),
+            ("b3_r", m.b3_r),
+            ("b3_f", m.b3_f),
+            ("k_metric", m.k_metric),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&v) && v.is_finite(),
+                "scenario `{name}` method `{}`: {metric} = {v}",
+                m.method
+            );
+        }
+    }
+
+    // 5. IUAD must always beat the degenerate all-split partition on B³-F
+    // (it starts from singletons and only ever merges with evidence).
+    let iuad = out.method("iuad").expect("iuad row");
+    assert!(
+        iuad.b3_f > split.b3_f,
+        "scenario `{name}`: IUAD B³-F {:.4} does not beat all-split {:.4}",
+        iuad.b3_f,
+        split.b3_f
+    );
+}
+
+#[test]
+fn scenario_baseline_reference() {
+    check("baseline-reference");
+}
+
+#[test]
+fn scenario_homonym_storm() {
+    check("homonym-storm");
+}
+
+#[test]
+fn scenario_abbreviated_variants() {
+    check("abbreviated-variants");
+}
+
+#[test]
+fn scenario_unicode_transliteration() {
+    check("unicode-transliteration");
+}
+
+#[test]
+fn scenario_scale_free_hubs() {
+    check("scale-free-hubs");
+}
+
+#[test]
+fn scenario_tiny_sparse() {
+    check("tiny-sparse");
+}
+
+#[test]
+fn scenario_singleton_desert() {
+    check("singleton-desert");
+}
+
+#[test]
+fn scenario_dense_cliques() {
+    check("dense-cliques");
+}
+
+#[test]
+fn scenario_topic_blur() {
+    check("topic-blur");
+}
+
+#[test]
+fn scenario_streaming_churn() {
+    check("streaming-churn");
+}
+
+#[test]
+fn matrix_covers_every_golden_and_vice_versa() {
+    let matrix = iuad_suite::corpus::scenario_matrix();
+    assert!(matrix.len() >= 8, "matrix shrank below 8 scenarios");
+    for spec in &matrix {
+        assert!(
+            golden_fingerprint(spec.name).is_some(),
+            "scenario `{}` lacks a golden fingerprint",
+            spec.name
+        );
+    }
+}
