@@ -1,7 +1,7 @@
 # Local entrypoints mirroring .github/workflows/ci.yml — keep the two in
 # sync so "it passes locally" means "it passes in CI".
 
-.PHONY: build test lint fmt bench bench-smoke bench-json scenarios repro all
+.PHONY: build test lint fmt bench bench-smoke bench-json perf-guard scenarios repro all
 
 all: build test lint
 
@@ -29,6 +29,13 @@ bench-smoke:
 # (BENCH_pipeline.json; schema in README § Performance).
 bench-json:
 	IUAD_BENCH_THREADS=1 cargo run --release -p iuad-bench --bin repro -- perf
+
+# What the CI perf-guard step runs: stash the committed baseline, re-measure,
+# fail on a >25% regression of total_seconds or pairs_per_sec.
+perf-guard:
+	cp BENCH_pipeline.json /tmp/BENCH_baseline.json
+	$(MAKE) bench-json
+	python3 scripts/perf_guard.py /tmp/BENCH_baseline.json BENCH_pipeline.json
 
 # What the CI `scenarios` job runs: the conformance suite in release mode,
 # then regenerate the committed SCENARIOS.json scorecard (schema in

@@ -8,7 +8,9 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use iuad_core::similarity::{gamma4_time_consistency, gamma6_communities};
 use iuad_core::{CacheScope, ProfileContext, Scn, SimilarityEngine, VertexProfile};
 use iuad_corpus::{Corpus, CorpusConfig, NameId};
-use iuad_graph::wl::{normalized_kernel, SparseFeatures};
+use iuad_graph::triangles::{triangles_of, triangles_of_csr};
+use iuad_graph::wl::{normalized_kernel, vertex_features, vertex_features_csr, SparseFeatures};
+use iuad_graph::VertexId;
 
 fn bench_similarity(c: &mut Criterion) {
     let corpus = Corpus::generate(&CorpusConfig {
@@ -125,5 +127,39 @@ fn bench_kernels(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_similarity, bench_kernels);
+/// CSR structural kernels vs their hash-adjacency counterparts: triangle
+/// intersection and WL ego-feature extraction on a collaboration network's
+/// highest-degree vertex (the hub shape engine builds are dominated by).
+fn bench_structural(c: &mut Criterion) {
+    let corpus = Corpus::generate(&CorpusConfig {
+        num_authors: 400,
+        num_papers: 1_600,
+        seed: 42,
+        ..Default::default()
+    });
+    let scn = Scn::build(&corpus, 2);
+    let csr = scn.csr();
+    let hub: VertexId = (0..scn.graph.num_vertices())
+        .map(VertexId::from)
+        .max_by_key(|&v| scn.graph.degree(v))
+        .expect("non-empty graph");
+    let label = |v: VertexId| u64::from(scn.graph.vertex(v).name.0);
+
+    let mut group = c.benchmark_group("structural");
+    group.bench_function("triangles_of/adj_hub", |b| {
+        b.iter(|| triangles_of(black_box(&scn.graph), black_box(hub)));
+    });
+    group.bench_function("triangles_of/csr_hub", |b| {
+        b.iter(|| triangles_of_csr(black_box(&csr), black_box(hub)));
+    });
+    group.bench_function("wl_features/adj_hub", |b| {
+        b.iter(|| vertex_features(black_box(&scn.graph), black_box(hub), 2, label));
+    });
+    group.bench_function("wl_features/csr_hub", |b| {
+        b.iter(|| vertex_features_csr(black_box(&csr), black_box(hub), 2, label));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_similarity, bench_kernels, bench_structural);
 criterion_main!(benches);

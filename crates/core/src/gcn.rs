@@ -433,10 +433,27 @@ impl Gcn {
     }
 }
 
+/// How the merged network's vertices derive from the pre-merge SCN — the
+/// provenance record [`crate::SimilarityEngine::derive`] consumes to carry
+/// engine state across the merge instead of rebuilding it (§V-E: the
+/// post-merge state should be *derived* from the pre-merge state, not
+/// recomputed).
+#[derive(Debug, Clone)]
+pub struct MergePlan {
+    /// Old SCN vertex (by index) → merged-network vertex. Total: every old
+    /// vertex carries at least one mention, so every cluster materialises.
+    pub old_to_new: Vec<VertexId>,
+    /// Merged-network vertices formed by coalescing ≥ 2 old vertices,
+    /// ascending. Everything else is an index-remapped old vertex whose
+    /// mention set (and hence profile) is unchanged.
+    pub coalesced: Vec<VertexId>,
+}
+
 /// Rebuild the merged collaboration network: vertices = GCN clusters, with
 /// collaborative relations recovered per paper (Algorithm 1 line 16). The
-/// result is a fully-formed [`Scn`] usable by the incremental stage.
-pub fn merge_network(corpus: &Corpus, scn: &Scn, cluster_of_vertex: &[usize]) -> Scn {
+/// result is a fully-formed [`Scn`] usable by the incremental stage, plus
+/// the [`MergePlan`] recording how its vertices derive from `scn`'s.
+pub fn merge_network(corpus: &Corpus, scn: &Scn, cluster_of_vertex: &[usize]) -> (Scn, MergePlan) {
     let mut graph: AdjGraph<ScnVertex, EdgeData> = AdjGraph::new();
     let mut vertex_of_cluster: FxHashMap<usize, VertexId> = FxHashMap::default();
     let mut assignment: FxHashMap<Mention, VertexId> = FxHashMap::default();
@@ -495,13 +512,35 @@ pub fn merge_network(corpus: &Corpus, scn: &Scn, cluster_of_vertex: &[usize]) ->
     for (v, payload) in graph.vertices() {
         by_name.entry(payload.name).or_insert_with(Vec::new).push(v);
     }
-    Scn {
-        graph,
-        assignment,
-        by_name,
-        scrs: scn.scrs.clone(),
-        eta: scn.eta,
+
+    let old_to_new: Vec<VertexId> = cluster_of_vertex
+        .iter()
+        .map(|c| vertex_of_cluster[c])
+        .collect();
+    let mut preimages = vec![0u32; graph.num_vertices()];
+    for &nv in &old_to_new {
+        preimages[nv.index()] += 1;
     }
+    let coalesced: Vec<VertexId> = preimages
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c >= 2)
+        .map(|(i, _)| VertexId::from(i))
+        .collect();
+
+    (
+        Scn {
+            graph,
+            assignment,
+            by_name,
+            scrs: scn.scrs.clone(),
+            eta: scn.eta,
+        },
+        MergePlan {
+            old_to_new,
+            coalesced,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -553,7 +592,21 @@ mod tests {
         let (c, scn, ctx) = setup();
         let engine = SimilarityEngine::build(&scn, &ctx, 0.62, 2, CacheScope::AmbiguousOnly);
         let gcn = Gcn::build(&scn, &ctx, &engine, &GcnConfig::default());
-        let merged = merge_network(&c, &scn, &gcn.cluster_of_vertex);
+        let (merged, plan) = merge_network(&c, &scn, &gcn.cluster_of_vertex);
+        // Plan sanity: the map is total and coalesced counts match merges.
+        assert_eq!(plan.old_to_new.len(), scn.graph.num_vertices());
+        let merged_away: usize = plan
+            .coalesced
+            .iter()
+            .map(|&v| {
+                plan.old_to_new
+                    .iter()
+                    .filter(|&&nv| nv == v)
+                    .count()
+                    .saturating_sub(1)
+            })
+            .sum();
+        assert_eq!(merged_away, gcn.num_merges);
         for (_, payload) in merged.graph.vertices() {
             for m in &payload.mentions {
                 assert_eq!(c.name_of(*m), payload.name);
@@ -578,7 +631,7 @@ mod tests {
         let (c, scn, ctx) = setup();
         let engine = SimilarityEngine::build(&scn, &ctx, 0.62, 2, CacheScope::AmbiguousOnly);
         let gcn = Gcn::build(&scn, &ctx, &engine, &GcnConfig::default());
-        let merged = merge_network(&c, &scn, &gcn.cluster_of_vertex);
+        let (merged, _) = merge_network(&c, &scn, &gcn.cluster_of_vertex);
         assert_eq!(merged.graph.num_vertices(), gcn.num_clusters);
         assert_eq!(merged.assignment.len(), c.num_mentions());
         let total: usize = merged.graph.vertices().map(|(_, p)| p.mentions.len()).sum();

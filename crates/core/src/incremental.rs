@@ -138,7 +138,7 @@ mod tests {
         let ctx = ProfileContext::build(&base, 16, 5);
         let engine = SimilarityEngine::build(&scn, &ctx, 0.62, 2, CacheScope::AmbiguousOnly);
         let gcn = Gcn::build(&scn, &ctx, &engine, &GcnConfig::default());
-        let network = merge_network(&base, &scn, &gcn.cluster_of_vertex);
+        let (network, _) = merge_network(&base, &scn, &gcn.cluster_of_vertex);
         let net_engine =
             SimilarityEngine::build(&network, &ctx, 0.62, 2, CacheScope::AmbiguousOnly);
         Fixture {

@@ -39,7 +39,7 @@ pub mod profile;
 pub mod scn;
 pub mod similarity;
 
-pub use gcn::{Gcn, GcnConfig, MergePolicy};
+pub use gcn::{merge_network, Gcn, GcnConfig, MergePlan, MergePolicy};
 pub use incremental::Decision;
 pub use iuad_par::ParallelConfig;
 pub use pipeline::{Iuad, IuadConfig};

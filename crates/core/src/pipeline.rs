@@ -84,15 +84,34 @@ impl Iuad {
             par,
         );
         let gcn = Gcn::build_parallel(&scn, &ctx, &stage2_engine, &config.gcn, par);
-        let network = merge_network(corpus, &scn, &gcn.cluster_of_vertex);
-        let engine = SimilarityEngine::build_parallel(
+        let (network, plan) = merge_network(corpus, &scn, &gcn.cluster_of_vertex);
+        // Derive the post-merge engine from the Stage-2 engine instead of
+        // rebuilding it from scratch: only the dirty region around
+        // coalesced clusters is recomputed, and the result is bit-identical
+        // to a full rebuild (checked below in debug builds, and per
+        // scenario by the conformance harness).
+        let engine = SimilarityEngine::derive(
+            stage2_engine,
+            &plan,
             &network,
             &ctx,
-            config.alpha,
-            config.wl_iters,
             CacheScope::AmbiguousOnly,
             par,
         );
+        #[cfg(debug_assertions)]
+        {
+            let rebuilt = SimilarityEngine::build_parallel(
+                &network,
+                &ctx,
+                config.alpha,
+                config.wl_iters,
+                CacheScope::AmbiguousOnly,
+                par,
+            );
+            if let Some(diff) = engine.diff_from(&rebuilt) {
+                panic!("derived engine diverged from full rebuild: {diff}");
+            }
+        }
         Iuad {
             config: config.clone(),
             ctx,

@@ -223,6 +223,19 @@ impl KeywordYears {
         out
     }
 
+    /// [`Self::filter_words`] against an explicit ascending word list via
+    /// [`iuad_graph::wl::join_ascending`] — an empty `keep` set costs next
+    /// to nothing. Identical output to `filter_words(|w| keep.contains(w))`.
+    pub fn intersect_words(&self, keep: &[u32]) -> KeywordYears {
+        let mut out = KeywordYears::default();
+        iuad_graph::wl::join_ascending(&self.words, keep, |i| {
+            out.words.push(self.words[i]);
+            out.years.extend_from_slice(self.years_at(i));
+            out.offsets.push(out.years.len() as u32);
+        });
+        out
+    }
+
     /// Fold `other` in: union of keywords, years merged sorted.
     pub fn merge(&mut self, other: &KeywordYears) {
         let mut out = KeywordYears {
@@ -377,6 +390,16 @@ impl VenueCounts {
         VenueCounts(self.0.iter().copied().filter(|&(v, _)| keep(v)).collect())
     }
 
+    /// [`Self::filter_venues`] against an explicit ascending venue list
+    /// via [`iuad_graph::wl::join_ascending`]. Identical output to
+    /// `filter_venues(|v| keep.contains(v))`.
+    pub fn intersect_venues(&self, keep: &[u32]) -> VenueCounts {
+        let mut out = Vec::new();
+        let venues: Vec<u32> = self.0.iter().map(|&(v, _)| v).collect();
+        iuad_graph::wl::join_ascending(&venues, keep, |i| out.push(self.0[i]));
+        VenueCounts(out)
+    }
+
     /// The most frequent venue (ties → smallest id), if any.
     pub fn representative(&self) -> Option<VenueId> {
         // Entries are id-ascending, so keeping only strictly greater counts
@@ -392,7 +415,11 @@ impl VenueCounts {
 }
 
 /// Everything the similarity functions need to know about one vertex.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field exactly (floats by `==`) — the
+/// equality the derive-vs-rebuild bit-identity contract of
+/// [`crate::SimilarityEngine::derive`] is checked against.
+#[derive(Debug, Clone, PartialEq)]
 pub struct VertexProfile {
     /// The vertex's name.
     pub name: NameId,

@@ -243,6 +243,15 @@ impl Scn {
         }
     }
 
+    /// Freeze this network's adjacency as a [`iuad_graph::Csr`] snapshot —
+    /// built once per network by every engine build/derivation so the
+    /// structural kernels (WL, triangles, balls) walk contiguous sorted
+    /// memory. The snapshot does not track later mutations (e.g.
+    /// [`crate::Iuad::absorb`] appending vertices).
+    pub fn csr(&self) -> iuad_graph::Csr {
+        self.graph.csr()
+    }
+
     /// Predicted cluster labels for all mentions of `name`, parallel to
     /// `corpus.mentions_of_name(name)`.
     pub fn labels_of_name(&self, corpus: &Corpus, name: NameId) -> Vec<usize> {

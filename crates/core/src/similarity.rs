@@ -25,9 +25,9 @@
 //! engine's caches are dense `Vec` slabs indexed by vertex id, so a
 //! candidate-pair evaluation performs no hash lookups at all.
 
-use iuad_graph::triangles::triangles_of;
-use iuad_graph::wl::{normalized_kernel, vertex_features, SparseFeatures};
-use iuad_graph::VertexId;
+use iuad_graph::triangles::{triangles_of, triangles_of_csr};
+use iuad_graph::wl::{normalized_kernel, vertex_features, vertex_features_csr, SparseFeatures};
+use iuad_graph::{Csr, VertexId};
 use iuad_mixture::Family;
 use iuad_par::ParallelConfig;
 use iuad_text::cosine_with_norms;
@@ -102,6 +102,14 @@ pub struct SimilarityEngine {
 /// centuries — any larger gap falls back to a direct `exp`).
 const GAMMA4_TABLE_LEN: usize = 512;
 
+/// Name groups below this size carry no [`JoinEvidence`]. A 2-vertex
+/// group's filtered evidence is exactly its single pair's intersection, so
+/// building it costs the full-evidence scan it would later save — zero net
+/// win — while a k ≥ 3 group amortises one basis across k(k−1)/2 pairs.
+/// Excluded pairs score over the full-evidence fallback, which the filter
+/// is exact against by construction, so γ-vectors are unchanged.
+const JOIN_EVIDENCE_MIN_GROUP: usize = 3;
+
 /// Join-optimised evidence for one vertex: each component keeps only the
 /// items (WL labels, triangles, keywords, venues) that occur in ≥ 2
 /// vertices of the owner's *name group*. [`SimilarityEngine::similarity`]
@@ -113,7 +121,7 @@ const GAMMA4_TABLE_LEN: usize = 512;
 ///
 /// Ad-hoc queries ([`SimilarityEngine::similarity_against`]) must use the
 /// full evidence: an external profile can match items this filter dropped.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct JoinEvidence {
     /// Filtered WL features with the *full* norm retained, so the
     /// normalised kernel still divides by the full self-kernels.
@@ -122,6 +130,147 @@ struct JoinEvidence {
     kw: KeywordYears,
     venues: VenueCounts,
 }
+
+/// Reorder `vertices` by a whole-graph BFS visit rank, so bulk per-vertex
+/// structural extraction walks the graph region by region instead of in
+/// vertex-id order (which follows mention order, not topology).
+fn reorder_by_bfs(csr: &Csr, vertices: &mut [VertexId]) {
+    let n = csr.num_vertices();
+    let mut rank = vec![u32::MAX; n];
+    let mut order: Vec<VertexId> = Vec::with_capacity(n);
+    for start in 0..n {
+        if rank[start] != u32::MAX {
+            continue;
+        }
+        rank[start] = order.len() as u32;
+        order.push(VertexId::from(start));
+        let mut head = order.len() - 1;
+        while head < order.len() {
+            let u = order[head];
+            head += 1;
+            for &w in csr.neighbors(u) {
+                if rank[w.index()] == u32::MAX {
+                    rank[w.index()] = order.len() as u32;
+                    order.push(w);
+                }
+            }
+        }
+    }
+    vertices.sort_unstable_by_key(|v| rank[v.index()]);
+}
+
+/// Sorted items appearing more than once in a concatenation of
+/// individually sorted, duplicate-free per-member lists — i.e. items held
+/// by ≥ 2 group members, the join-evidence retention predicate.
+fn shared<T: Ord + Copy>(items: impl Iterator<Item = T>) -> Vec<T> {
+    let mut all: Vec<T> = items.collect();
+    all.sort_unstable();
+    shared_of_sorted(&all)
+}
+
+/// The ≥ 2-occurrences scan over an ascending multiset.
+fn shared_of_sorted<T: Ord + Copy>(all: &[T]) -> Vec<T> {
+    let mut out = Vec::new();
+    for i in 1..all.len() {
+        if all[i] == all[i - 1] && out.last() != Some(&all[i]) {
+            out.push(all[i]);
+        }
+    }
+    out
+}
+
+/// [`shared`] over member lists that are *individually sorted*: instead of
+/// concatenating and re-sorting from scratch, merge the pre-sorted runs
+/// bottom-up (⌈log₂ k⌉ linear passes — the dominant join-evidence cost on
+/// groups whose members carry hundreds of WL labels each). A 2-list group
+/// short-circuits to a plain intersection.
+fn shared_sorted_lists<T: Ord + Copy>(lists: &[&[T]]) -> Vec<T> {
+    match lists.len() {
+        0 | 1 => Vec::new(),
+        2 => intersect_sorted(lists[0], lists[1]),
+        k if k <= 4 => {
+            // Small groups: the union of pairwise intersections — each
+            // join is a linear scan and the outputs are tiny (same-name
+            // members share little evidence), so nothing the size of the
+            // input is ever copied.
+            let mut out: Vec<T> = Vec::new();
+            for (i, a) in lists.iter().enumerate() {
+                for b in &lists[i + 1..] {
+                    let (mut p, mut q) = (0, 0);
+                    while p < a.len() && q < b.len() {
+                        match a[p].cmp(&b[q]) {
+                            std::cmp::Ordering::Less => p += 1,
+                            std::cmp::Ordering::Greater => q += 1,
+                            std::cmp::Ordering::Equal => {
+                                out.push(a[p]);
+                                p += 1;
+                                q += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            out.sort_unstable();
+            out.dedup();
+            out
+        }
+        _ => {
+            let merge = |a: &[T], b: &[T], out: &mut Vec<T>| {
+                let (mut i, mut j) = (0, 0);
+                while i < a.len() && j < b.len() {
+                    if a[i] <= b[j] {
+                        out.push(a[i]);
+                        i += 1;
+                    } else {
+                        out.push(b[j]);
+                        j += 1;
+                    }
+                }
+                out.extend_from_slice(&a[i..]);
+                out.extend_from_slice(&b[j..]);
+            };
+            let mut runs: Vec<Vec<T>> = Vec::with_capacity(lists.len().div_ceil(2));
+            for pair in lists.chunks(2) {
+                let mut run = Vec::with_capacity(pair.iter().map(|l| l.len()).sum());
+                match pair {
+                    [a, b] => merge(a, b, &mut run),
+                    [a] => run.extend_from_slice(a),
+                    _ => unreachable!(),
+                }
+                runs.push(run);
+            }
+            while runs.len() > 1 {
+                let mut next: Vec<Vec<T>> = Vec::with_capacity(runs.len().div_ceil(2));
+                let mut it = runs.into_iter();
+                while let Some(a) = it.next() {
+                    match it.next() {
+                        Some(b) => {
+                            let mut run = Vec::with_capacity(a.len() + b.len());
+                            merge(&a, &b, &mut run);
+                            next.push(run);
+                        }
+                        None => next.push(a),
+                    }
+                }
+                runs = next;
+            }
+            shared_of_sorted(&runs[0])
+        }
+    }
+}
+
+/// The ascending intersection of `items` with `keep`, via the one shared
+/// adaptive join ([`iuad_graph::wl::join_ascending`]) — near-free when the
+/// shared set is empty, a frequent case for group evidence.
+fn intersect_sorted<T: Ord + Copy>(items: &[T], keep: &[T]) -> Vec<T> {
+    let mut out = Vec::new();
+    iuad_graph::wl::join_ascending(items, keep, |i| out.push(items[i]));
+    out
+}
+
+/// The WL-features + triangles halves of one member's [`JoinEvidence`]
+/// (`None` when the member carries no structural caches).
+type StructuralEvidence = Option<(SparseFeatures, Vec<(u32, u32)>)>;
 
 /// Borrowed evidence for one side of a γ-vector evaluation: either a
 /// vertex's [`JoinEvidence`] (cached same-name pair path) or its full
@@ -186,8 +335,24 @@ impl SimilarityEngine {
         };
         scoped.sort_unstable();
         scoped.dedup();
+        // Structural extraction walks a frozen CSR snapshot: sorted
+        // contiguous neighbour slices instead of per-vertex hash maps — the
+        // layout that matters on scale-free hubs, where WL balls and
+        // triangle intersections concentrate.
+        let csr = scn.csr();
+        let names: Vec<u64> = scn
+            .graph
+            .vertices()
+            .map(|(_, p)| u64::from(p.name.0))
+            .collect();
+        // Extract region by region (see [`reorder_by_bfs`]); placement
+        // below is positional against the same reordered list.
+        reorder_by_bfs(&csr, &mut scoped);
         let features = iuad_par::parallel_map(par, &scoped, |&v| {
-            (Self::wl_of(scn, v, wl_iters), Self::name_triangles(scn, v))
+            (
+                Self::wl_of_csr(&csr, &names, v, wl_iters),
+                Self::name_triangles_csr(&csr, scn, v),
+            )
         });
 
         let mut wl: Vec<Option<SparseFeatures>> = vec![None; profiles.len()];
@@ -197,11 +362,12 @@ impl SimilarityEngine {
             tris[v.index()] = Some(t);
         }
         // Build per-group [`JoinEvidence`] (see its docs for why this is
-        // exact), fanned across workers — groups are independent.
+        // exact), fanned across workers — groups are independent. Groups
+        // of 2 are skipped (see [`JOIN_EVIDENCE_MIN_GROUP`]).
         let groups: Vec<&[VertexId]> = scn
             .by_name
             .values()
-            .filter(|vs| vs.len() >= 2)
+            .filter(|vs| vs.len() >= JOIN_EVIDENCE_MIN_GROUP)
             .map(Vec::as_slice)
             .collect();
         let group_evidence = iuad_par::parallel_map(par, &groups, |vs| {
@@ -241,52 +407,396 @@ impl SimilarityEngine {
 
     /// [`JoinEvidence`] for every member of one name group, in `vs` order
     /// (`None` for members without cached structural features).
+    ///
+    /// Every per-member item list (WL labels, triangles, keywords, venues)
+    /// is already sorted and duplicate-free, so "occurs in ≥ 2 members" is
+    /// computed by concatenate-sort-scan instead of hash counting, and each
+    /// member filters against the shared sorted set with an advancing
+    /// cursor — no hash map touches the evidence path.
     fn group_join_evidence(
         vs: &[VertexId],
         wl: &[Option<SparseFeatures>],
         tris: &[Option<Vec<(u32, u32)>>],
         profiles: &[VertexProfile],
     ) -> Vec<Option<JoinEvidence>> {
-        let mut label_count: rustc_hash::FxHashMap<u64, u32> = rustc_hash::FxHashMap::default();
-        let mut tri_count: rustc_hash::FxHashMap<(u32, u32), u32> =
-            rustc_hash::FxHashMap::default();
-        let mut word_count: rustc_hash::FxHashMap<u32, u32> = rustc_hash::FxHashMap::default();
-        let mut venue_count: rustc_hash::FxHashMap<u32, u32> = rustc_hash::FxHashMap::default();
-        for &v in vs {
-            if let Some(f) = &wl[v.index()] {
-                for &l in f.labels() {
-                    *label_count.entry(l).or_insert(0) += 1;
-                }
-            }
-            if let Some(t) = &tris[v.index()] {
-                // `name_triangles` dedups, so each triangle counts once per
-                // member — count ≥ 2 really means "held by ≥ 2 vertices".
-                for &t in t {
-                    *tri_count.entry(t).or_insert(0) += 1;
-                }
-            }
-            let p = &profiles[v.index()];
-            for &w in p.keyword_years.words() {
-                *word_count.entry(w).or_insert(0) += 1;
-            }
-            for &(h, _) in p.venue_counts.entries() {
-                *venue_count.entry(h).or_insert(0) += 1;
-            }
-        }
+        let structural = Self::group_structural_evidence(vs, wl, tris);
+        let (shared_words, shared_venues) = Self::group_shared_profile_items(vs, profiles);
+
+        vs.iter()
+            .zip(structural)
+            .map(|(&v, st)| {
+                let (wl, tris) = st?;
+                let p = &profiles[v.index()];
+                Some(JoinEvidence {
+                    wl,
+                    tris,
+                    kw: p.keyword_years.intersect_words(&shared_words),
+                    venues: p.venue_counts.intersect_venues(&shared_venues),
+                })
+            })
+            .collect()
+    }
+
+    /// The structural (WL + triangle) halves of one group's join evidence,
+    /// in `vs` order (`None` for members without cached features). Split
+    /// out so [`Self::derive`] can rebuild just these for groups whose
+    /// members changed structurally but not profile-wise.
+    fn group_structural_evidence(
+        vs: &[VertexId],
+        wl: &[Option<SparseFeatures>],
+        tris: &[Option<Vec<(u32, u32)>>],
+    ) -> Vec<StructuralEvidence> {
+        let label_lists: Vec<&[u64]> = vs
+            .iter()
+            .filter_map(|&v| wl[v.index()].as_ref())
+            .map(SparseFeatures::labels)
+            .collect();
+        let shared_labels: Vec<u64> = shared_sorted_lists(&label_lists);
+        // `name_triangles` dedups, so each triangle occurs once per member
+        // — a shared-set hit really means "held by ≥ 2 vertices".
+        let tri_lists: Vec<&[(u32, u32)]> = vs
+            .iter()
+            .filter_map(|&v| tris[v.index()].as_deref())
+            .collect();
+        let shared_tris: Vec<(u32, u32)> = shared_sorted_lists(&tri_lists);
         vs.iter()
             .map(|&v| {
                 let (Some(f), Some(t)) = (&wl[v.index()], &tris[v.index()]) else {
                     return None;
                 };
-                let p = &profiles[v.index()];
-                Some(JoinEvidence {
-                    wl: f.filter_labels(|l| label_count[&l] >= 2),
-                    tris: t.iter().copied().filter(|t| tri_count[t] >= 2).collect(),
-                    kw: p.keyword_years.filter_words(|w| word_count[&w] >= 2),
-                    venues: p.venue_counts.filter_venues(|h| venue_count[&h] >= 2),
-                })
+                Some((
+                    f.intersect_labels(&shared_labels),
+                    intersect_sorted(t, &shared_tris),
+                ))
             })
             .collect()
+    }
+
+    /// The group-shared keyword and venue sets — the profile-derived half
+    /// of the join-evidence basis, a pure function of member profiles.
+    fn group_shared_profile_items(
+        vs: &[VertexId],
+        profiles: &[VertexProfile],
+    ) -> (Vec<u32>, Vec<u32>) {
+        let word_lists: Vec<&[u32]> = vs
+            .iter()
+            .map(|&v| profiles[v.index()].keyword_years.words())
+            .collect();
+        let shared_words: Vec<u32> = shared_sorted_lists(&word_lists);
+        // Venue lists are tiny; the flat concat-sort path suffices.
+        let shared_venues: Vec<u32> = shared(
+            vs.iter()
+                .flat_map(|&v| profiles[v.index()].venue_counts.entries().iter())
+                .map(|&(h, _)| h),
+        );
+        (shared_words, shared_venues)
+    }
+
+    /// Derive the engine for a merged `network` from the engine `old`
+    /// built over its pre-merge SCN, per `plan` — the §V-E "no retraining"
+    /// claim applied to the engine itself: post-merge state is carried
+    /// over, not recomputed, wherever the merge provably could not have
+    /// changed it. The result is bit-identical to
+    /// [`Self::build_parallel`] over `network` (asserted in debug builds
+    /// by [`crate::Iuad::fit`] and per scenario by the conformance
+    /// harness's `derive-matches-rebuild` invariant).
+    ///
+    /// What carries over and why it is exact:
+    ///
+    /// * **Profiles** of non-coalesced vertices: their mention set is
+    ///   unchanged (merging only coalesces clusters), so the profile —
+    ///   a pure function of the mentions — is cloned by index remap.
+    ///   Coalesced vertices are rebuilt exactly via
+    ///   [`VertexProfile::from_mentions`] (not [`VertexProfile::merge`],
+    ///   whose mass-weighted centroid average would drift f32 bits).
+    /// * **WL features and triangles** of *clean* vertices: both are pure
+    ///   functions of the `wl_iters`-hop ball (names + structure), and a
+    ///   ball containing no coalesced vertex is name-preservingly
+    ///   isomorphic to its pre-merge image — any structural change (edge
+    ///   rewiring, shortcut, collapsed parallel edge) passes through a
+    ///   coalesced vertex. The dirty region is therefore the
+    ///   `max(wl_iters, 1)`-hop ball around the coalesced set (radius ≥ 1
+    ///   because triangles read the 1-hop induced subgraph), and only
+    ///   dirty in-scope vertices are recomputed.
+    /// * **Join evidence** of a name group: a pure function of the group
+    ///   members' profiles and structural caches, carried over when every
+    ///   member is clean and non-coalesced (then the group membership maps
+    ///   bijectively — merges stay within a name group). Groups whose
+    ///   members changed *structurally only* (dirty but none coalesced)
+    ///   carry the profile-derived halves (keywords, venues) and rebuild
+    ///   just the WL/triangle halves; groups with a coalesced member
+    ///   rebuild in full.
+    ///
+    /// Takes `old` by value: carried state *moves* into the new engine
+    /// (every old vertex has at most one non-coalesced image, so each slab
+    /// entry is consumed at most once) — the untouched majority costs an
+    /// index remap, not a deep copy.
+    ///
+    /// `old` must be freshly built (no [`Self::absorb`] calls), since
+    /// absorbed profiles are merged, not rebuilt, and would not match a
+    /// from-scratch profile bit for bit.
+    pub fn derive(
+        old: SimilarityEngine,
+        plan: &crate::gcn::MergePlan,
+        network: &Scn,
+        ctx: &ProfileContext,
+        scope: CacheScope,
+        par: &ParallelConfig,
+    ) -> SimilarityEngine {
+        let n_new = network.graph.num_vertices();
+        assert_eq!(plan.old_to_new.len(), old.profiles.len());
+        let SimilarityEngine {
+            profiles: old_profiles,
+            wl: mut old_wl,
+            tris: mut old_tris,
+            join: mut old_join,
+            cnorm: old_cnorm,
+            g4_exp,
+            alpha,
+            wl_iters,
+            join_groups: _,
+        } = old;
+        // Representative old preimage + preimage count per new vertex. All
+        // representatives are distinct (a non-coalesced vertex has exactly
+        // one preimage; a coalesced vertex's representative maps only to
+        // it), so taking a representative's slab entries never races
+        // another new vertex.
+        let mut pre_count = vec![0u32; n_new];
+        let mut pre_of = vec![usize::MAX; n_new];
+        for (old_idx, &nv) in plan.old_to_new.iter().enumerate() {
+            pre_count[nv.index()] += 1;
+            if pre_of[nv.index()] == usize::MAX {
+                pre_of[nv.index()] = old_idx;
+            }
+        }
+        debug_assert!(pre_of.iter().all(|&p| p != usize::MAX), "plan not total");
+
+        // --- Profiles: remap untouched, rebuild coalesced exactly --------
+        let rebuilt = iuad_par::parallel_map(par, &plan.coalesced, |&v| {
+            let payload = network.graph.vertex(v);
+            VertexProfile::from_mentions(payload.name, &payload.mentions, ctx)
+        });
+        let mut old_profiles = old_profiles;
+        let hollow = || VertexProfile {
+            name: iuad_corpus::NameId(0),
+            papers: Vec::new(),
+            keyword_years: KeywordYears::default(),
+            venue_counts: VenueCounts::default(),
+            representative_venue: None,
+            keyword_centroid: Vec::new(),
+        };
+        // Representatives are distinct, so each old slot is vacated once.
+        let mut profiles: Vec<VertexProfile> = (0..n_new)
+            .map(|i| std::mem::replace(&mut old_profiles[pre_of[i]], hollow()))
+            .collect();
+        let mut cnorm: Vec<f64> = (0..n_new).map(|i| old_cnorm[pre_of[i]]).collect();
+        for (&v, p) in plan.coalesced.iter().zip(rebuilt) {
+            cnorm[v.index()] = iuad_text::norm(&p.keyword_centroid);
+            profiles[v.index()] = p;
+        }
+        // --- Dirty regions: the structural blast radius of the merge -----
+        // WL features read the `wl_iters`-hop ball; triangles read only
+        // the 1-hop induced subgraph — tracking them separately lets a
+        // vertex whose 2-hop ball was touched but whose neighbourhood was
+        // not keep its triangle list.
+        let csr = network.csr();
+        let mut dirty_wl = vec![false; n_new];
+        csr.mark_ball(&plan.coalesced, wl_iters, &mut dirty_wl);
+        let mut dirty_tri = vec![false; n_new];
+        csr.mark_ball(&plan.coalesced, 1, &mut dirty_tri);
+        let dirty = |i: usize| dirty_wl[i] || dirty_tri[i];
+
+        // --- Structural caches: carry clean, recompute dirty -------------
+        let mut scoped: Vec<VertexId> = match scope {
+            CacheScope::AmbiguousOnly => network
+                .by_name
+                .values()
+                .filter(|vs| vs.len() >= 2)
+                .flatten()
+                .copied()
+                .collect(),
+            CacheScope::All => (0..n_new).map(VertexId::from).collect(),
+        };
+        scoped.sort_unstable();
+        scoped.dedup();
+        let mut wl: Vec<Option<SparseFeatures>> = vec![None; n_new];
+        let mut tris: Vec<Option<Vec<(u32, u32)>>> = vec![None; n_new];
+        let mut wl_recompute: Vec<VertexId> = Vec::new();
+        let mut tri_recompute: Vec<VertexId> = Vec::new();
+        for &v in &scoped {
+            let i = v.index();
+            // Clean ⇒ non-coalesced ⇒ a unique preimage; its cache can
+            // still be absent if the old scope was narrower.
+            if !dirty_wl[i] && old_wl[pre_of[i]].is_some() {
+                wl[i] = old_wl[pre_of[i]].take();
+            } else {
+                wl_recompute.push(v);
+            }
+            if !dirty_tri[i] && old_tris[pre_of[i]].is_some() {
+                tris[i] = old_tris[pre_of[i]].take();
+            } else {
+                tri_recompute.push(v);
+            }
+        }
+        let names: Vec<u64> = network
+            .graph
+            .vertices()
+            .map(|(_, p)| u64::from(p.name.0))
+            .collect();
+        // Extract in graph-BFS order: consecutive roots share most of
+        // their balls, so the rows and position map stay cache-hot.
+        // Features are pure per root, so ordering cannot change results.
+        reorder_by_bfs(&csr, &mut wl_recompute);
+        let fresh_wl = iuad_par::parallel_map(par, &wl_recompute, |&v| {
+            Self::wl_of_csr(&csr, &names, v, wl_iters)
+        });
+        for (&v, w) in wl_recompute.iter().zip(fresh_wl) {
+            wl[v.index()] = Some(w);
+        }
+        let fresh_tris = iuad_par::parallel_map(par, &tri_recompute, |&v| {
+            Self::name_triangles_csr(&csr, network, v)
+        });
+        for (&v, t) in tri_recompute.iter().zip(fresh_tris) {
+            tris[v.index()] = Some(t);
+        }
+
+        // --- Join evidence: carry what provably did not change -----------
+        let groups: Vec<&[VertexId]> = network
+            .by_name
+            .values()
+            .filter(|vs| vs.len() >= JOIN_EVIDENCE_MIN_GROUP)
+            .map(Vec::as_slice)
+            .collect();
+        let mut join: Vec<Option<JoinEvidence>> = Vec::with_capacity(n_new);
+        join.resize_with(n_new, || None);
+        let mut join_groups: rustc_hash::FxHashMap<iuad_corpus::NameId, Vec<VertexId>> =
+            rustc_hash::FxHashMap::default();
+        // Groups with a coalesced member rebuild in full; groups that are
+        // only structurally dirty rebuild the WL/triangle halves and carry
+        // the profile halves; fully clean groups move over wholesale.
+        let mut full_groups: Vec<&[VertexId]> = Vec::new();
+        let mut structural_groups: Vec<&[VertexId]> = Vec::new();
+        for vs in &groups {
+            if let Some(&v0) = vs.first() {
+                join_groups.insert(profiles[v0.index()].name, vs.to_vec());
+            }
+            let carried = vs
+                .iter()
+                .all(|&v| pre_count[v.index()] == 1 && old_join[pre_of[v.index()]].is_some());
+            if !carried {
+                full_groups.push(vs);
+            } else if vs.iter().any(|&v| dirty(v.index())) {
+                structural_groups.push(vs);
+            } else {
+                for &v in *vs {
+                    join[v.index()] = old_join[pre_of[v.index()]].take();
+                }
+            }
+        }
+        let full_evidence = iuad_par::parallel_map(par, &full_groups, |vs| {
+            Self::group_join_evidence(vs, &wl, &tris, &profiles)
+        });
+        for (vs, evidence) in full_groups.iter().zip(full_evidence) {
+            for (&v, e) in vs.iter().zip(evidence) {
+                join[v.index()] = e;
+            }
+        }
+        let structural_evidence = iuad_par::parallel_map(par, &structural_groups, |vs| {
+            Self::group_structural_evidence(vs, &wl, &tris)
+        });
+        for (vs, evidence) in structural_groups.iter().zip(structural_evidence) {
+            for (&v, st) in vs.iter().zip(evidence) {
+                // The profile halves are pure functions of member profiles,
+                // all unchanged in this group — move them from the old
+                // evidence; a member without structural caches degrades to
+                // the full-evidence fallback exactly as a rebuild would.
+                join[v.index()] = st.and_then(|(wl_f, tris_f)| {
+                    let old_e = old_join[pre_of[v.index()]].take()?;
+                    Some(JoinEvidence {
+                        wl: wl_f,
+                        tris: tris_f,
+                        kw: old_e.kw,
+                        venues: old_e.venues,
+                    })
+                });
+            }
+        }
+        SimilarityEngine {
+            profiles,
+            wl,
+            tris,
+            join,
+            join_groups,
+            cnorm,
+            g4_exp,
+            alpha,
+            wl_iters,
+        }
+    }
+
+    /// First difference between two engines' cached state, or `None` when
+    /// they are bit-identical — the checkable face of the
+    /// derive-vs-rebuild contract. Floats compare by bit pattern, not
+    /// tolerance: derivation carries state over *because* it is provably
+    /// unchanged, so any drift is a correctness bug, not rounding.
+    pub fn diff_from(&self, other: &SimilarityEngine) -> Option<String> {
+        fn sparse_eq(a: &SparseFeatures, b: &SparseFeatures) -> bool {
+            a == b && a.norm().to_bits() == b.norm().to_bits()
+        }
+        if self.profiles.len() != other.profiles.len() {
+            return Some(format!(
+                "vertex counts differ: {} vs {}",
+                self.profiles.len(),
+                other.profiles.len()
+            ));
+        }
+        if self.alpha.to_bits() != other.alpha.to_bits()
+            || self.wl_iters != other.wl_iters
+            || self.g4_exp.len() != other.g4_exp.len()
+            || self
+                .g4_exp
+                .iter()
+                .zip(&other.g4_exp)
+                .any(|(a, b)| a.to_bits() != b.to_bits())
+        {
+            return Some("engine parameters (α, h, decay table) differ".to_string());
+        }
+        for i in 0..self.profiles.len() {
+            if self.profiles[i] != other.profiles[i] {
+                return Some(format!("profile differs at vertex {i}"));
+            }
+            if self.cnorm[i].to_bits() != other.cnorm[i].to_bits() {
+                return Some(format!("centroid norm differs at vertex {i}"));
+            }
+            let wl_eq = match (&self.wl[i], &other.wl[i]) {
+                (Some(a), Some(b)) => sparse_eq(a, b),
+                (None, None) => true,
+                _ => false,
+            };
+            if !wl_eq {
+                return Some(format!("WL features differ at vertex {i}"));
+            }
+            if self.tris[i] != other.tris[i] {
+                return Some(format!("triangles differ at vertex {i}"));
+            }
+            let join_eq = match (&self.join[i], &other.join[i]) {
+                (Some(a), Some(b)) => {
+                    sparse_eq(&a.wl, &b.wl)
+                        && a.tris == b.tris
+                        && a.kw == b.kw
+                        && a.venues == b.venues
+                }
+                (None, None) => true,
+                _ => false,
+            };
+            if !join_eq {
+                return Some(format!("join evidence differs at vertex {i}"));
+            }
+        }
+        if self.join_groups != other.join_groups {
+            return Some("join-group membership differs".to_string());
+        }
+        None
     }
 
     /// The evidence [`Side`] of a vertex: the group-filtered
@@ -315,16 +825,38 @@ impl SimilarityEngine {
         }
     }
 
+    /// WL features via the graph's hash adjacency — the ad-hoc path for
+    /// single cache misses, where freezing a CSR snapshot would cost more
+    /// than the query. Bit-identical to [`Self::wl_of_csr`].
     fn wl_of(scn: &Scn, v: VertexId, wl_iters: usize) -> SparseFeatures {
         vertex_features(&scn.graph, v, wl_iters, |w| {
             scn.graph.vertex(w).name.0 as u64
         })
     }
 
+    /// WL features via a frozen [`Csr`] snapshot — the bulk engine-build
+    /// path. `names` is the per-vertex name-label slab (one contiguous
+    /// lookup instead of a payload dereference per ball member).
+    fn wl_of_csr(csr: &Csr, names: &[u64], v: VertexId, wl_iters: usize) -> SparseFeatures {
+        vertex_features_csr(csr, v, wl_iters, |w| names[w.index()])
+    }
+
     /// Triangles through `v` as sorted co-member *name* pairs (names, not
-    /// vertex ids, so that structurally parallel cliques coincide).
+    /// vertex ids, so that structurally parallel cliques coincide). Hash
+    /// adjacency; the single-miss counterpart of
+    /// [`Self::name_triangles_csr`].
     fn name_triangles(scn: &Scn, v: VertexId) -> Vec<(u32, u32)> {
-        let mut out: Vec<(u32, u32)> = triangles_of(&scn.graph, v)
+        Self::to_name_pairs(scn, triangles_of(&scn.graph, v))
+    }
+
+    /// [`Self::name_triangles`] via a frozen [`Csr`] snapshot — sorted-merge
+    /// neighbour intersection instead of per-pair hash probes.
+    fn name_triangles_csr(csr: &Csr, scn: &Scn, v: VertexId) -> Vec<(u32, u32)> {
+        Self::to_name_pairs(scn, triangles_of_csr(csr, v))
+    }
+
+    fn to_name_pairs(scn: &Scn, tris: Vec<(VertexId, VertexId)>) -> Vec<(u32, u32)> {
+        let mut out: Vec<(u32, u32)> = tris
             .into_iter()
             .map(|(x, y)| {
                 let nx = scn.graph.vertex(x).name.0;

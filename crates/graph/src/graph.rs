@@ -161,6 +161,13 @@ impl<V, E> AdjGraph<V, E> {
             .map(|(&(u, v), e)| (u, v, e))
     }
 
+    /// Freeze the current adjacency structure as a [`crate::Csr`]
+    /// snapshot. The snapshot does not track later mutations; rebuild it
+    /// after structural changes.
+    pub fn csr(&self) -> crate::csr::Csr {
+        crate::csr::Csr::from_graph(self)
+    }
+
     /// Vertices within `radius` hops of `v` (including `v`), via BFS,
     /// ascending order.
     pub fn ball(&self, v: VertexId, radius: usize) -> Vec<VertexId> {

@@ -9,6 +9,9 @@
 //!   payloads (edge payload in IUAD: the paper set `P_uv`);
 //! * [`UnionFind`] — disjoint sets with path halving + union by size, used
 //!   for transitive vertex merging;
+//! * [`Csr`] — a frozen compressed-sparse-row adjacency snapshot; the
+//!   structural kernels below all have CSR-routed variants that walk
+//!   contiguous sorted neighbour slices (the engine-build hot path);
 //! * [`triangles`] — triangle enumeration (stable collaborative triangles,
 //!   and the co-author clique similarity γ₂);
 //! * [`wl`] — Weisfeiler-Lehman subtree features and the normalised WL
@@ -18,10 +21,12 @@
 #![warn(missing_docs)]
 
 pub mod components;
+pub mod csr;
 mod graph;
 pub mod triangles;
 mod unionfind;
 pub mod wl;
 
+pub use csr::Csr;
 pub use graph::{AdjGraph, VertexId};
 pub use unionfind::UnionFind;

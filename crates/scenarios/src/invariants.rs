@@ -2,7 +2,9 @@
 //! corpus, checked per scenario and reported (not panicked) so the driver
 //! can attribute failures to a named scenario and a named invariant.
 
-use iuad_core::{Decision, Iuad, IuadConfig, ParallelConfig};
+use iuad_core::{
+    merge_network, CacheScope, Decision, Iuad, IuadConfig, ParallelConfig, SimilarityEngine,
+};
 use iuad_corpus::scenario::{derive_seed, duplicate_papers, permute_papers, ScenarioSpec};
 use iuad_corpus::{Corpus, Mention, TestSet};
 use iuad_eval::b_cubed;
@@ -251,6 +253,56 @@ pub fn duplicate_injection_cocluster(
             pairs.len()
         ),
     )
+}
+
+/// The merge-aware engine derivation is bit-identical to a from-scratch
+/// rebuild: re-run the Stage-2 → merge → engine sequence on the fitted
+/// pipeline's own artefacts, once via [`SimilarityEngine::derive`] and once
+/// via a full build over the merged network, and compare every cached slab
+/// (profiles, WL features, triangles, centroid norms, join evidence) by bit
+/// pattern. This is the release-mode face of the `debug_assertions` check
+/// inside [`Iuad::fit`].
+pub fn derive_matches_rebuild(
+    corpus: &Corpus,
+    config: &IuadConfig,
+    iuad: &Iuad,
+) -> InvariantReport {
+    const NAME: &str = "derive-matches-rebuild";
+    let stage2 = SimilarityEngine::build(
+        &iuad.scn,
+        &iuad.ctx,
+        config.alpha,
+        config.wl_iters,
+        CacheScope::AmbiguousOnly,
+    );
+    let (network, plan) = merge_network(corpus, &iuad.scn, &iuad.gcn.cluster_of_vertex);
+    let derived = SimilarityEngine::derive(
+        stage2,
+        &plan,
+        &network,
+        &iuad.ctx,
+        CacheScope::AmbiguousOnly,
+        &ParallelConfig::sequential(),
+    );
+    let rebuilt = SimilarityEngine::build(
+        &network,
+        &iuad.ctx,
+        config.alpha,
+        config.wl_iters,
+        CacheScope::AmbiguousOnly,
+    );
+    match derived.diff_from(&rebuilt) {
+        None => InvariantReport::ok(
+            NAME,
+            format!(
+                "derived engine bit-identical to rebuild over {} vertices \
+                 ({} coalesced)",
+                network.graph.num_vertices(),
+                plan.coalesced.len()
+            ),
+        ),
+        Some(diff) => InvariantReport::fail(NAME, diff),
+    }
 }
 
 /// B³ recall is monotone under oracle merges: repeatedly merging two

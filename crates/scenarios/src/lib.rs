@@ -11,7 +11,8 @@
 //!    fits at every thread/chunk configuration, exact Stage-1 invariance
 //!    under paper-order permutation (and bounded full-pipeline drift, since
 //!    embedding training is order-sensitive), duplicate-mention
-//!    co-clustering, monotone B³ recall under oracle merges, and
+//!    co-clustering, monotone B³ recall under oracle merges, bit-identity
+//!    of the merge-aware engine derivation against a full rebuild, and
 //!    batch-vs-incremental interface consistency.
 //! 2. **Differential oracles** ([`differential`]) — IUAD scored against
 //!    every baseline plus the trivial all-split / all-merged partitions and

@@ -9,9 +9,9 @@ use serde::Serialize;
 use crate::differential::{score_scenario_methods, MethodScore};
 use crate::fingerprint::{canonical_labels, fingerprint_hex, fingerprint_of_labels};
 use crate::invariants::{
-    duplicate_injection_cocluster, incremental_consistency, oracle_merge_monotone_recall,
-    parallel_config_invariance, partition_structure, pipeline_permutation_robustness,
-    stage1_permutation_invariance, InvariantReport,
+    derive_matches_rebuild, duplicate_injection_cocluster, incremental_consistency,
+    oracle_merge_monotone_recall, parallel_config_invariance, partition_structure,
+    pipeline_permutation_robustness, stage1_permutation_invariance, InvariantReport,
 };
 
 /// Streaming statistics from the incremental-consistency invariant.
@@ -133,6 +133,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioOutcome {
         pipeline_permutation_robustness(&corpus, &config, spec, &test, iuad_b3_f),
         duplicate_injection_cocluster(&corpus, &config, spec),
         oracle_merge_monotone_recall(&corpus, &test, &iuad),
+        derive_matches_rebuild(&corpus, &config, &iuad),
     ];
     let (incr_report, incremental) = incremental_consistency(&corpus, &config, spec);
     invariants.push(incr_report);

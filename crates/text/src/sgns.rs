@@ -51,13 +51,94 @@ fn sigmoid(x: f32) -> f32 {
     }
 }
 
+/// Sequential dot product of two `dim`-length vector slices.
+///
+/// With `D > 0` the slices are converted to fixed-size array references, so
+/// the compiler drops every per-element bounds check and can unroll; with
+/// `D == 0` the generic zip path runs. Both accumulate in ascending element
+/// order with the same f32 additions, so the results are bit-identical —
+/// monomorphisation is a pure codegen win (`deterministic_given_seed` pins
+/// the two paths against each other).
+#[inline(always)]
+fn dot_kernel<const D: usize>(a: &[f32], b: &[f32]) -> f32 {
+    let mut dot = 0.0f32;
+    if D > 0 {
+        let a: &[f32; D] = a.try_into().expect("dim mismatch");
+        let b: &[f32; D] = b.try_into().expect("dim mismatch");
+        for k in 0..D {
+            dot += a[k] * b[k];
+        }
+    } else {
+        for (x, y) in a.iter().zip(b) {
+            dot += x * y;
+        }
+    }
+    dot
+}
+
+/// The fused SGNS update: `grad += g·v_out` (reading the pre-update output
+/// vector) then `v_out += g·v_in`, element by element in ascending order —
+/// exactly the sequential operation order of the generic path.
+#[inline(always)]
+fn update_kernel<const D: usize>(grad: &mut [f32], vo: &mut [f32], vi: &[f32], g: f32) {
+    if D > 0 {
+        let grad: &mut [f32; D] = grad.try_into().expect("dim mismatch");
+        let vo: &mut [f32; D] = vo.try_into().expect("dim mismatch");
+        let vi: &[f32; D] = vi.try_into().expect("dim mismatch");
+        for k in 0..D {
+            grad[k] += g * vo[k];
+            vo[k] += g * vi[k];
+        }
+    } else {
+        for ((gr, o), inp) in grad.iter_mut().zip(vo.iter_mut()).zip(vi.iter()) {
+            *gr += g * *o;
+            *o += g * *inp;
+        }
+    }
+}
+
+/// Apply the accumulated centre-vector gradient: `v_in += grad`.
+#[inline(always)]
+fn apply_kernel<const D: usize>(vi: &mut [f32], grad: &[f32]) {
+    if D > 0 {
+        let vi: &mut [f32; D] = vi.try_into().expect("dim mismatch");
+        let grad: &[f32; D] = grad.try_into().expect("dim mismatch");
+        for k in 0..D {
+            vi[k] += grad[k];
+        }
+    } else {
+        for (inp, gr) in vi.iter_mut().zip(grad) {
+            *inp += *gr;
+        }
+    }
+}
+
 /// Train SGNS embeddings over `docs` (documents of word ids drawn from
 /// `0..vocab_size`). Returns the input-vector matrix.
+///
+/// The configured default `dim = 32` dispatches to kernels monomorphised on
+/// the dimensionality (no per-element bounds checks in the SGD inner loop);
+/// any other `dim` runs the generic path. Embeddings are bit-identical
+/// either way.
 pub fn train_sgns(docs: &[Vec<u32>], vocab_size: usize, cfg: &SgnsConfig) -> Embeddings {
+    match cfg.dim {
+        32 => train_sgns_dim::<32>(docs, vocab_size, cfg),
+        _ => train_sgns_dim::<0>(docs, vocab_size, cfg),
+    }
+}
+
+/// [`train_sgns`] with the vector kernels monomorphised on `D` (`0` = the
+/// dynamic generic path; otherwise `D` must equal `cfg.dim`).
+fn train_sgns_dim<const D: usize>(
+    docs: &[Vec<u32>],
+    vocab_size: usize,
+    cfg: &SgnsConfig,
+) -> Embeddings {
     assert!(
         cfg.dim > 0 && cfg.window > 0,
         "dim and window must be positive"
     );
+    assert!(D == 0 || D == cfg.dim, "monomorphised dim mismatch");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
     // Input and output vectors; inputs small-random, outputs zero (standard).
@@ -121,19 +202,11 @@ pub fn train_sgns(docs: &[Vec<u32>], vocab_size: usize, cfg: &SgnsConfig) -> Emb
                         };
                         let ti = target * cfg.dim;
                         let vo = &mut w_out[ti..ti + cfg.dim];
-                        let mut dot = 0.0f32;
-                        for (a, b) in vi.iter().zip(vo.iter()) {
-                            dot += a * b;
-                        }
+                        let dot = dot_kernel::<D>(vi, vo);
                         let g = (label - sigmoid(dot)) * lr;
-                        for ((gr, o), inp) in grad.iter_mut().zip(vo.iter_mut()).zip(vi.iter()) {
-                            *gr += g * *o;
-                            *o += g * *inp;
-                        }
+                        update_kernel::<D>(&mut grad, vo, vi, g);
                     }
-                    for (inp, gr) in vi.iter_mut().zip(&grad) {
-                        *inp += *gr;
-                    }
+                    apply_kernel::<D>(vi, &grad);
                 }
             }
         }
@@ -207,6 +280,20 @@ mod tests {
         let a = train_sgns(&docs, 16, &cfg);
         let b = train_sgns(&docs, 16, &cfg);
         assert_eq!(a.get(3), b.get(3));
+
+        // The default dim (32) dispatches to the monomorphised kernels;
+        // pin them against the generic path — embeddings must be
+        // bit-identical, not approximately equal.
+        let cfg32 = SgnsConfig {
+            dim: 32,
+            epochs: 1,
+            ..Default::default()
+        };
+        let mono = train_sgns(&docs, 16, &cfg32);
+        let generic = train_sgns_dim::<0>(&docs, 16, &cfg32);
+        for w in 0..16u32 {
+            assert_eq!(mono.get(w), generic.get(w), "word {w}");
+        }
     }
 
     #[test]

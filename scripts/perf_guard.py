@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Perf guard: fail when a fresh BENCH_pipeline.json regresses more than
+the allowed factor against the committed baseline.
+
+Usage: perf_guard.py BASELINE.json FRESH.json [MAX_REGRESSION]
+
+MAX_REGRESSION defaults to 0.25 (25%): total_seconds may grow at most
+1.25x and pairs_per_sec may shrink at most to 1/1.25x. The margin can
+also come from the IUAD_PERF_GUARD_MARGIN environment variable.
+
+Caveat: the committed baseline is an absolute wall-clock record from the
+machine that last ran `make bench-json`. Comparing it on a *different*
+machine class (e.g. a hosted CI runner vs a dev box) gates machine speed
+as much as code speed — if the guard flaps without a code change, widen
+the margin via IUAD_PERF_GUARD_MARGIN, or refresh the baseline from the
+machine class that enforces it.
+"""
+
+import json
+import os
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1], encoding="utf-8") as f:
+        base = json.load(f)
+    with open(sys.argv[2], encoding="utf-8") as f:
+        fresh = json.load(f)
+    if len(sys.argv) > 3:
+        margin = float(sys.argv[3])
+    else:
+        margin = float(os.environ.get("IUAD_PERF_GUARD_MARGIN", "0.25"))
+
+    failures = []
+    limit = base["total_seconds"] * (1.0 + margin)
+    if fresh["total_seconds"] > limit:
+        failures.append(
+            f"total_seconds {fresh['total_seconds']:.3f} > {limit:.3f} "
+            f"(baseline {base['total_seconds']:.3f} +{margin:.0%})"
+        )
+    floor = base["pairs_per_sec"] / (1.0 + margin)
+    if fresh["pairs_per_sec"] < floor:
+        failures.append(
+            f"pairs_per_sec {fresh['pairs_per_sec']:.0f} < {floor:.0f} "
+            f"(baseline {base['pairs_per_sec']:.0f} -{margin:.0%})"
+        )
+
+    print(
+        f"perf guard: total {base['total_seconds']:.3f}s -> "
+        f"{fresh['total_seconds']:.3f}s, pairs/s "
+        f"{base['pairs_per_sec']:.0f} -> {fresh['pairs_per_sec']:.0f} "
+        f"(margin {margin:.0%})"
+    )
+    for f in failures:
+        print(f"REGRESSION: {f}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

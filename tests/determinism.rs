@@ -93,6 +93,33 @@ fn fingerprint_matches_recorded_seed_baseline() {
     );
 }
 
+/// The golden per-scenario fingerprints, duplicated from
+/// `crates/scenarios/src/golden.rs` as an independent pin: the merge-aware
+/// engine derivation and the CSR structural kernels must not flip a single
+/// merge decision on any scenario regime. An intentional behaviour change
+/// has to update *both* tables, which is exactly the friction wanted.
+const GOLDEN_SCENARIO_FINGERPRINTS: &[(&str, &str)] = &[
+    ("baseline-reference", "0x8c5578e7244c2a75"),
+    ("homonym-storm", "0x6c3120d5fac6644b"),
+    ("abbreviated-variants", "0x75cad52e80f0083a"),
+    ("unicode-transliteration", "0xd20a607a1eb12e40"),
+    ("scale-free-hubs", "0x0f6911ed02d09760"),
+    ("tiny-sparse", "0x670a701ffe2b01de"),
+    ("singleton-desert", "0x188c7dbf14c1be63"),
+    ("dense-cliques", "0xf6dedcb3f82efd75"),
+    ("topic-blur", "0x831787ebded1a225"),
+    ("streaming-churn", "0x0f01b8155d04953c"),
+];
+
+#[test]
+fn golden_scenario_fingerprints_are_unchanged() {
+    assert_eq!(
+        iuad_suite::scenarios::golden::GOLDEN_FINGERPRINTS,
+        GOLDEN_SCENARIO_FINGERPRINTS,
+        "golden scenario fingerprints drifted from the recorded seed values"
+    );
+}
+
 #[test]
 fn fit_is_identical_across_thread_counts() {
     let c = corpus();
