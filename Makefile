@@ -1,7 +1,7 @@
 # Local entrypoints mirroring .github/workflows/ci.yml — keep the two in
 # sync so "it passes locally" means "it passes in CI".
 
-.PHONY: build test lint fmt bench bench-smoke bench-json perf-guard scenarios repro all
+.PHONY: build test lint fmt bench bench-smoke bench-json perf-guard scenarios serve-smoke repro all
 
 all: build test lint
 
@@ -43,6 +43,12 @@ perf-guard:
 scenarios:
 	cargo test --release -q --test scenarios
 	cargo run --release -p iuad-bench --bin repro -- scenarios
+
+# What the CI `serve-smoke` job runs: the end-to-end serving gate — live
+# daemon on a seeded corpus, ≥50 streamed papers with 200 concurrent
+# queries, zero errors, ≥2 epoch advances, WAL warm restart bit-identical.
+serve-smoke:
+	cargo run --release -p iuad-bench --bin iuad -- serve-smoke
 
 # Regenerate the paper's tables and figures.
 repro:

@@ -4,7 +4,15 @@
 //! iuad generate --papers 8000 --authors 2000 --seed 42 corpus.jsonl
 //! iuad fit corpus.jsonl                      # fit + evaluate + report
 //! iuad evaluate corpus.jsonl --eta 3         # with overrides
+//! iuad serve corpus.jsonl --wal serve.wal    # long-lived daemon
+//! iuad serve-smoke                           # end-to-end serving gate
 //! ```
+//!
+//! `serve` fits the corpus and starts the serving daemon (README
+//! § Serving): line-delimited JSON over loopback TCP, epoch snapshots,
+//! write-ahead persistence. With `--wal`, an existing log is replayed
+//! first (warm restart) and then appended to. The process runs until a
+//! client sends `{"op":"shutdown"}`.
 //!
 //! Corpora are the JSONL format of `iuad_corpus::save_jsonl` (self-contained
 //! header + one record per paper). Since generated corpora carry ground
@@ -20,7 +28,7 @@ use iuad_eval::{pairwise_confusion, Confusion, Table};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  iuad generate [--papers N] [--authors N] [--seed S] <out.jsonl>\n  iuad fit <corpus.jsonl> [--eta N] [--delta X] [--bench-json PATH]\n  iuad evaluate <corpus.jsonl> [--eta N] [--delta X] [--bench-json PATH]"
+        "usage:\n  iuad generate [--papers N] [--authors N] [--seed S] <out.jsonl>\n  iuad fit <corpus.jsonl> [--eta N] [--delta X] [--bench-json PATH]\n  iuad evaluate <corpus.jsonl> [--eta N] [--delta X] [--bench-json PATH]\n  iuad serve <corpus.jsonl> [--wal PATH] [--workers N] [--batch N] [--max-inflight N] [--queue N] [--eta N] [--delta X]\n  iuad serve-smoke"
     );
     exit(2)
 }
@@ -159,6 +167,118 @@ fn main() {
                 iuad.gcn.num_merges
             );
             report(&corpus, &iuad);
+        }
+        "serve" => {
+            let Some(input) = args.positional.first() else {
+                usage()
+            };
+            let corpus = match load_jsonl(&PathBuf::from(input)) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("error loading {input}: {e}");
+                    exit(1);
+                }
+            };
+            let mut config = IuadConfig::default();
+            if let Some(eta) = args.get("eta") {
+                config.eta = eta;
+            }
+            if let Some(delta) = args.get("delta") {
+                config.gcn.delta = delta;
+            }
+            let daemon_config = iuad_serve::DaemonConfig {
+                workers: args.get("workers").unwrap_or(4),
+                batch_size: args.get("batch").unwrap_or(16),
+                max_inflight_per_name: args.get("max-inflight").unwrap_or(2),
+                ingest_queue: args.get("queue").unwrap_or(64),
+            };
+            let (iuad, elapsed) = iuad_eval::time_it(|| Iuad::fit(&corpus, &config));
+            eprintln!(
+                "fitted in {elapsed:.2?}: {} vertices over {} papers",
+                iuad.network.graph.num_vertices(),
+                corpus.papers.len()
+            );
+            let state = match args.get::<PathBuf>("wal") {
+                Some(path) if path.exists() => {
+                    // Warm restart: replay the recorded stream, then keep
+                    // appending to the same log.
+                    let records = match iuad_serve::read_wal(&path) {
+                        Ok(r) => r,
+                        Err(e) => {
+                            eprintln!("error reading WAL {}: {e}", path.display());
+                            exit(1);
+                        }
+                    };
+                    let mut state = iuad_serve::ServeState::replay(iuad, &records);
+                    eprintln!(
+                        "replayed {} WAL records: {} papers, epoch {}",
+                        records.len(),
+                        state.papers_ingested(),
+                        state.epoch()
+                    );
+                    match iuad_serve::Wal::append_to(&path) {
+                        Ok(wal) => state.set_wal(Some(wal)),
+                        Err(e) => {
+                            eprintln!("error reopening WAL {}: {e}", path.display());
+                            exit(1);
+                        }
+                    }
+                    state
+                }
+                Some(path) => match iuad_serve::Wal::create(&path) {
+                    Ok(wal) => iuad_serve::ServeState::new(iuad, Some(wal)),
+                    Err(e) => {
+                        eprintln!("error creating WAL {}: {e}", path.display());
+                        exit(1);
+                    }
+                },
+                None => iuad_serve::ServeState::new(iuad, None),
+            };
+            let daemon = match iuad_serve::Daemon::spawn(state, &daemon_config) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("error starting daemon: {e}");
+                    exit(1);
+                }
+            };
+            println!(
+                "serving on {} — send {{\"op\":\"shutdown\"}} to stop",
+                daemon.addr()
+            );
+            while !daemon.shutdown_requested() {
+                std::thread::sleep(std::time::Duration::from_millis(200));
+            }
+            let state = daemon.shutdown();
+            println!(
+                "shut down at epoch {} after {} streamed papers, fingerprint {}",
+                state.epoch(),
+                state.papers_ingested(),
+                iuad_serve::fingerprint_hex(state.fingerprint())
+            );
+        }
+        "serve-smoke" => {
+            let outcome = iuad_serve::run_smoke();
+            println!(
+                "streamed {} papers, answered {} queries ({} shed), {} daemon errors, \
+                 {} client errors\nfinal epoch {}, live fingerprint {}, replay fingerprint {}",
+                outcome.papers_streamed,
+                outcome.queries,
+                outcome.shed,
+                outcome.errors,
+                outcome.client_errors,
+                outcome.final_epoch,
+                iuad_serve::fingerprint_hex(outcome.live_fingerprint),
+                iuad_serve::fingerprint_hex(outcome.replay_fingerprint)
+            );
+            if let Some(diff) = &outcome.engine_diff {
+                println!("engine diverged after replay: {diff}");
+            }
+            if outcome.passed() {
+                println!("serve smoke OK");
+            } else {
+                eprintln!("serve smoke FAILED");
+                exit(1);
+            }
         }
         _ => usage(),
     }

@@ -5,22 +5,25 @@
 //! cargo run --release -p iuad-bench --bin repro -- table3 fig6
 //! ```
 //!
-//! Artefact ids: `perf scenarios fig3 table2 table3 table4 table5 fig5
-//! table6 fig6 ablation-eta ablation-delta ablation-sampling
+//! Artefact ids: `perf scenarios serve-load fig3 table2 table3 table4
+//! table5 fig5 table6 fig6 ablation-eta ablation-delta ablation-sampling
 //! ablation-split ablation-features`.
 //! `perf` measures stage wall-times and writes `BENCH_pipeline.json`
 //! (single-threaded baseline: `IUAD_BENCH_THREADS=1 repro perf`);
 //! `scenarios` runs the conformance matrix and writes `SCENARIOS.json`
-//! (it generates its own adversarial corpora, not the benchmark corpus).
+//! (it generates its own adversarial corpora, not the benchmark corpus);
+//! `serve-load` drives a live daemon with hot-name query skew and writes
+//! wall-clock latency/shed numbers to the gitignored `results/` only.
 
 use std::time::Instant;
 
 use iuad_bench::{benchmark_corpus, experiments};
 use iuad_corpus::Corpus;
 
-const ALL: [&str; 15] = [
+const ALL: [&str; 16] = [
     "perf",
     "scenarios",
+    "serve-load",
     "fig3",
     "table2",
     "table3",
@@ -63,6 +66,7 @@ fn dispatch(id: &str, corpus: &mut LazyCorpus) -> Option<String> {
     let out = match id {
         "perf" => experiments::perf::run(corpus.get()),
         "scenarios" => experiments::scenarios::run(),
+        "serve-load" => experiments::serve_load::run(),
         "fig3" => experiments::fig3::run(corpus.get()),
         "table2" => experiments::table2::run(corpus.get()),
         "table3" => experiments::table3::run(corpus.get()),

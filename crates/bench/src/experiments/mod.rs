@@ -10,6 +10,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod perf;
 pub mod scenarios;
+pub mod serve_load;
 pub mod table2;
 pub mod table3;
 pub mod table4;

@@ -1,0 +1,58 @@
+//! Serving-tier load artefact: drive a live daemon with the hot-name
+//! query skew of scale-free collaboration networks and record what
+//! admission control buys — shed rate on the hot name, bounded tail
+//! latency on everyone else.
+//!
+//! Unlike the scorecard artefacts, the numbers here are wall-clock
+//! latencies from this machine, so they go to the gitignored
+//! `results/serve_load.{jsonl,txt}` only and are never committed (the
+//! committed `SCENARIOS.json` must stay byte-deterministic).
+
+use iuad_eval::Table;
+use iuad_serve::{run_load, LoadSpec};
+
+use crate::write_results;
+
+/// Run the default load shape and write `results/serve_load.{jsonl,txt}`.
+pub fn run() -> String {
+    let spec = LoadSpec::default();
+    eprintln!(
+        "serve-load: {} authors / {} papers, {} queries over {} clients \
+         ({}% aimed at the hottest name), {} papers streamed",
+        spec.num_authors,
+        spec.num_papers,
+        spec.queries,
+        spec.query_threads,
+        (spec.hot_fraction * 100.0).round(),
+        spec.stream_tail
+    );
+    let report = run_load(&spec);
+
+    let mut t = Table::new(["metric", "hot name", "cold names"]);
+    t.row([
+        "queries",
+        &report.hot_queries.to_string(),
+        &report.cold_queries.to_string(),
+    ]);
+    t.row([
+        "shed",
+        &report.hot_shed.to_string(),
+        &report.cold_shed.to_string(),
+    ]);
+    t.row([
+        "p50 latency (µs)",
+        &report.hot_p50_us.to_string(),
+        &report.cold_p50_us.to_string(),
+    ]);
+    t.row([
+        "p99 latency (µs)",
+        &report.hot_p99_us.to_string(),
+        &report.cold_p99_us.to_string(),
+    ]);
+    let rendered = format!(
+        "{t}\nstreamed {} papers, {} epochs published, {} daemon errors\n",
+        report.ingested, report.final_epoch, report.errors
+    );
+    write_results("serve_load", &[report], &rendered);
+    rendered
+}

@@ -449,6 +449,25 @@ pub struct MergePlan {
     pub coalesced: Vec<VertexId>,
 }
 
+impl MergePlan {
+    /// An identity plan over a network of `num_vertices` vertices whose
+    /// `touched` vertices must be rebuilt from their mentions. This is the
+    /// serving-tier shape of a plan: no vertices coalesced, but absorbed
+    /// mentions left `touched` vertices with merged (non-canonical)
+    /// profiles and invalidated caches, which one
+    /// [`crate::SimilarityEngine::derive`] pass re-canonicalizes.
+    pub fn refresh(num_vertices: usize, touched: &[VertexId]) -> MergePlan {
+        let old_to_new: Vec<VertexId> = (0..num_vertices).map(VertexId::from).collect();
+        let mut coalesced = touched.to_vec();
+        coalesced.sort_unstable();
+        coalesced.dedup();
+        MergePlan {
+            old_to_new,
+            coalesced,
+        }
+    }
+}
+
 /// Rebuild the merged collaboration network: vertices = GCN clusters, with
 /// collaborative relations recovered per paper (Algorithm 1 line 16). The
 /// result is a fully-formed [`Scn`] usable by the incremental stage, plus

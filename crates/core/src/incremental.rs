@@ -7,8 +7,8 @@
 //! new author. No retraining happens; this is the paper's headline
 //! efficiency property (< 50 ms per paper in their evaluation).
 
-use iuad_corpus::{NameId, Paper};
-use iuad_graph::VertexId;
+use iuad_corpus::{Mention, NameId, Paper};
+use iuad_graph::{wl::SparseFeatures, VertexId};
 use iuad_mixture::TwoComponentMixture;
 
 use crate::profile::{ProfileContext, VertexProfile};
@@ -33,46 +33,77 @@ pub enum Decision {
     },
 }
 
-/// Disambiguate the author at `slot` of a new `paper` against `network`.
-pub fn disambiguate_mention(
+/// The evidence one new mention carries: its transient profile plus the
+/// star-graph structural features. The decision rule *and* the absorb path
+/// both consume it, so a streaming ingest loop computes it once per slot
+/// ([`crate::Iuad::ingest_batch`]) instead of once per use.
+#[derive(Debug, Clone)]
+pub struct MentionEvidence {
+    /// Single-paper profile of the new mention
+    /// ([`VertexProfile::from_new_paper`]).
+    pub profile: VertexProfile,
+    /// WL features of the mention's collaboration star.
+    pub wl: SparseFeatures,
+    /// Name triangles through the mention (its co-authors form a clique),
+    /// sorted `(min, max)` pairs, deduplicated.
+    pub tris: Vec<(u32, u32)>,
+}
+
+impl MentionEvidence {
+    /// Compute the evidence for the author at `slot` of a new `paper`.
+    pub fn gather(
+        ctx: &ProfileContext,
+        engine: &SimilarityEngine,
+        paper: &Paper,
+        slot: usize,
+    ) -> MentionEvidence {
+        let name = paper.authors[slot];
+        let profile = VertexProfile::from_new_paper(name, paper, ctx);
+        let coauthors: Vec<u32> = paper
+            .authors
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != slot)
+            .map(|(_, n)| n.0)
+            .collect();
+        let wl = engine.star_features(name.0, &coauthors);
+        // Co-authors of one paper form a clique, so every pair of the new
+        // mention's co-authors is a triangle through it.
+        let mut tris: Vec<(u32, u32)> = Vec::new();
+        for i in 0..coauthors.len() {
+            for j in (i + 1)..coauthors.len() {
+                let (a, b) = (coauthors[i], coauthors[j]);
+                tris.push((a.min(b), a.max(b)));
+            }
+        }
+        tris.sort_unstable();
+        tris.dedup();
+        MentionEvidence { profile, wl, tris }
+    }
+}
+
+/// The decision rule of §V-E over precomputed evidence: arg-max posterior
+/// log-odds across `candidates`, matched only if the best score reaches δ.
+pub fn decide_with_evidence(
     network: &Scn,
     ctx: &ProfileContext,
     engine: &SimilarityEngine,
     model: &TwoComponentMixture,
     delta: f64,
-    paper: &Paper,
-    slot: usize,
+    evidence: &MentionEvidence,
+    candidates: &[VertexId],
 ) -> Decision {
-    let name = paper.authors[slot];
-    let Some(candidates) = network.by_name.get(&name) else {
-        return Decision::NewAuthor { best_score: None };
-    };
-
-    let profile = VertexProfile::from_new_paper(name, paper, ctx);
-    let coauthors: Vec<u32> = paper
-        .authors
-        .iter()
-        .enumerate()
-        .filter(|&(i, _)| i != slot)
-        .map(|(_, n)| n.0)
-        .collect();
-    let wl = engine.star_features(name.0, &coauthors);
-    // Co-authors of one paper form a clique, so every pair of the new
-    // mention's co-authors is a triangle through it.
-    let mut tris: Vec<(u32, u32)> = Vec::new();
-    for i in 0..coauthors.len() {
-        for j in (i + 1)..coauthors.len() {
-            let (a, b) = (coauthors[i], coauthors[j]);
-            tris.push((a.min(b), a.max(b)));
-        }
-    }
-    tris.sort_unstable();
-    tris.dedup();
-
     let features: Vec<usize> = (0..NUM_SIMILARITIES).collect();
     let mut best: Option<(VertexId, f64)> = None;
     for &v in candidates {
-        let gamma = engine.similarity_against(network, ctx, &profile, &wl, &tris, v);
+        let gamma = engine.similarity_against(
+            network,
+            ctx,
+            &evidence.profile,
+            &evidence.wl,
+            &evidence.tris,
+            v,
+        );
         let projected: Vec<f64> = features.iter().map(|&f| gamma[f]).collect();
         let score = model.log_odds(&projected);
         if best.is_none_or(|(_, s)| score > s) {
@@ -89,6 +120,56 @@ pub fn disambiguate_mention(
         },
         None => Decision::NewAuthor { best_score: None },
     }
+}
+
+/// Disambiguate the author at `slot` of a new `paper` against `network`.
+pub fn disambiguate_mention(
+    network: &Scn,
+    ctx: &ProfileContext,
+    engine: &SimilarityEngine,
+    model: &TwoComponentMixture,
+    delta: f64,
+    paper: &Paper,
+    slot: usize,
+) -> Decision {
+    let name = paper.authors[slot];
+    let Some(candidates) = network.by_name.get(&name) else {
+        return Decision::NewAuthor { best_score: None };
+    };
+    let evidence = MentionEvidence::gather(ctx, engine, paper, slot);
+    decide_with_evidence(network, ctx, engine, model, delta, &evidence, candidates)
+}
+
+/// Fold a decided mention into `network` and `engine` without refitting:
+/// append the mention to the matched vertex (founding a fresh vertex for
+/// [`Decision::NewAuthor`]) and absorb its precomputed single-paper profile
+/// into the engine. Returns the vertex that received the mention, so a
+/// serving tier can track the touched set for its next epoch publish.
+pub fn absorb_mention(
+    network: &mut Scn,
+    engine: &mut SimilarityEngine,
+    paper: &Paper,
+    slot: usize,
+    decision: Decision,
+    delta_profile: &VertexProfile,
+) -> VertexId {
+    let mention = Mention::new(paper.id, slot);
+    let name = paper.authors[slot];
+    let v = match decision {
+        Decision::Existing { vertex, .. } => vertex,
+        Decision::NewAuthor { .. } => {
+            let v = network.graph.add_vertex(crate::scn::ScnVertex {
+                name,
+                mentions: Vec::new(),
+            });
+            network.by_name.entry(name).or_default().push(v);
+            v
+        }
+    };
+    network.graph.vertex_mut(v).mentions.push(mention);
+    network.assignment.insert(mention, v);
+    engine.absorb(v, delta_profile);
+    v
 }
 
 /// Convenience: disambiguate every slot of a new paper independently.

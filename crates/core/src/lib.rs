@@ -40,9 +40,11 @@ pub mod scn;
 pub mod similarity;
 
 pub use gcn::{merge_network, Gcn, GcnConfig, MergePlan, MergePolicy};
-pub use incremental::Decision;
+pub use incremental::{
+    absorb_mention, decide_with_evidence, disambiguate_mention, Decision, MentionEvidence,
+};
 pub use iuad_par::ParallelConfig;
-pub use pipeline::{Iuad, IuadConfig};
+pub use pipeline::{FittedState, Iuad, IuadConfig};
 pub use profile::{KeywordYears, ProfileContext, VenueCounts, VertexProfile};
 pub use scn::{EdgeData, Scn, ScnVertex};
 pub use similarity::{CacheScope, SimilarityEngine, SimilarityVector, FAMILIES, NUM_SIMILARITIES};

@@ -7,7 +7,9 @@ use iuad_corpus::{Corpus, Mention, NameId, Paper};
 use iuad_par::ParallelConfig;
 
 use crate::gcn::{merge_network, Gcn, GcnConfig};
-use crate::incremental::{disambiguate_mention, Decision};
+use crate::incremental::{
+    absorb_mention, decide_with_evidence, disambiguate_mention, Decision, MentionEvidence,
+};
 use crate::profile::ProfileContext;
 use crate::scn::Scn;
 use crate::similarity::{CacheScope, SimilarityEngine};
@@ -198,24 +200,101 @@ impl Iuad {
     /// subsequent incremental queries see it. Structural caches are not
     /// rebuilt — consistent with the paper's "no retraining" claim.
     pub fn absorb(&mut self, paper: &Paper, slot: usize, decision: Decision) {
-        let mention = Mention::new(paper.id, slot);
         let name = paper.authors[slot];
-        let v = match decision {
-            Decision::Existing { vertex, .. } => vertex,
-            Decision::NewAuthor { .. } => {
-                let v = self.network.graph.add_vertex(crate::scn::ScnVertex {
-                    name,
-                    mentions: Vec::new(),
-                });
-                self.network.by_name.entry(name).or_default().push(v);
-                v
-            }
-        };
-        self.network.graph.vertex_mut(v).mentions.push(mention);
-        self.network.assignment.insert(mention, v);
         let delta = crate::profile::VertexProfile::from_new_paper(name, paper, &self.ctx);
-        self.engine.absorb(v, &delta);
+        absorb_mention(
+            &mut self.network,
+            &mut self.engine,
+            paper,
+            slot,
+            decision,
+            &delta,
+        );
     }
+
+    /// Stream a batch of papers through decide-then-absorb, slot by slot.
+    /// Bit-identical to the paper-at-a-time loop
+    /// (`disambiguate` + `absorb` per slot, pinned in
+    /// `tests/determinism.rs`), but the per-slot evidence — transient
+    /// profile, star WL features, clique triangles — is computed once and
+    /// shared between the decision and the absorb, which halves the
+    /// per-mention profile work on the daemon's ingest path.
+    pub fn ingest_batch(&mut self, papers: &[Paper]) -> Vec<Vec<(NameId, Decision)>> {
+        papers
+            .iter()
+            .map(|paper| {
+                (0..paper.authors.len())
+                    .map(|slot| {
+                        let name = paper.authors[slot];
+                        let evidence =
+                            MentionEvidence::gather(&self.ctx, &self.engine, paper, slot);
+                        let decision = match &self.gcn.model {
+                            Some(model) => match self.network.by_name.get(&name) {
+                                Some(candidates) => decide_with_evidence(
+                                    &self.network,
+                                    &self.ctx,
+                                    &self.engine,
+                                    model,
+                                    self.config.gcn.delta,
+                                    &evidence,
+                                    candidates,
+                                ),
+                                None => Decision::NewAuthor { best_score: None },
+                            },
+                            None => Decision::NewAuthor { best_score: None },
+                        };
+                        absorb_mention(
+                            &mut self.network,
+                            &mut self.engine,
+                            paper,
+                            slot,
+                            decision,
+                            &evidence.profile,
+                        );
+                        (name, decision)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Read-only access to the similarity caches over [`Iuad::network`],
+    /// for serving layers that snapshot the fitted state.
+    pub fn engine(&self) -> &SimilarityEngine {
+        &self.engine
+    }
+
+    /// Decompose the fitted pipeline into owned parts. The serving tier
+    /// needs to move the engine through [`SimilarityEngine::derive`] at
+    /// each epoch publish, which consumes it by value — impossible through
+    /// the private field.
+    pub fn into_state(self) -> FittedState {
+        FittedState {
+            config: self.config,
+            ctx: self.ctx,
+            scn: self.scn,
+            gcn: self.gcn,
+            network: self.network,
+            engine: self.engine,
+        }
+    }
+}
+
+/// A fitted pipeline decomposed into owned parts (see [`Iuad::into_state`]).
+#[derive(Debug)]
+pub struct FittedState {
+    /// The configuration used.
+    pub config: IuadConfig,
+    /// Corpus-level context (embeddings, frequencies).
+    pub ctx: ProfileContext,
+    /// Stage-1 network (pre-merge).
+    pub scn: Scn,
+    /// Stage-2 result (model + merge decisions).
+    pub gcn: Gcn,
+    /// The merged global collaboration network.
+    pub network: Scn,
+    /// Similarity caches over `network`.
+    pub engine: SimilarityEngine,
 }
 
 #[cfg(test)]

@@ -16,7 +16,7 @@ use iuad_text::{centroid, tokenize_filtered, train_sgns, Embeddings, SgnsConfig,
 /// Built once per corpus: the title vocabulary, SGNS keyword embeddings,
 /// per-paper keyword ids, corpus word frequencies `F_B` and venue
 /// frequencies `F_H`.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ProfileContext {
     /// Title vocabulary (stop words removed at tokenisation).
     pub vocab: Vocab,
@@ -110,6 +110,30 @@ impl ProfileContext {
     /// `F_B(b)`: corpus-wide occurrence count of keyword `b` (Equation 7).
     pub fn word_freq(&self, word: u32) -> u64 {
         self.vocab.term_count(word)
+    }
+
+    /// Append a streamed paper to the per-paper evidence tables so profile
+    /// rebuilds ([`VertexProfile::from_mentions`]) can index it. Keyword
+    /// derivation mirrors [`VertexProfile::from_new_paper`] exactly; the
+    /// trained parts of the context (vocabulary, embeddings, frequency
+    /// tables) stay frozen — the incremental setting never retrains (§V-E).
+    /// Papers must be registered in ascending contiguous id order.
+    pub fn register_paper(&mut self, paper: &Paper) {
+        assert_eq!(
+            paper.id.index(),
+            self.paper_keywords.len(),
+            "papers must be registered in contiguous id order"
+        );
+        let tokens = tokenize_filtered(&paper.title);
+        let keywords: Vec<u32> = self
+            .vocab
+            .encode(tokens.iter().map(String::as_str))
+            .into_iter()
+            .filter(|&w| !self.vocab.is_frequent(w, self.frequent_word_fraction))
+            .collect();
+        self.paper_keywords.push(keywords);
+        self.paper_years.push(paper.year);
+        self.paper_venues.push(paper.venue);
     }
 }
 

@@ -45,7 +45,7 @@ pub struct EdgeData {
 }
 
 /// The stable collaboration network.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Scn {
     /// The collaboration graph. Edges cover *all* per-paper collaborations
     /// (Definition 1); stable ones carry `scr_support > 0`.

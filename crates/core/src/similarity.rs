@@ -70,7 +70,7 @@ pub enum CacheScope {
 /// The structural caches are index-addressed slabs parallel to `profiles`:
 /// `wl[v] == None` / `tris[v] == None` means the vertex is out of cache
 /// scope or was invalidated by [`SimilarityEngine::absorb`].
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SimilarityEngine {
     profiles: Vec<VertexProfile>,
     wl: Vec<Option<SparseFeatures>>,
@@ -532,9 +532,16 @@ impl SimilarityEngine {
     /// entry is consumed at most once) — the untouched majority costs an
     /// index remap, not a deep copy.
     ///
-    /// `old` must be freshly built (no [`Self::absorb`] calls), since
-    /// absorbed profiles are merged, not rebuilt, and would not match a
-    /// from-scratch profile bit for bit.
+    /// `old` must be freshly built (no [`Self::absorb`] calls) — absorbed
+    /// profiles are merged, not rebuilt, and would not match a from-scratch
+    /// profile bit for bit — *unless* every absorbed-into vertex is listed
+    /// in `plan.coalesced` (e.g. via [`crate::MergePlan::refresh`]): then
+    /// the merged profiles are discarded and rebuilt exactly, absorbed
+    /// vertices' invalidated caches fall inside the dirty region (absorb
+    /// adds no graph edges, so clean balls are untouched), and the
+    /// join groups absorb invalidated rebuild in full — restoring the
+    /// bit-identity contract on a live, absorbed-into engine. This is the
+    /// serving tier's epoch-publish path.
     pub fn derive(
         old: SimilarityEngine,
         plan: &crate::gcn::MergePlan,

@@ -340,6 +340,22 @@ pub fn scenario_matrix() -> Vec<ScenarioSpec> {
             arrival: ArrivalOrder::Shuffled,
             permutation_b3_tolerance: 0.10,
         },
+        ScenarioSpec {
+            name: "hot-name-query-skew",
+            summary: "steep name skew + a big shuffled stream: the serving tier's regime",
+            master_seed: 0x5ce0_000b,
+            config: CorpusConfig {
+                num_authors: 220,
+                num_papers: 760,
+                surname_zipf: 2.4,
+                given_zipf: 2.4,
+                ..base()
+            },
+            name_noise: NameNoise::None,
+            stream_tail: 120,
+            arrival: ArrivalOrder::Shuffled,
+            permutation_b3_tolerance: 0.12,
+        },
     ]
 }
 

@@ -19,6 +19,7 @@ pub const GOLDEN_FINGERPRINTS: &[(&str, &str)] = &[
     ("dense-cliques", "0xf6dedcb3f82efd75"),
     ("topic-blur", "0x831787ebded1a225"),
     ("streaming-churn", "0x0f01b8155d04953c"),
+    ("hot-name-query-skew", "0x48195829565d4901"),
 ];
 
 /// The golden fingerprint for `scenario`, if pinned.

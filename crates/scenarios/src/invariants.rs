@@ -5,7 +5,9 @@
 use iuad_core::{
     merge_network, CacheScope, Decision, Iuad, IuadConfig, ParallelConfig, SimilarityEngine,
 };
-use iuad_corpus::scenario::{derive_seed, duplicate_papers, permute_papers, ScenarioSpec};
+use iuad_corpus::scenario::{
+    derive_seed, duplicate_papers, permute_papers, ArrivalOrder, ScenarioSpec,
+};
 use iuad_corpus::{Corpus, Mention, TestSet};
 use iuad_eval::b_cubed;
 use rustc_hash::FxHashMap;
@@ -382,6 +384,82 @@ pub fn oracle_merge_monotone_recall(
         format!(
             "recall non-decreasing across {merges} oracle merges on {} names",
             test.names.len()
+        ),
+    )
+}
+
+/// Warm restart from the write-ahead log reproduces the live serving state
+/// bit for bit: fit the base corpus, stream the scenario's held-out tail
+/// through a WAL-backed [`iuad_serve::ServeState`] at the daemon's default
+/// publish cadence, then replay the log against a fresh fit and compare —
+/// fingerprint-equal partition and `diff_from`-equal engine. Runs on the
+/// shuffled-arrival regimes (the serving tier's adversarial orderings);
+/// corpus-order scenarios exercise the identical code path and are skipped
+/// to keep the matrix's fit budget bounded.
+pub fn wal_replay_matches_live(
+    corpus: &Corpus,
+    config: &IuadConfig,
+    spec: &ScenarioSpec,
+) -> InvariantReport {
+    const NAME: &str = "wal-replay-matches-live";
+    if spec.arrival != ArrivalOrder::Shuffled {
+        return InvariantReport::ok(
+            NAME,
+            "skipped: corpus-order stream (checked on shuffled-arrival regimes)".to_string(),
+        );
+    }
+    let (base, tail) = spec.split_for_streaming(corpus);
+    if tail.is_empty() {
+        return InvariantReport::ok(NAME, "no held-out stream to serve".to_string());
+    }
+    let dir = std::env::temp_dir().join("iuad-scenarios-wal");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        return InvariantReport::fail(NAME, format!("cannot create WAL dir: {e}"));
+    }
+    let path = dir.join(format!("{}.wal", spec.name));
+    let wal = match iuad_serve::Wal::create(&path) {
+        Ok(wal) => wal,
+        Err(e) => return InvariantReport::fail(NAME, format!("cannot create WAL: {e}")),
+    };
+    // Mirror the daemon: publish epoch 1 up front, then every 16 papers.
+    let live = {
+        let mut state = iuad_serve::ServeState::new(Iuad::fit(&base, config), Some(wal));
+        state.publish();
+        for (batch, (paper, _)) in tail.iter().enumerate() {
+            state.ingest(paper.clone());
+            if (batch + 1) % 16 == 0 {
+                state.publish();
+            }
+        }
+        state
+    };
+    let records = match iuad_serve::read_wal(&path) {
+        Ok(records) => records,
+        Err(e) => return InvariantReport::fail(NAME, format!("cannot read WAL back: {e}")),
+    };
+    let replayed = iuad_serve::ServeState::replay(Iuad::fit(&base, config), &records);
+    std::fs::remove_file(&path).ok();
+    let (live_fp, replay_fp) = (live.fingerprint(), replayed.fingerprint());
+    if live_fp != replay_fp {
+        return InvariantReport::fail(
+            NAME,
+            format!(
+                "partition fingerprints diverge: live {} vs replayed {}",
+                iuad_serve::fingerprint_hex(live_fp),
+                iuad_serve::fingerprint_hex(replay_fp)
+            ),
+        );
+    }
+    if let Some(diff) = replayed.engine().diff_from(live.engine()) {
+        return InvariantReport::fail(NAME, format!("engines diverge after replay: {diff}"));
+    }
+    InvariantReport::ok(
+        NAME,
+        format!(
+            "{} papers replayed through {} epochs, state bit-identical ({})",
+            tail.len(),
+            live.epoch(),
+            iuad_serve::fingerprint_hex(live_fp)
         ),
     )
 }

@@ -1,0 +1,69 @@
+//! A minimal blocking client for the daemon's line-delimited JSON
+//! protocol. One request out, one response line back, per call.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use serde::Value;
+
+/// A connected protocol client.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to a daemon.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Send one request object; block for its response object.
+    pub fn call(&mut self, request: &Value) -> std::io::Result<Value> {
+        let json = serde_json::to_string(request)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        writeln!(self.writer, "{json}")?;
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection",
+            ));
+        }
+        serde_json::from_str(line.trim())
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Build a request object from `op` plus extra fields.
+    pub fn request(op: &str, fields: Vec<(&str, Value)>) -> Value {
+        let mut object = vec![("op".to_owned(), Value::Str(op.to_owned()))];
+        object.extend(fields.into_iter().map(|(k, v)| (k.to_owned(), v)));
+        Value::Object(object)
+    }
+}
+
+/// Read a named field of a response object.
+pub fn response_field<'v>(response: &'v Value, key: &str) -> Option<&'v Value> {
+    response
+        .as_object()?
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+}
+
+/// Whether a response carries `"ok": true`.
+pub fn response_ok(response: &Value) -> bool {
+    matches!(response_field(response, "ok"), Some(Value::Bool(true)))
+}
+
+/// Whether a response was load-shed (`"shed": true`).
+pub fn response_shed(response: &Value) -> bool {
+    matches!(response_field(response, "shed"), Some(Value::Bool(true)))
+}

@@ -1,0 +1,663 @@
+//! The request plane: a std-only TCP daemon over the epoch store.
+//!
+//! No async runtime — a nonblocking accept loop hands connections to a
+//! small worker pool over a channel; each worker speaks line-delimited
+//! JSON (one request object in, one response object out, per line).
+//! Queries (`whois`, `profile`, `name_group`, `stats`) are answered
+//! entirely from the worker's `Arc<Snapshot>` — no lock shared with
+//! ingest. Writes (`ingest`, `flush`) go to the single ingest thread over
+//! a *bounded* channel: a full queue sheds instead of building unbounded
+//! backlog.
+//!
+//! Hot-name skew is handled at admission: each `whois` holds a per-name
+//! slot while it scores (the expensive path — hub name groups have many
+//! candidates), and a name already at its in-flight cap gets an immediate
+//! `{"ok":false,"shed":true}` instead of queueing behind the hot group.
+//! Cold names never wait on a hot name's backlog, which is what bounds
+//! their tail latency (see the `serve-load` artefact).
+
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use iuad_core::Decision;
+use iuad_corpus::{NameId, Paper, PaperId, VenueId};
+use iuad_graph::VertexId;
+use rustc_hash::FxHashMap;
+use serde::Value;
+
+use crate::snapshot::EpochStore;
+use crate::state::ServeState;
+
+/// Daemon tuning knobs.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Worker threads answering queries.
+    pub workers: usize,
+    /// Papers per ingest batch: an epoch is published after this many
+    /// accepted papers (or on explicit `flush`).
+    pub batch_size: usize,
+    /// Per-name-group in-flight `whois` cap; requests beyond it shed.
+    pub max_inflight_per_name: u32,
+    /// Bound of the ingest queue; `ingest` requests shed when it is full.
+    pub ingest_queue: usize,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> DaemonConfig {
+        DaemonConfig {
+            workers: 4,
+            batch_size: 16,
+            max_inflight_per_name: 2,
+            ingest_queue: 64,
+        }
+    }
+}
+
+/// Monotonic request-plane counters (relaxed atomics; exact totals are
+/// read after shutdown, live reads are advisory).
+#[derive(Debug, Default)]
+pub struct DaemonStats {
+    /// Query requests received (`whois` / `profile` / `name_group`).
+    pub queries: AtomicU64,
+    /// Requests shed by admission control or the full ingest queue.
+    pub shed: AtomicU64,
+    /// Papers accepted into the network.
+    pub ingested: AtomicU64,
+    /// Malformed or failed requests.
+    pub errors: AtomicU64,
+}
+
+/// Per-name-group admission control: a counting semaphore per name.
+#[derive(Debug)]
+struct Admission {
+    max: u32,
+    counts: Mutex<FxHashMap<u32, u32>>,
+}
+
+impl Admission {
+    fn try_acquire(self: &Arc<Admission>, name: u32) -> Option<AdmissionGuard> {
+        let mut counts = self.counts.lock().expect("admission table poisoned");
+        let slot = counts.entry(name).or_insert(0);
+        if *slot >= self.max {
+            return None;
+        }
+        *slot += 1;
+        drop(counts);
+        Some(AdmissionGuard {
+            admission: Arc::clone(self),
+            name,
+        })
+    }
+}
+
+/// RAII release of an admission slot.
+struct AdmissionGuard {
+    admission: Arc<Admission>,
+    name: u32,
+}
+
+impl Drop for AdmissionGuard {
+    fn drop(&mut self) {
+        let mut counts = self
+            .admission
+            .counts
+            .lock()
+            .expect("admission table poisoned");
+        if let Some(slot) = counts.get_mut(&self.name) {
+            *slot -= 1;
+            if *slot == 0 {
+                counts.remove(&self.name);
+            }
+        }
+    }
+}
+
+enum IngestMsg {
+    Paper {
+        paper: Paper,
+        reply: mpsc::Sender<(PaperId, Vec<(NameId, Decision)>)>,
+    },
+    Flush {
+        reply: mpsc::Sender<u64>,
+    },
+}
+
+/// Everything a worker needs to answer requests.
+struct WorkerCtx {
+    store: Arc<EpochStore>,
+    stats: Arc<DaemonStats>,
+    admission: Arc<Admission>,
+    shutdown: Arc<AtomicBool>,
+    ingest_tx: SyncSender<IngestMsg>,
+}
+
+/// A running daemon: accept thread + worker pool + single ingest thread.
+///
+/// Dropping a `Daemon` without calling [`Daemon::shutdown`] leaks the
+/// threads until process exit; always shut down to reclaim the
+/// [`ServeState`] (and with it, a clean WAL tail).
+#[derive(Debug)]
+pub struct Daemon {
+    addr: SocketAddr,
+    store: Arc<EpochStore>,
+    stats: Arc<DaemonStats>,
+    shutdown: Arc<AtomicBool>,
+    accept: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+    ingest: JoinHandle<ServeState>,
+    ingest_tx: SyncSender<IngestMsg>,
+}
+
+impl std::fmt::Debug for WorkerCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerCtx").finish_non_exhaustive()
+    }
+}
+
+impl std::fmt::Debug for IngestMsg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestMsg::Paper { paper, .. } => f.debug_tuple("Paper").field(&paper.id).finish(),
+            IngestMsg::Flush { .. } => f.write_str("Flush"),
+        }
+    }
+}
+
+impl Daemon {
+    /// Publish epoch 1 from `state` and start serving on an ephemeral
+    /// loopback port (see [`Daemon::addr`]).
+    pub fn spawn(mut state: ServeState, cfg: &DaemonConfig) -> std::io::Result<Daemon> {
+        let store = Arc::new(EpochStore::new(state.publish()));
+        let stats = Arc::new(DaemonStats::default());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let admission = Arc::new(Admission {
+            max: cfg.max_inflight_per_name.max(1),
+            counts: Mutex::new(FxHashMap::default()),
+        });
+
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let (ingest_tx, ingest_rx) = mpsc::sync_channel::<IngestMsg>(cfg.ingest_queue.max(1));
+
+        let ingest = {
+            let store = Arc::clone(&store);
+            let batch = cfg.batch_size.max(1);
+            std::thread::spawn(move || ingest_loop(state, &ingest_rx, &store, batch))
+        };
+
+        let accept = {
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || accept_loop(&listener, &conn_tx, &shutdown))
+        };
+
+        let mut workers = Vec::with_capacity(cfg.workers.max(1));
+        for _ in 0..cfg.workers.max(1) {
+            let conn_rx = Arc::clone(&conn_rx);
+            let ctx = WorkerCtx {
+                store: Arc::clone(&store),
+                stats: Arc::clone(&stats),
+                admission: Arc::clone(&admission),
+                shutdown: Arc::clone(&shutdown),
+                ingest_tx: ingest_tx.clone(),
+            };
+            workers.push(std::thread::spawn(move || loop {
+                let next = conn_rx.lock().expect("connection queue poisoned").recv();
+                match next {
+                    Ok(stream) => serve_connection(stream, &ctx),
+                    Err(_) => break,
+                }
+            }));
+        }
+
+        Ok(Daemon {
+            addr,
+            store,
+            stats,
+            shutdown,
+            accept,
+            workers,
+            ingest,
+            ingest_tx,
+        })
+    }
+
+    /// The bound loopback address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The epoch store (tests read snapshots directly through it).
+    pub fn store(&self) -> &Arc<EpochStore> {
+        &self.store
+    }
+
+    /// Request-plane counters.
+    pub fn stats(&self) -> &Arc<DaemonStats> {
+        &self.stats
+    }
+
+    /// Whether a client requested shutdown over the protocol. A CLI owner
+    /// polls this and then calls [`Daemon::shutdown`] to reclaim the state.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting, drain in-flight requests, join every thread, and
+    /// hand back the live [`ServeState`]. Pending (unpublished) absorbed
+    /// papers remain in the state and in the WAL; a warm restart replays
+    /// them identically.
+    pub fn shutdown(self) -> ServeState {
+        let Daemon {
+            shutdown,
+            accept,
+            workers,
+            ingest,
+            ingest_tx,
+            ..
+        } = self;
+        shutdown.store(true, Ordering::Relaxed);
+        let _ = accept.join();
+        for worker in workers {
+            let _ = worker.join();
+        }
+        drop(ingest_tx); // last sender gone → ingest loop returns the state
+        ingest.join().expect("ingest thread panicked")
+    }
+}
+
+fn ingest_loop(
+    mut state: ServeState,
+    rx: &Receiver<IngestMsg>,
+    store: &EpochStore,
+    batch: usize,
+) -> ServeState {
+    let mut pending = 0usize;
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            IngestMsg::Paper { paper, reply } => {
+                let result = state.ingest(paper);
+                // Reply before publishing: the ingest is durable (WALed)
+                // already, and the publish belongs to no one request.
+                let _ = reply.send(result);
+                pending += 1;
+                if pending >= batch {
+                    store.publish(state.publish());
+                    pending = 0;
+                }
+            }
+            IngestMsg::Flush { reply } => {
+                let epoch = store.publish(state.publish());
+                pending = 0;
+                let _ = reply.send(epoch);
+            }
+        }
+    }
+    state
+}
+
+fn accept_loop(listener: &TcpListener, conn_tx: &mpsc::Sender<TcpStream>, shutdown: &AtomicBool) {
+    while !shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Nagle + delayed ACK would put a ~40ms floor under every
+                // one-line response; this is a request/response protocol,
+                // so always flush segments immediately.
+                let _ = stream.set_nodelay(true);
+                // The timeout keeps idle connections from pinning a worker
+                // past shutdown: the read loop re-checks the flag each tick.
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+                if conn_tx.send(stream).is_err() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn serve_connection(stream: TcpStream, ctx: &WorkerCtx) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        if ctx.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        match reader.read_line(&mut line) {
+            Ok(0) => return,
+            Ok(_) => {
+                let response = if line.trim().is_empty() {
+                    None
+                } else {
+                    Some(handle_request(line.trim(), ctx))
+                };
+                line.clear();
+                if let Some(response) = response {
+                    let Ok(json) = serde_json::to_string(&response) else {
+                        return;
+                    };
+                    if writeln!(writer, "{json}").is_err() {
+                        return;
+                    }
+                }
+            }
+            // Partial bytes read before the timeout stay in `line`; the
+            // retry appends the rest of the request to them.
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(_) => return,
+        }
+    }
+}
+
+fn handle_request(line: &str, ctx: &WorkerCtx) -> Value {
+    let Ok(request) = serde_json::from_str::<Value>(line) else {
+        ctx.stats.errors.fetch_add(1, Ordering::Relaxed);
+        return err_response("malformed request");
+    };
+    let Some(fields) = request.as_object() else {
+        ctx.stats.errors.fetch_add(1, Ordering::Relaxed);
+        return err_response("request must be an object");
+    };
+    match get_str(fields, "op") {
+        Some("whois") => whois(fields, ctx),
+        Some("profile") => profile(fields, ctx),
+        Some("name_group") => name_group(fields, ctx),
+        Some("ingest") => ingest(fields, ctx),
+        Some("flush") => flush(ctx),
+        Some("stats") => stats(ctx),
+        Some("shutdown") => {
+            ctx.shutdown.store(true, Ordering::Relaxed);
+            obj(vec![("ok", Value::Bool(true))])
+        }
+        _ => {
+            ctx.stats.errors.fetch_add(1, Ordering::Relaxed);
+            err_response("unknown or missing op")
+        }
+    }
+}
+
+fn whois(fields: &[(String, Value)], ctx: &WorkerCtx) -> Value {
+    ctx.stats.queries.fetch_add(1, Ordering::Relaxed);
+    let Some(name) = get_u64(fields, "name") else {
+        ctx.stats.errors.fetch_add(1, Ordering::Relaxed);
+        return err_response("whois requires a numeric `name`");
+    };
+    let name = name as u32;
+    let Some(_guard) = ctx.admission.try_acquire(name) else {
+        ctx.stats.shed.fetch_add(1, Ordering::Relaxed);
+        return shed_response();
+    };
+    let mut authors = vec![NameId(name)];
+    if let Some(coauthors) = get_u32_list(fields, "coauthors") {
+        authors.extend(coauthors.into_iter().map(NameId));
+    }
+    // The paper is transient — never registered — so the dummy id is fine:
+    // the query path derives evidence from the paper itself, not from the
+    // per-paper context tables.
+    let paper = Paper {
+        id: PaperId(u32::MAX),
+        authors,
+        title: get_str(fields, "title").unwrap_or("").to_owned(),
+        venue: VenueId(get_u64(fields, "venue").unwrap_or(0) as u32),
+        year: get_u64(fields, "year").unwrap_or(2000) as u16,
+    };
+    let snapshot = ctx.store.load();
+    let decision = snapshot.whois(&paper, 0);
+    decision_fields(snapshot.epoch, &decision)
+}
+
+fn profile(fields: &[(String, Value)], ctx: &WorkerCtx) -> Value {
+    ctx.stats.queries.fetch_add(1, Ordering::Relaxed);
+    let Some(vertex) = get_u64(fields, "vertex") else {
+        ctx.stats.errors.fetch_add(1, Ordering::Relaxed);
+        return err_response("profile requires a numeric `vertex`");
+    };
+    let snapshot = ctx.store.load();
+    match snapshot.profile(VertexId(vertex as u32)) {
+        Some(view) => obj(vec![
+            ("ok", Value::Bool(true)),
+            ("epoch", Value::U64(snapshot.epoch)),
+            ("name", Value::U64(u64::from(view.name.0))),
+            ("mentions", Value::U64(view.mentions as u64)),
+            ("papers", Value::U64(view.papers as u64)),
+            (
+                "collaborators",
+                Value::Array(
+                    view.collaborators
+                        .iter()
+                        .map(|v| Value::U64(u64::from(v.0)))
+                        .collect(),
+                ),
+            ),
+        ]),
+        None => err_response("vertex out of range"),
+    }
+}
+
+fn name_group(fields: &[(String, Value)], ctx: &WorkerCtx) -> Value {
+    ctx.stats.queries.fetch_add(1, Ordering::Relaxed);
+    let Some(name) = get_u64(fields, "name") else {
+        ctx.stats.errors.fetch_add(1, Ordering::Relaxed);
+        return err_response("name_group requires a numeric `name`");
+    };
+    let snapshot = ctx.store.load();
+    let vertices = snapshot
+        .name_group(NameId(name as u32))
+        .iter()
+        .map(|v| Value::U64(u64::from(v.0)))
+        .collect();
+    obj(vec![
+        ("ok", Value::Bool(true)),
+        ("epoch", Value::U64(snapshot.epoch)),
+        ("vertices", Value::Array(vertices)),
+    ])
+}
+
+fn ingest(fields: &[(String, Value)], ctx: &WorkerCtx) -> Value {
+    let Some(authors) = get_u32_list(fields, "authors") else {
+        ctx.stats.errors.fetch_add(1, Ordering::Relaxed);
+        return err_response("ingest requires an `authors` array");
+    };
+    if authors.is_empty() {
+        ctx.stats.errors.fetch_add(1, Ordering::Relaxed);
+        return err_response("ingest requires a non-empty `authors` array");
+    }
+    let paper = Paper {
+        id: PaperId(0), // rewritten by the ingest thread
+        authors: authors.into_iter().map(NameId).collect(),
+        title: get_str(fields, "title").unwrap_or("").to_owned(),
+        venue: VenueId(get_u64(fields, "venue").unwrap_or(0) as u32),
+        year: get_u64(fields, "year").unwrap_or(2000) as u16,
+    };
+    let (reply_tx, reply_rx) = mpsc::channel();
+    match ctx.ingest_tx.try_send(IngestMsg::Paper {
+        paper,
+        reply: reply_tx,
+    }) {
+        Ok(()) => {}
+        Err(TrySendError::Full(_)) => {
+            ctx.stats.shed.fetch_add(1, Ordering::Relaxed);
+            return shed_response();
+        }
+        Err(TrySendError::Disconnected(_)) => return err_response("ingest unavailable"),
+    }
+    match reply_rx.recv() {
+        Ok((id, decisions)) => {
+            ctx.stats.ingested.fetch_add(1, Ordering::Relaxed);
+            let rendered = decisions
+                .iter()
+                .map(|(name, d)| {
+                    let mut entry = vec![("name", Value::U64(u64::from(name.0)))];
+                    entry.extend(decision_kind_fields(d));
+                    obj(entry)
+                })
+                .collect();
+            obj(vec![
+                ("ok", Value::Bool(true)),
+                ("paper", Value::U64(u64::from(id.0))),
+                ("decisions", Value::Array(rendered)),
+            ])
+        }
+        Err(_) => {
+            ctx.stats.errors.fetch_add(1, Ordering::Relaxed);
+            err_response("ingest thread unavailable")
+        }
+    }
+}
+
+fn flush(ctx: &WorkerCtx) -> Value {
+    let (reply_tx, reply_rx) = mpsc::channel();
+    if ctx
+        .ingest_tx
+        .send(IngestMsg::Flush { reply: reply_tx })
+        .is_err()
+    {
+        return err_response("ingest unavailable");
+    }
+    match reply_rx.recv() {
+        Ok(epoch) => obj(vec![
+            ("ok", Value::Bool(true)),
+            ("epoch", Value::U64(epoch)),
+        ]),
+        Err(_) => err_response("ingest thread unavailable"),
+    }
+}
+
+fn stats(ctx: &WorkerCtx) -> Value {
+    let snapshot = ctx.store.load();
+    let held = ctx
+        .store
+        .epochs_still_held()
+        .into_iter()
+        .map(Value::U64)
+        .collect();
+    obj(vec![
+        ("ok", Value::Bool(true)),
+        ("epoch", Value::U64(snapshot.epoch)),
+        (
+            "queries",
+            Value::U64(ctx.stats.queries.load(Ordering::Relaxed)),
+        ),
+        ("shed", Value::U64(ctx.stats.shed.load(Ordering::Relaxed))),
+        (
+            "ingested",
+            Value::U64(ctx.stats.ingested.load(Ordering::Relaxed)),
+        ),
+        (
+            "errors",
+            Value::U64(ctx.stats.errors.load(Ordering::Relaxed)),
+        ),
+        ("retained_epochs", Value::Array(held)),
+    ])
+}
+
+fn decision_fields(epoch: u64, decision: &Decision) -> Value {
+    let mut fields = vec![("ok", Value::Bool(true)), ("epoch", Value::U64(epoch))];
+    fields.extend(decision_kind_fields(decision));
+    obj(fields)
+}
+
+fn decision_kind_fields(decision: &Decision) -> Vec<(&'static str, Value)> {
+    match *decision {
+        Decision::Existing { vertex, score } => vec![
+            ("decision", Value::Str("existing".to_owned())),
+            ("vertex", Value::U64(u64::from(vertex.0))),
+            ("score", Value::F64(score)),
+        ],
+        Decision::NewAuthor { best_score } => {
+            let mut fields = vec![("decision", Value::Str("new".to_owned()))];
+            if let Some(score) = best_score {
+                fields.push(("score", Value::F64(score)));
+            }
+            fields
+        }
+    }
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+fn err_response(message: &str) -> Value {
+    obj(vec![
+        ("ok", Value::Bool(false)),
+        ("error", Value::Str(message.to_owned())),
+    ])
+}
+
+fn shed_response() -> Value {
+    obj(vec![
+        ("ok", Value::Bool(false)),
+        ("shed", Value::Bool(true)),
+    ])
+}
+
+fn get<'v>(fields: &'v [(String, Value)], key: &str) -> Option<&'v Value> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn get_u64(fields: &[(String, Value)], key: &str) -> Option<u64> {
+    match get(fields, key)? {
+        Value::U64(n) => Some(*n),
+        _ => None,
+    }
+}
+
+fn get_str<'v>(fields: &'v [(String, Value)], key: &str) -> Option<&'v str> {
+    match get(fields, key)? {
+        Value::Str(s) => Some(s),
+        _ => None,
+    }
+}
+
+fn get_u32_list(fields: &[(String, Value)], key: &str) -> Option<Vec<u32>> {
+    match get(fields, key)? {
+        Value::Array(items) => items
+            .iter()
+            .map(|v| match v {
+                Value::U64(n) => Some(*n as u32),
+                _ => None,
+            })
+            .collect(),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admission_caps_per_name_and_releases_on_drop() {
+        let admission = Arc::new(Admission {
+            max: 2,
+            counts: Mutex::new(FxHashMap::default()),
+        });
+        let first = admission.try_acquire(7).expect("slot 1");
+        let second = admission.try_acquire(7).expect("slot 2");
+        assert!(admission.try_acquire(7).is_none(), "cap is per name");
+        let other = admission.try_acquire(9).expect("other names unaffected");
+        drop(second);
+        let third = admission.try_acquire(7).expect("slot freed on drop");
+        drop((first, third, other));
+        assert!(
+            admission.counts.lock().unwrap().is_empty(),
+            "fully released names leave no table entries"
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! The serving tier: a long-lived daemon that ingests a paper stream while
+//! concurrently answering who-is / author-profile / name-group queries.
+//!
+//! The paper frames reconstruction as a one-shot fit, but its headline
+//! efficiency claim is the *incremental* interface (§V-E): new mentions are
+//! disambiguated against the fitted network without retraining. This crate
+//! turns that primitive into a service with three load-bearing pieces:
+//!
+//! * **Epoch snapshots** ([`Snapshot`], [`EpochStore`]): readers hold an
+//!   `Arc<Snapshot>` — partition, frozen [`iuad_core::SimilarityEngine`],
+//!   CSR topology — at epoch N while the ingest thread mutates its own
+//!   live state. Publishing epoch N+1 re-canonicalizes the live engine via
+//!   [`iuad_core::SimilarityEngine::derive`] over an identity
+//!   [`iuad_core::MergePlan`] and swaps the pointer; an old epoch retires
+//!   once its last reader drops.
+//! * **Write-ahead log** ([`Wal`]): every accepted paper is appended with
+//!   its assignment decisions before the ingest reply, and every epoch
+//!   publish leaves a marker. Warm restart replays the log — applying the
+//!   *recorded* decisions, re-publishing at the recorded boundaries — and
+//!   reproduces the pre-shutdown state bit for bit (fingerprint-equal
+//!   partition, `diff_from`-equal engine).
+//! * **Request plane** ([`Daemon`]): std-only (no async runtime) — a TCP
+//!   listener, a small worker pool over a channel, line-delimited JSON.
+//!   Hot-name query skew (scale-free collaboration networks concentrate
+//!   mentions on hub names) is handled by per-name-group admission
+//!   control: over-cap queries get a `shed` response instead of queueing
+//!   behind the hot group, keeping tail latency bounded for everyone else.
+//!
+//! The wire protocol and WAL format are documented in the repository
+//! README ("Serving" section).
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod daemon;
+pub mod fingerprint;
+pub mod load;
+pub mod snapshot;
+pub mod state;
+pub mod wal;
+
+pub use client::{response_field, response_ok, response_shed, Client};
+pub use daemon::{Daemon, DaemonConfig, DaemonStats};
+pub use fingerprint::{fingerprint_hex, partition_fingerprint};
+pub use load::{run_load, run_smoke, LoadReport, LoadSpec, SmokeOutcome};
+pub use snapshot::{EpochStore, ProfileView, Snapshot};
+pub use state::ServeState;
+pub use wal::{read_wal, Wal, WalDecision, WalRecord};

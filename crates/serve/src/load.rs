@@ -1,0 +1,448 @@
+//! Load shaping and the CI smoke: drive a live daemon over loopback with
+//! a hot-name-skewed query mix plus a concurrent paper stream, and report
+//! shed rates and tail latency split by hot vs cold names.
+//!
+//! Scale-free collaboration networks concentrate mentions on hub names,
+//! so production query traffic is Zipf-shaped too: one hot name can
+//! receive a large fraction of all who-is traffic. [`run_load`] reproduces
+//! that shape deterministically (seeded choice sequence; wall-clock enters
+//! only through latency measurement) and reports what admission control
+//! buys: the hot name sheds, cold names keep a bounded p99.
+//!
+//! [`run_smoke`] is the end-to-end gate CI runs on every push: seeded
+//! corpus, live daemon, ≥50 streamed papers with 200 concurrent mixed
+//! queries, zero protocol errors, ≥2 epoch advances, clean shutdown, and
+//! a warm restart from the WAL that reproduces the live state bit for bit.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use iuad_core::{Iuad, IuadConfig};
+use iuad_corpus::{Corpus, CorpusConfig, Paper};
+use rustc_hash::FxHashMap;
+use serde::{Serialize, Value};
+
+use crate::client::{response_ok, response_shed, Client};
+use crate::daemon::{Daemon, DaemonConfig};
+use crate::state::ServeState;
+use crate::wal::{read_wal, Wal};
+
+/// Shape of a [`run_load`] experiment.
+#[derive(Debug, Clone)]
+pub struct LoadSpec {
+    /// Generator: number of true authors.
+    pub num_authors: usize,
+    /// Generator: number of papers.
+    pub num_papers: usize,
+    /// Master seed (corpus and query-choice sequence derive from it).
+    pub seed: u64,
+    /// Papers held out and streamed while querying.
+    pub stream_tail: usize,
+    /// Total `whois` queries across all threads.
+    pub queries: usize,
+    /// Concurrent query clients.
+    pub query_threads: usize,
+    /// Fraction of queries aimed at the hottest name.
+    pub hot_fraction: f64,
+    /// Daemon knobs under test.
+    pub config: DaemonConfig,
+}
+
+impl Default for LoadSpec {
+    fn default() -> LoadSpec {
+        LoadSpec {
+            num_authors: 200,
+            num_papers: 700,
+            seed: 0x10ad_0001,
+            stream_tail: 60,
+            queries: 600,
+            query_threads: 8,
+            hot_fraction: 0.7,
+            config: DaemonConfig::default(),
+        }
+    }
+}
+
+/// What a load run measured.
+#[derive(Debug, Clone, Serialize)]
+pub struct LoadReport {
+    /// Queries aimed at the hottest name.
+    pub hot_queries: u64,
+    /// Queries aimed at everyone else.
+    pub cold_queries: u64,
+    /// Hot-name queries shed by admission control.
+    pub hot_shed: u64,
+    /// Cold-name queries shed (should stay ~0 — sheds are per name).
+    pub cold_shed: u64,
+    /// Hot-name served latency, microseconds.
+    pub hot_p50_us: u64,
+    /// Hot-name served tail latency, microseconds.
+    pub hot_p99_us: u64,
+    /// Cold-name served latency, microseconds.
+    pub cold_p50_us: u64,
+    /// Cold-name served tail latency, microseconds (the bounded one).
+    pub cold_p99_us: u64,
+    /// Papers streamed in during the run.
+    pub ingested: u64,
+    /// Epochs published by the end of the run.
+    pub final_epoch: u64,
+    /// Daemon-side protocol errors (must be 0).
+    pub errors: u64,
+}
+
+/// What the CI smoke observed. See [`SmokeOutcome::passed`].
+#[derive(Debug, Clone, Serialize)]
+pub struct SmokeOutcome {
+    /// Papers streamed through `ingest` (gate: ≥ 50).
+    pub papers_streamed: u64,
+    /// Queries answered (gate: ≥ 200).
+    pub queries: u64,
+    /// Requests shed (allowed; sheds are not errors).
+    pub shed: u64,
+    /// Daemon-side protocol errors (gate: 0).
+    pub errors: u64,
+    /// Client-observed failures (gate: 0).
+    pub client_errors: u64,
+    /// Epoch at shutdown (gate: ≥ 2).
+    pub final_epoch: u64,
+    /// Partition fingerprint of the live state at shutdown.
+    pub live_fingerprint: u64,
+    /// Partition fingerprint after WAL warm restart (gate: equal).
+    pub replay_fingerprint: u64,
+    /// Engine difference live vs replayed, `None` when bit-identical
+    /// (gate: `None`).
+    pub engine_diff: Option<String>,
+}
+
+impl SmokeOutcome {
+    /// All gates at once.
+    pub fn passed(&self) -> bool {
+        self.papers_streamed >= 50
+            && self.queries >= 200
+            && self.errors == 0
+            && self.client_errors == 0
+            && self.final_epoch >= 2
+            && self.live_fingerprint == self.replay_fingerprint
+            && self.engine_diff.is_none()
+    }
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn ingest_request(paper: &Paper) -> Value {
+    Client::request(
+        "ingest",
+        vec![
+            (
+                "authors",
+                Value::Array(
+                    paper
+                        .authors
+                        .iter()
+                        .map(|n| Value::U64(u64::from(n.0)))
+                        .collect(),
+                ),
+            ),
+            ("title", Value::Str(paper.title.clone())),
+            ("venue", Value::U64(u64::from(paper.venue.0))),
+            ("year", Value::U64(u64::from(paper.year))),
+        ],
+    )
+}
+
+/// Stream one paper, retrying (briefly) when the ingest queue sheds.
+fn ingest_with_retry(client: &mut Client, paper: &Paper) -> bool {
+    let request = ingest_request(paper);
+    for _ in 0..500 {
+        let Ok(response) = client.call(&request) else {
+            return false;
+        };
+        if response_ok(&response) {
+            return true;
+        }
+        if !response_shed(&response) {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    false
+}
+
+/// Names ranked by how often they appear on the corpus' papers; the head
+/// of the ranking is the "hot" name of the skewed query mix.
+fn names_by_frequency(corpus: &Corpus) -> Vec<u32> {
+    let mut freq: FxHashMap<u32, usize> = FxHashMap::default();
+    for paper in &corpus.papers {
+        for name in &paper.authors {
+            *freq.entry(name.0).or_insert(0) += 1;
+        }
+    }
+    let mut ranked: Vec<(u32, usize)> = freq.into_iter().collect();
+    ranked.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    ranked.into_iter().map(|(name, _)| name).collect()
+}
+
+fn whois_request(name: u32) -> Value {
+    Client::request(
+        "whois",
+        vec![
+            ("name", Value::U64(u64::from(name))),
+            ("title", Value::Str("stable collaboration probe".to_owned())),
+            ("venue", Value::U64(0)),
+            ("year", Value::U64(2021)),
+        ],
+    )
+}
+
+/// Run a hot-name-skewed load experiment against a freshly fitted daemon.
+///
+/// # Panics
+/// On daemon spawn or connection failure (loopback networking is assumed
+/// to work wherever this runs).
+pub fn run_load(spec: &LoadSpec) -> LoadReport {
+    let corpus = Corpus::generate(&CorpusConfig {
+        num_authors: spec.num_authors,
+        num_papers: spec.num_papers,
+        seed: spec.seed,
+        ..CorpusConfig::default()
+    });
+    let (base, tail) = corpus.split_tail(spec.stream_tail.min(corpus.papers.len() / 2));
+    let iuad = Iuad::fit(&base, &IuadConfig::default());
+    let daemon =
+        Daemon::spawn(ServeState::new(iuad, None), &spec.config).expect("bind loopback listener");
+    let addr = daemon.addr();
+
+    let ranked = names_by_frequency(&base);
+    let hot = ranked[0];
+    let cold: Vec<u32> = ranked.into_iter().skip(1).collect();
+
+    // (is_hot, served latency in µs or None when shed)
+    let samples: Vec<(bool, Option<u64>)> = std::thread::scope(|scope| {
+        let tail = &tail;
+        let cold = &cold;
+        let ingester = scope.spawn(move || {
+            let mut client = Client::connect(addr).expect("connect ingest client");
+            for (paper, _) in tail {
+                assert!(ingest_with_retry(&mut client, paper), "paper stream failed");
+            }
+        });
+        let threads = spec.query_threads.max(1);
+        let per_thread = spec.queries / threads;
+        let workers: Vec<_> = (0..threads)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut rng = spec.seed ^ ((t as u64 + 1) << 32);
+                    let mut out = Vec::with_capacity(per_thread);
+                    let mut client = Client::connect(addr).expect("connect query client");
+                    for _ in 0..per_thread {
+                        let roll = splitmix(&mut rng);
+                        let uniform = (roll >> 11) as f64 / (1u64 << 53) as f64;
+                        let is_hot = cold.is_empty() || uniform < spec.hot_fraction;
+                        let name = if is_hot {
+                            hot
+                        } else {
+                            cold[(roll >> 33) as usize % cold.len()]
+                        };
+                        let request = whois_request(name);
+                        let started = Instant::now();
+                        let response = client.call(&request).expect("whois call failed");
+                        let micros = started.elapsed().as_micros() as u64;
+                        if response_shed(&response) {
+                            out.push((is_hot, None));
+                        } else {
+                            out.push((is_hot, Some(micros)));
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        ingester.join().expect("ingest thread panicked");
+        workers
+            .into_iter()
+            .flat_map(|w| w.join().expect("query thread panicked"))
+            .collect()
+    });
+
+    let mut client = Client::connect(addr).expect("connect control client");
+    client
+        .call(&Client::request("flush", vec![]))
+        .expect("flush failed");
+
+    let mut hot_served: Vec<u64> = Vec::new();
+    let mut cold_served: Vec<u64> = Vec::new();
+    let (mut hot_queries, mut cold_queries, mut hot_shed, mut cold_shed) = (0u64, 0u64, 0u64, 0u64);
+    for (is_hot, latency) in samples {
+        match (is_hot, latency) {
+            (true, Some(us)) => {
+                hot_queries += 1;
+                hot_served.push(us);
+            }
+            (true, None) => {
+                hot_queries += 1;
+                hot_shed += 1;
+            }
+            (false, Some(us)) => {
+                cold_queries += 1;
+                cold_served.push(us);
+            }
+            (false, None) => {
+                cold_queries += 1;
+                cold_shed += 1;
+            }
+        }
+    }
+    hot_served.sort_unstable();
+    cold_served.sort_unstable();
+
+    let errors = daemon.stats().errors.load(Ordering::Relaxed);
+    let ingested = daemon.stats().ingested.load(Ordering::Relaxed);
+    let state = daemon.shutdown();
+
+    LoadReport {
+        hot_queries,
+        cold_queries,
+        hot_shed,
+        cold_shed,
+        hot_p50_us: percentile(&hot_served, 0.50),
+        hot_p99_us: percentile(&hot_served, 0.99),
+        cold_p50_us: percentile(&cold_served, 0.50),
+        cold_p99_us: percentile(&cold_served, 0.99),
+        ingested,
+        final_epoch: state.epoch(),
+        errors,
+    }
+}
+
+/// The end-to-end CI smoke (see module docs). Uses a WAL under the OS
+/// temp directory; the file is removed on success.
+///
+/// # Panics
+/// On daemon spawn, connection, or WAL I/O failure.
+pub fn run_smoke() -> SmokeOutcome {
+    let dir = std::env::temp_dir().join("iuad-serve-smoke");
+    std::fs::create_dir_all(&dir).expect("create smoke dir");
+    let wal_path = dir.join("smoke.wal");
+
+    let corpus = Corpus::generate(&CorpusConfig {
+        num_authors: 150,
+        num_papers: 560,
+        seed: 0x10ad_5eed,
+        ..CorpusConfig::default()
+    });
+    let (base, tail) = corpus.split_tail(55);
+    let fit = || Iuad::fit(&base, &IuadConfig::default());
+
+    let state = ServeState::new(fit(), Some(Wal::create(&wal_path).expect("create WAL")));
+    let num_vertices = state.network().graph.num_vertices();
+    let daemon = Daemon::spawn(state, &DaemonConfig::default()).expect("bind loopback listener");
+    let addr = daemon.addr();
+    let names = names_by_frequency(&base);
+
+    let client_errors = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        let tail = &tail;
+        let names = &names;
+        let client_errors = &client_errors;
+        let ingester = scope.spawn(move || {
+            let mut client = Client::connect(addr).expect("connect ingest client");
+            for (paper, _) in tail {
+                if !ingest_with_retry(&mut client, paper) {
+                    client_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+        let queriers: Vec<_> = (0..2)
+            .map(|t: u64| {
+                scope.spawn(move || {
+                    let mut rng = 0x5e7e_c7ed ^ t;
+                    let mut client = Client::connect(addr).expect("connect query client");
+                    for i in 0..100usize {
+                        let roll = splitmix(&mut rng);
+                        let request = match i % 4 {
+                            0 | 1 => whois_request(names[roll as usize % names.len()]),
+                            2 => Client::request(
+                                "profile",
+                                vec![("vertex", Value::U64(roll % num_vertices as u64))],
+                            ),
+                            _ => Client::request(
+                                "name_group",
+                                vec![(
+                                    "name",
+                                    Value::U64(u64::from(names[roll as usize % names.len()])),
+                                )],
+                            ),
+                        };
+                        match client.call(&request) {
+                            Ok(response) => {
+                                if !response_ok(&response) && !response_shed(&response) {
+                                    client_errors.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            Err(_) => {
+                                client_errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        ingester.join().expect("ingest thread panicked");
+        for q in queriers {
+            q.join().expect("query thread panicked");
+        }
+    });
+
+    // Two explicit epoch advances on top of whatever batching published.
+    let mut client = Client::connect(addr).expect("connect control client");
+    for _ in 0..2 {
+        let response = client
+            .call(&Client::request("flush", vec![]))
+            .expect("flush failed");
+        if !response_ok(&response) {
+            client_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    let stats = daemon.stats();
+    let queries = stats.queries.load(Ordering::Relaxed);
+    let shed = stats.shed.load(Ordering::Relaxed);
+    let errors = stats.errors.load(Ordering::Relaxed);
+    let live = daemon.shutdown();
+    let live_fingerprint = live.fingerprint();
+
+    let records = read_wal(&wal_path).expect("read WAL back");
+    let replayed = ServeState::replay(fit(), &records);
+    let replay_fingerprint = replayed.fingerprint();
+    let engine_diff = replayed.engine().diff_from(live.engine());
+
+    let outcome = SmokeOutcome {
+        papers_streamed: live.papers_ingested(),
+        queries,
+        shed,
+        errors,
+        client_errors: client_errors.load(Ordering::Relaxed),
+        final_epoch: live.epoch(),
+        live_fingerprint,
+        replay_fingerprint,
+        engine_diff,
+    };
+    if outcome.passed() {
+        std::fs::remove_file(&wal_path).ok();
+    }
+    outcome
+}

@@ -1,0 +1,253 @@
+//! The ingest side: live mutable state, epoch publishing, WAL replay.
+//!
+//! [`ServeState`] owns the fitted pipeline's parts. Ingest streams papers
+//! through decide-then-absorb (the §V-E path, evidence computed once per
+//! slot exactly like [`iuad_core::Iuad::ingest_batch`]); each accepted
+//! paper is WAL-logged with its decisions before the caller sees the
+//! reply. Publishing an epoch re-canonicalizes the live engine with one
+//! [`SimilarityEngine::derive`] pass over an identity
+//! [`MergePlan`] whose `coalesced` set is the vertices touched since the
+//! last publish: absorbed-into profiles are rebuilt exactly from their
+//! mentions, the invalidated structural caches are recomputed inside the
+//! dirty region, and everything else carries over bit-for-bit. The
+//! published engine is therefore identical to a from-scratch build over
+//! the live network — and the live engine is reset to a clone of it, so
+//! subsequent decisions score against canonical state.
+
+use std::path::Path;
+
+use iuad_core::{
+    absorb_mention, decide_with_evidence, CacheScope, Decision, Gcn, Iuad, IuadConfig,
+    MentionEvidence, MergePlan, ProfileContext, Scn, SimilarityEngine,
+};
+use iuad_corpus::{NameId, Paper, PaperId};
+use iuad_graph::VertexId;
+
+use crate::fingerprint::partition_fingerprint;
+use crate::snapshot::Snapshot;
+use crate::wal::{Wal, WalDecision, WalRecord};
+
+/// Live mutable serving state (owned by the daemon's ingest thread).
+#[derive(Debug)]
+pub struct ServeState {
+    config: IuadConfig,
+    ctx: ProfileContext,
+    gcn: Gcn,
+    network: Scn,
+    /// `Option` so publish can move the engine through
+    /// [`SimilarityEngine::derive`] (which consumes it) and put the
+    /// canonical result back. Always `Some` between method calls.
+    engine: Option<SimilarityEngine>,
+    /// Vertices absorbed into since the last publish.
+    touched: Vec<VertexId>,
+    /// Next streamed paper id: ids continue the base corpus contiguously
+    /// (incoming papers have their id rewritten), keeping the context's
+    /// per-paper tables index-addressable.
+    next_paper: u32,
+    epoch: u64,
+    papers_ingested: u64,
+    wal: Option<Wal>,
+}
+
+impl ServeState {
+    /// Wrap a fitted pipeline. `wal`, when given, receives every accepted
+    /// paper and epoch marker from here on.
+    pub fn new(iuad: Iuad, wal: Option<Wal>) -> ServeState {
+        let parts = iuad.into_state();
+        ServeState {
+            next_paper: parts.ctx.paper_years.len() as u32,
+            config: parts.config,
+            ctx: parts.ctx,
+            gcn: parts.gcn,
+            network: parts.network,
+            engine: Some(parts.engine),
+            touched: Vec::new(),
+            epoch: 0,
+            papers_ingested: 0,
+            wal,
+        }
+    }
+
+    /// Attach (or replace) the WAL after construction — the replay path
+    /// builds the state first, then reopens the log for appending.
+    pub fn set_wal(&mut self, wal: Option<Wal>) {
+        self.wal = wal;
+    }
+
+    /// Ingest one paper: rewrite its id to the next slot, register its
+    /// evidence with the context, decide-and-absorb every author slot, and
+    /// WAL the record. Returns the assigned id and the per-slot decisions.
+    ///
+    /// # Panics
+    /// On WAL write failure: an acknowledged ingest must be durable, so a
+    /// broken log is fatal rather than silently lossy.
+    pub fn ingest(&mut self, mut paper: Paper) -> (PaperId, Vec<(NameId, Decision)>) {
+        paper.id = PaperId(self.next_paper);
+        self.next_paper += 1;
+        self.ctx.register_paper(&paper);
+        let decisions = self.apply(&paper, None);
+        if let Some(wal) = &mut self.wal {
+            let logged = decisions
+                .iter()
+                .map(|(_, d)| WalDecision::from_decision(d))
+                .collect();
+            wal.append(&WalRecord::paper(paper.clone(), logged))
+                .expect("WAL append failed; refusing to acknowledge ingest");
+        }
+        self.papers_ingested += 1;
+        (paper.id, decisions)
+    }
+
+    /// Decide (or take the recorded decisions) and absorb every slot of
+    /// `paper`, tracking touched vertices for the next publish.
+    fn apply(
+        &mut self,
+        paper: &Paper,
+        recorded: Option<&[WalDecision]>,
+    ) -> Vec<(NameId, Decision)> {
+        (0..paper.authors.len())
+            .map(|slot| {
+                let name = paper.authors[slot];
+                let engine = self.engine.as_ref().expect("engine present");
+                let evidence = MentionEvidence::gather(&self.ctx, engine, paper, slot);
+                let decision = match recorded {
+                    Some(recs) => recs[slot].to_decision().expect("malformed decision in WAL"),
+                    None => match (&self.gcn.model, self.network.by_name.get(&name)) {
+                        (Some(model), Some(candidates)) => decide_with_evidence(
+                            &self.network,
+                            &self.ctx,
+                            engine,
+                            model,
+                            self.config.gcn.delta,
+                            &evidence,
+                            candidates,
+                        ),
+                        _ => Decision::NewAuthor { best_score: None },
+                    },
+                };
+                let v = absorb_mention(
+                    &mut self.network,
+                    self.engine.as_mut().expect("engine present"),
+                    paper,
+                    slot,
+                    decision,
+                    &evidence.profile,
+                );
+                self.touched.push(v);
+                (name, decision)
+            })
+            .collect()
+    }
+
+    /// Publish the next epoch: canonicalize the live engine over the
+    /// touched set, mark the WAL, and return a frozen [`Snapshot`].
+    pub fn publish(&mut self) -> Snapshot {
+        let plan = MergePlan::refresh(self.network.graph.num_vertices(), &self.touched);
+        self.touched.clear();
+        let old = self.engine.take().expect("engine present");
+        let published = SimilarityEngine::derive(
+            old,
+            &plan,
+            &self.network,
+            &self.ctx,
+            CacheScope::All,
+            &self.config.parallel,
+        );
+        self.engine = Some(published.clone());
+        self.epoch += 1;
+        if let Some(wal) = &mut self.wal {
+            wal.append(&WalRecord::epoch(self.epoch))
+                .expect("WAL append failed at epoch publish");
+        }
+        Snapshot {
+            epoch: self.epoch,
+            network: self.network.clone(),
+            csr: self.network.csr(),
+            ctx: self.ctx.clone(),
+            engine: published,
+            model: self.gcn.model.clone(),
+            delta: self.config.gcn.delta,
+        }
+    }
+
+    /// Warm restart: re-apply a WAL against a fresh fit of the base
+    /// corpus. Paper records absorb the *recorded* decisions (no
+    /// re-deciding — though on canonical state the decision rule would
+    /// agree, the log is the ground truth); epoch markers re-publish at
+    /// the exact recorded boundaries, which is what makes the replayed
+    /// engine bit-identical to the live one (publish canonicalizes merged
+    /// profiles, so cadence matters). The replayed state fingerprints
+    /// equal to the pre-shutdown live state; the scenario invariant
+    /// `wal-replay-matches-live` asserts this per regime.
+    pub fn replay(iuad: Iuad, records: &[WalRecord]) -> ServeState {
+        let mut state = ServeState::new(iuad, None);
+        for record in records {
+            match record.t.as_str() {
+                "paper" => {
+                    let paper = record.paper.as_ref().expect("paper record without paper");
+                    let decisions = record
+                        .decisions
+                        .as_ref()
+                        .expect("paper record without decisions");
+                    assert_eq!(
+                        paper.id,
+                        PaperId(state.next_paper),
+                        "WAL does not continue this base corpus"
+                    );
+                    state.next_paper += 1;
+                    state.ctx.register_paper(paper);
+                    state.apply(paper, Some(decisions));
+                    state.papers_ingested += 1;
+                }
+                "epoch" => {
+                    let snapshot = state.publish();
+                    debug_assert_eq!(Some(snapshot.epoch), record.epoch, "epoch drift in replay");
+                }
+                other => panic!("unknown WAL record tag `{other}`"),
+            }
+        }
+        state
+    }
+
+    /// Replay a WAL file at `path` (see [`ServeState::replay`]).
+    pub fn replay_file(iuad: Iuad, path: &Path) -> std::io::Result<ServeState> {
+        let records = crate::wal::read_wal(path)?;
+        Ok(ServeState::replay(iuad, &records))
+    }
+
+    /// Canonical partition fingerprint of the live network.
+    pub fn fingerprint(&self) -> u64 {
+        partition_fingerprint(&self.network)
+    }
+
+    /// The live network (read-only; tests compare replayed vs live).
+    pub fn network(&self) -> &Scn {
+        &self.network
+    }
+
+    /// The live engine (read-only; tests compare via
+    /// [`SimilarityEngine::diff_from`]).
+    pub fn engine(&self) -> &SimilarityEngine {
+        self.engine.as_ref().expect("engine present")
+    }
+
+    /// Extended context (read-only).
+    pub fn ctx(&self) -> &ProfileContext {
+        &self.ctx
+    }
+
+    /// Last published epoch (0 before the first publish).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Papers accepted since the fit (not counting the base corpus).
+    pub fn papers_ingested(&self) -> u64 {
+        self.papers_ingested
+    }
+
+    /// Total papers known (base corpus + ingested).
+    pub fn num_papers(&self) -> u64 {
+        u64::from(self.next_paper)
+    }
+}

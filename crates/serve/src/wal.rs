@@ -1,0 +1,237 @@
+//! Write-ahead persistence: an append-only log of accepted papers, their
+//! assignment decisions, and epoch-publish markers.
+//!
+//! Framing is length-prefixed JSON lines: `LEN<TAB>JSON\n`, where `LEN` is
+//! the byte length of the JSON payload. The prefix makes torn tails
+//! detectable — a record whose payload is shorter than its declared length
+//! (the process died mid-write) is dropped along with everything after it,
+//! instead of being half-parsed.
+//!
+//! Replay applies the *recorded* decisions rather than re-deciding, and
+//! re-publishes at the recorded epoch markers, so a warm restart walks the
+//! exact operation sequence of the live daemon and lands on a bit-identical
+//! state (see [`crate::ServeState::replay`]).
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use iuad_core::Decision;
+use iuad_corpus::Paper;
+use iuad_graph::VertexId;
+use serde::{Deserialize, Serialize};
+
+/// One assignment decision as logged. The vendored `serde_derive` supports
+/// structs only, so the [`Decision`] enum is flattened into a tagged
+/// struct: `kind` is `"existing"` or `"new"`, `vertex` accompanies
+/// `"existing"`, and `score` carries the posterior log-odds (the best
+/// insufficient score for `"new"`, absent when there was no candidate).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WalDecision {
+    /// `"existing"` or `"new"`.
+    pub kind: String,
+    /// Matched vertex index for `"existing"`.
+    pub vertex: Option<u32>,
+    /// Posterior log-odds (best insufficient score for `"new"`).
+    pub score: Option<f64>,
+}
+
+impl WalDecision {
+    /// Flatten a [`Decision`] for logging.
+    pub fn from_decision(d: &Decision) -> WalDecision {
+        match *d {
+            Decision::Existing { vertex, score } => WalDecision {
+                kind: "existing".to_owned(),
+                vertex: Some(vertex.0),
+                score: Some(score),
+            },
+            Decision::NewAuthor { best_score } => WalDecision {
+                kind: "new".to_owned(),
+                vertex: None,
+                score: best_score,
+            },
+        }
+    }
+
+    /// Reconstruct the [`Decision`] this record was flattened from.
+    pub fn to_decision(&self) -> Result<Decision, String> {
+        match self.kind.as_str() {
+            "existing" => {
+                let vertex = self
+                    .vertex
+                    .ok_or_else(|| "existing decision without vertex".to_owned())?;
+                Ok(Decision::Existing {
+                    vertex: VertexId(vertex),
+                    score: self.score.unwrap_or(0.0),
+                })
+            }
+            "new" => Ok(Decision::NewAuthor {
+                best_score: self.score,
+            }),
+            other => Err(format!("unknown decision kind `{other}`")),
+        }
+    }
+}
+
+/// One log record: either an accepted paper (`t == "paper"`, with the
+/// daemon-assigned id baked into `paper` and one decision per author slot)
+/// or an epoch-publish marker (`t == "epoch"`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WalRecord {
+    /// Record tag: `"paper"` or `"epoch"`.
+    pub t: String,
+    /// Epoch number, for `"epoch"` markers.
+    pub epoch: Option<u64>,
+    /// The accepted paper (id already rewritten by the daemon).
+    pub paper: Option<Paper>,
+    /// Per-slot decisions, parallel to `paper.authors`.
+    pub decisions: Option<Vec<WalDecision>>,
+}
+
+impl WalRecord {
+    /// A paper record.
+    pub fn paper(paper: Paper, decisions: Vec<WalDecision>) -> WalRecord {
+        WalRecord {
+            t: "paper".to_owned(),
+            epoch: None,
+            paper: Some(paper),
+            decisions: Some(decisions),
+        }
+    }
+
+    /// An epoch-publish marker.
+    pub fn epoch(epoch: u64) -> WalRecord {
+        WalRecord {
+            t: "epoch".to_owned(),
+            epoch: Some(epoch),
+            paper: None,
+            decisions: None,
+        }
+    }
+}
+
+/// An open write-ahead log. Every append is flushed to the OS before
+/// returning, so an acknowledged ingest survives a process kill (the
+/// durability unit is the record, not the batch).
+#[derive(Debug)]
+pub struct Wal {
+    writer: BufWriter<File>,
+}
+
+impl Wal {
+    /// Create (truncate) a log at `path`.
+    pub fn create(path: &Path) -> std::io::Result<Wal> {
+        Ok(Wal {
+            writer: BufWriter::new(File::create(path)?),
+        })
+    }
+
+    /// Open an existing log for appending (warm restart continues the
+    /// same file after replay).
+    pub fn append_to(path: &Path) -> std::io::Result<Wal> {
+        Ok(Wal {
+            writer: BufWriter::new(File::options().append(true).open(path)?),
+        })
+    }
+
+    /// Append one record and flush.
+    pub fn append(&mut self, record: &WalRecord) -> std::io::Result<()> {
+        let json = serde_json::to_string(record)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        writeln!(self.writer, "{}\t{}", json.len(), json)?;
+        self.writer.flush()
+    }
+}
+
+/// Read every intact record of a log. Tolerant of a torn tail: the first
+/// record whose length prefix is malformed, whose payload is shorter than
+/// declared, or whose JSON fails to parse ends the replay — everything
+/// before it is returned.
+pub fn read_wal(path: &Path) -> std::io::Result<Vec<WalRecord>> {
+    let mut reader = BufReader::new(File::open(path)?);
+    let mut records = Vec::new();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        let Some((len_str, json)) = line.split_once('\t') else {
+            break; // torn or foreign tail
+        };
+        let Ok(declared) = len_str.parse::<usize>() else {
+            break;
+        };
+        let payload = json.strip_suffix('\n').unwrap_or(json);
+        if payload.len() != declared {
+            break; // the write was cut short
+        }
+        let Ok(record) = serde_json::from_str::<WalRecord>(payload) else {
+            break;
+        };
+        records.push(record);
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iuad_corpus::{NameId, PaperId, VenueId};
+
+    fn sample_paper(id: u32) -> Paper {
+        Paper {
+            id: PaperId(id),
+            authors: vec![NameId(3), NameId(7)],
+            title: "stable collaboration \"networks\"".to_owned(),
+            venue: VenueId(2),
+            year: 2021,
+        }
+    }
+
+    #[test]
+    fn roundtrip_and_torn_tail() {
+        let dir = std::env::temp_dir().join("iuad-serve-wal-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.wal");
+        {
+            let mut wal = Wal::create(&path).unwrap();
+            wal.append(&WalRecord::epoch(1)).unwrap();
+            wal.append(&WalRecord::paper(
+                sample_paper(10),
+                vec![
+                    WalDecision::from_decision(&Decision::Existing {
+                        vertex: VertexId(4),
+                        score: 1.25,
+                    }),
+                    WalDecision::from_decision(&Decision::NewAuthor { best_score: None }),
+                ],
+            ))
+            .unwrap();
+        }
+        let full = read_wal(&path).unwrap();
+        assert_eq!(full.len(), 2);
+        assert_eq!(full[0].t, "epoch");
+        assert_eq!(full[0].epoch, Some(1));
+        let decisions = full[1].decisions.as_ref().unwrap();
+        assert_eq!(
+            decisions[0].to_decision().unwrap(),
+            Decision::Existing {
+                vertex: VertexId(4),
+                score: 1.25
+            }
+        );
+        assert_eq!(
+            decisions[1].to_decision().unwrap(),
+            Decision::NewAuthor { best_score: None }
+        );
+        assert_eq!(full[1].paper.as_ref().unwrap().id, PaperId(10));
+
+        // Tear the tail mid-record: the intact prefix still replays.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+        let torn = read_wal(&path).unwrap();
+        assert_eq!(torn.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+}

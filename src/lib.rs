@@ -15,4 +15,5 @@ pub use iuad_fpgrowth as fpgrowth;
 pub use iuad_graph as graph;
 pub use iuad_mixture as mixture;
 pub use iuad_scenarios as scenarios;
+pub use iuad_serve as serve;
 pub use iuad_text as text;

@@ -109,6 +109,7 @@ const GOLDEN_SCENARIO_FINGERPRINTS: &[(&str, &str)] = &[
     ("dense-cliques", "0xf6dedcb3f82efd75"),
     ("topic-blur", "0x831787ebded1a225"),
     ("streaming-churn", "0x0f01b8155d04953c"),
+    ("hot-name-query-skew", "0x48195829565d4901"),
 ];
 
 #[test]
@@ -157,6 +158,53 @@ fn stage1_network_is_identical_across_thread_counts() {
     assert_eq!(a.stage1_assignments(), b.stage1_assignments());
     assert_eq!(a.scn.graph.num_vertices(), b.scn.graph.num_vertices());
     assert_eq!(a.scn.scrs, b.scn.scrs);
+}
+
+/// The daemon's amortized ingest path must be indistinguishable from the
+/// incremental loop it replaces: `ingest_batch` shares per-mention
+/// evidence between the decision and the absorb, but every decision, the
+/// mention assignment, and the similarity caches have to come out bit
+/// for bit the same as paper-at-a-time `disambiguate` + `absorb`.
+#[test]
+fn ingest_batch_matches_paper_at_a_time_streaming() {
+    let c = Corpus::generate(&CorpusConfig {
+        num_authors: 120,
+        num_papers: 400,
+        seed: 0x1b47,
+        ..Default::default()
+    });
+    let (base, tail) = c.split_tail(40);
+    let config = IuadConfig::default();
+
+    let mut one_by_one = Iuad::fit(&base, &config);
+    let mut streamed_decisions = Vec::new();
+    for (paper, _) in &tail {
+        for slot in 0..paper.authors.len() {
+            let decision = one_by_one.disambiguate(paper, slot);
+            one_by_one.absorb(paper, slot, decision);
+            streamed_decisions.push((paper.authors[slot], decision));
+        }
+    }
+
+    let mut batched = Iuad::fit(&base, &config);
+    let papers: Vec<_> = tail.iter().map(|(p, _)| p.clone()).collect();
+    let batched_decisions: Vec<_> = batched
+        .ingest_batch(&papers)
+        .into_iter()
+        .flatten()
+        .collect();
+
+    assert_eq!(streamed_decisions, batched_decisions, "decisions diverged");
+    assert_eq!(
+        fingerprint(&one_by_one),
+        fingerprint(&batched),
+        "post-stream networks diverged"
+    );
+    assert_eq!(
+        one_by_one.engine().diff_from(batched.engine()),
+        None,
+        "post-stream similarity caches diverged"
+    );
 }
 
 #[test]

@@ -135,6 +135,11 @@ fn scenario_streaming_churn() {
 }
 
 #[test]
+fn scenario_hot_name_query_skew() {
+    check("hot-name-query-skew");
+}
+
+#[test]
 fn matrix_covers_every_golden_and_vice_versa() {
     let matrix = iuad_suite::corpus::scenario_matrix();
     assert!(matrix.len() >= 8, "matrix shrank below 8 scenarios");

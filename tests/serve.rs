@@ -1,0 +1,244 @@
+//! Integration tests for the serving tier: epoch-snapshot semantics,
+//! write-ahead-log warm restarts, and the TCP daemon end to end.
+//!
+//! The epoch contract under test: a reader holding an `Arc<Snapshot>` at
+//! epoch N keeps a bit-frozen, internally consistent view across any
+//! number of publishes (no torn reads — the partition, CSR, and caches in
+//! one snapshot all belong to the same epoch), and a superseded epoch's
+//! memory is reclaimed exactly when its last reader drops.
+
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+use iuad_suite::core::{CacheScope, Iuad, IuadConfig, SimilarityEngine};
+use iuad_suite::corpus::{Corpus, CorpusConfig};
+use iuad_suite::serve::{
+    read_wal, response_field, response_ok, response_shed, Client, Daemon, DaemonConfig, EpochStore,
+    ServeState, Wal,
+};
+use serde::Value;
+
+fn corpus() -> Corpus {
+    Corpus::generate(&CorpusConfig {
+        num_authors: 120,
+        num_papers: 420,
+        seed: 0x5e7e,
+        ..Default::default()
+    })
+}
+
+/// A scratch path under the system temp dir; any stale file is removed.
+fn scratch_wal(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("iuad-serve-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+#[test]
+fn snapshot_epochs_stay_frozen_and_retire_with_their_readers() {
+    let (base, tail) = corpus().split_tail(40);
+    let mut state = ServeState::new(Iuad::fit(&base, &IuadConfig::default()), None);
+    let store = EpochStore::new(state.publish());
+
+    let reader = store.load();
+    assert_eq!(reader.epoch, 1);
+    let frozen_fp = reader.fingerprint();
+    let frozen_vertices = reader.network.graph.num_vertices();
+    let frozen_assignments = reader.network.assignment.len();
+
+    // Publish epoch 2 while the reader is live.
+    let half = tail.len() / 2;
+    for (paper, _) in &tail[..half] {
+        state.ingest(paper.clone());
+    }
+    store.publish(state.publish());
+
+    // The reader's view is frozen at epoch 1, internally consistent: the
+    // partition it started with is the partition it still sees, and its
+    // CSR covers exactly its own vertices (no torn read of epoch-2 state).
+    assert_eq!(reader.epoch, 1);
+    assert_eq!(reader.fingerprint(), frozen_fp);
+    assert_eq!(reader.network.graph.num_vertices(), frozen_vertices);
+    assert_eq!(reader.network.assignment.len(), frozen_assignments);
+    assert_eq!(reader.csr.num_vertices(), frozen_vertices);
+
+    // New loads see epoch 2 with the absorbed papers...
+    let current = store.load();
+    assert_eq!(current.epoch, 2);
+    assert!(current.network.assignment.len() > frozen_assignments);
+    // ...and the store reports epoch 1 as superseded-but-pinned.
+    assert_eq!(store.epochs_still_held(), vec![1]);
+
+    // Epoch 2's snapshot is released before the next publish, so only the
+    // still-pinned epoch 1 survives retirement.
+    drop(current);
+    for (paper, _) in &tail[half..] {
+        state.ingest(paper.clone());
+    }
+    store.publish(state.publish());
+    assert_eq!(store.epochs_still_held(), vec![1]);
+
+    drop(reader);
+    assert!(
+        store.epochs_still_held().is_empty(),
+        "dropping the last reader must reclaim the epoch"
+    );
+}
+
+#[test]
+fn wal_replay_reproduces_live_state_bit_identically() {
+    let (base, tail) = corpus().split_tail(48);
+    let config = IuadConfig::default();
+    let path = scratch_wal("replay.wal");
+
+    let wal = Wal::create(&path).expect("create WAL");
+    let mut live = ServeState::new(Iuad::fit(&base, &config), Some(wal));
+    live.publish();
+    for (i, (paper, _)) in tail.iter().enumerate() {
+        live.ingest(paper.clone());
+        if (i + 1) % 8 == 0 {
+            live.publish();
+        }
+    }
+    live.publish();
+
+    let records = read_wal(&path).expect("read WAL");
+    let replayed = ServeState::replay(Iuad::fit(&base, &config), &records);
+    assert_eq!(replayed.epoch(), live.epoch());
+    assert_eq!(replayed.papers_ingested(), live.papers_ingested());
+    assert_eq!(replayed.fingerprint(), live.fingerprint());
+    assert_eq!(
+        replayed.engine().diff_from(live.engine()),
+        None,
+        "replayed similarity caches must be bit-identical to the live ones"
+    );
+
+    // The epoch-publish path (merge-plan refresh + engine derivation) must
+    // match a from-scratch engine build over the same network: a stale
+    // cache surviving absorb would silently skew every later decision.
+    let rebuilt = SimilarityEngine::build(
+        live.network(),
+        live.ctx(),
+        live.engine().alpha(),
+        live.engine().wl_iters(),
+        CacheScope::All,
+    );
+    assert_eq!(live.engine().diff_from(&rebuilt), None);
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn daemon_serves_queries_while_streaming_and_warm_restarts() {
+    let (base, tail) = corpus().split_tail(50);
+    let config = IuadConfig::default();
+    let path = scratch_wal("daemon.wal");
+    let fit = || Iuad::fit(&base, &config);
+
+    let wal = Wal::create(&path).expect("create WAL");
+    let state = ServeState::new(fit(), Some(wal));
+    let daemon = Daemon::spawn(
+        state,
+        &DaemonConfig {
+            batch_size: 8,
+            ..DaemonConfig::default()
+        },
+    )
+    .expect("spawn daemon");
+    let addr = daemon.addr();
+
+    // Reader thread: mixed queries concurrent with the ingest stream below.
+    // Shed responses are legal under admission control; anything else must
+    // be ok.
+    let queries = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).expect("connect query client");
+        let mut served = 0u32;
+        for i in 0..120u64 {
+            let request = if i % 2 == 0 {
+                Client::request("name_group", vec![("name", Value::U64(i % 40))])
+            } else {
+                Client::request(
+                    "whois",
+                    vec![("name", Value::U64(i % 40)), ("year", Value::U64(2005))],
+                )
+            };
+            let response = client.call(&request).expect("query round-trip");
+            assert!(
+                response_ok(&response) || response_shed(&response),
+                "unexpected query response: {response:?}"
+            );
+            if response_ok(&response) {
+                served += 1;
+            }
+        }
+        served
+    });
+
+    let mut client = Client::connect(addr).expect("connect ingest client");
+    for (paper, _) in &tail {
+        let authors: Vec<Value> = paper
+            .authors
+            .iter()
+            .map(|n| Value::U64(u64::from(n.0)))
+            .collect();
+        let request = Client::request(
+            "ingest",
+            vec![
+                ("authors", Value::Array(authors)),
+                ("title", Value::Str(paper.title.clone())),
+                ("venue", Value::U64(u64::from(paper.venue.0))),
+                ("year", Value::U64(u64::from(paper.year))),
+            ],
+        );
+        // The bounded ingest queue may momentarily shed; retry until
+        // accepted so every tail paper lands exactly once.
+        loop {
+            let response = client.call(&request).expect("ingest round-trip");
+            if response_ok(&response) {
+                assert!(response_field(&response, "paper").is_some());
+                break;
+            }
+            assert!(response_shed(&response), "ingest failed: {response:?}");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+    let flush = client
+        .call(&Client::request("flush", vec![]))
+        .expect("flush round-trip");
+    assert!(response_ok(&flush));
+
+    let served = queries.join().expect("query thread");
+    assert!(served > 0, "no query was served");
+
+    let stats = daemon.stats();
+    assert_eq!(
+        stats.errors.load(Ordering::Relaxed),
+        0,
+        "request plane reported errors"
+    );
+    assert_eq!(stats.ingested.load(Ordering::Relaxed), tail.len() as u64);
+    let final_epoch = daemon.store().load().epoch;
+    assert!(
+        final_epoch >= 2,
+        "expected at least two published epochs, got {final_epoch}"
+    );
+
+    let state = daemon.shutdown();
+    assert_eq!(state.papers_ingested(), tail.len() as u64);
+    let live_fp = state.fingerprint();
+    drop(state); // close the WAL before reopening it
+
+    // Warm restart: replaying the WAL over a fresh fit of the same base
+    // corpus must land on the exact pre-shutdown partition.
+    let records = read_wal(&path).expect("read WAL");
+    let replayed = ServeState::replay(fit(), &records);
+    assert_eq!(
+        replayed.fingerprint(),
+        live_fp,
+        "warm restart diverged from the pre-shutdown state"
+    );
+
+    let _ = std::fs::remove_file(&path);
+}

@@ -89,6 +89,18 @@ pub fn __find<'v>(fields: &'v [(String, Value)], key: &str) -> Option<&'v Value>
 // Primitive impls
 // ---------------------------------------------------------------------------
 
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 macro_rules! impl_unsigned {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
