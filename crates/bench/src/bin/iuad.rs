@@ -28,7 +28,7 @@ use iuad_eval::{pairwise_confusion, Confusion, Table};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  iuad generate [--papers N] [--authors N] [--seed S] <out.jsonl>\n  iuad fit <corpus.jsonl> [--eta N] [--delta X] [--bench-json PATH]\n  iuad evaluate <corpus.jsonl> [--eta N] [--delta X] [--bench-json PATH]\n  iuad serve <corpus.jsonl> [--wal PATH] [--workers N] [--batch N] [--max-inflight N] [--queue N] [--eta N] [--delta X]\n  iuad serve-smoke"
+        "usage:\n  iuad generate [--papers N] [--authors N] [--seed S] <out.jsonl>\n  iuad fit <corpus.jsonl> [--eta N] [--delta X] [--bench-json PATH]\n  iuad evaluate <corpus.jsonl> [--eta N] [--delta X] [--bench-json PATH]\n  iuad serve <corpus.jsonl> [--wal PATH] [--fsync true] [--workers N] [--batch N] [--max-inflight N] [--queue N] [--eta N] [--delta X]\n  iuad serve-smoke"
     );
     exit(2)
 }
@@ -198,10 +198,12 @@ fn main() {
                 iuad.network.graph.num_vertices(),
                 corpus.papers.len()
             );
+            let fsync = args.get("fsync").unwrap_or(false);
             let state = match args.get::<PathBuf>("wal") {
                 Some(path) if path.exists() => {
                     // Warm restart: replay the recorded stream, then keep
-                    // appending to the same log.
+                    // appending to the same log (append_to truncates any
+                    // torn tail a crash left behind).
                     let records = match iuad_serve::read_wal(&path) {
                         Ok(r) => r,
                         Err(e) => {
@@ -217,7 +219,10 @@ fn main() {
                         state.epoch()
                     );
                     match iuad_serve::Wal::append_to(&path) {
-                        Ok(wal) => state.set_wal(Some(wal)),
+                        Ok(mut wal) => {
+                            wal.set_fsync(fsync);
+                            state.set_wal(Some(wal));
+                        }
                         Err(e) => {
                             eprintln!("error reopening WAL {}: {e}", path.display());
                             exit(1);
@@ -226,7 +231,10 @@ fn main() {
                     state
                 }
                 Some(path) => match iuad_serve::Wal::create(&path) {
-                    Ok(wal) => iuad_serve::ServeState::new(iuad, Some(wal)),
+                    Ok(mut wal) => {
+                        wal.set_fsync(fsync);
+                        iuad_serve::ServeState::new(iuad, Some(wal))
+                    }
                     Err(e) => {
                         eprintln!("error creating WAL {}: {e}", path.display());
                         exit(1);

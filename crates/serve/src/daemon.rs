@@ -2,7 +2,13 @@
 //!
 //! No async runtime — a nonblocking accept loop hands connections to a
 //! small worker pool over a channel; each worker speaks line-delimited
-//! JSON (one request object in, one response object out, per line).
+//! JSON (one request object in, one response object out, per line). A
+//! worker does not own its connection for life: when the connection goes
+//! idle (no partial request in flight) and another connection is waiting
+//! in the queue, the worker rotates the idle one to the back and picks up
+//! the waiter — so more clients than workers still all make progress,
+//! with per-request latency degrading to the rotation granularity (the
+//! read-timeout tick) instead of a starved client waiting unboundedly.
 //! Queries (`whois`, `profile`, `name_group`, `stats`) are answered
 //! entirely from the worker's `Arc<Snapshot>` — no lock shared with
 //! ingest. Writes (`ingest`, `flush`) go to the single ingest thread over
@@ -19,7 +25,7 @@
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TryRecvError, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -196,12 +202,14 @@ impl Daemon {
 
         let accept = {
             let shutdown = Arc::clone(&shutdown);
+            let conn_tx = conn_tx.clone();
             std::thread::spawn(move || accept_loop(&listener, &conn_tx, &shutdown))
         };
 
         let mut workers = Vec::with_capacity(cfg.workers.max(1));
         for _ in 0..cfg.workers.max(1) {
             let conn_rx = Arc::clone(&conn_rx);
+            let conn_tx = conn_tx.clone();
             let ctx = WorkerCtx {
                 store: Arc::clone(&store),
                 stats: Arc::clone(&stats),
@@ -209,12 +217,8 @@ impl Daemon {
                 shutdown: Arc::clone(&shutdown),
                 ingest_tx: ingest_tx.clone(),
             };
-            workers.push(std::thread::spawn(move || loop {
-                let next = conn_rx.lock().expect("connection queue poisoned").recv();
-                match next {
-                    Ok(stream) => serve_connection(stream, &ctx),
-                    Err(_) => break,
-                }
+            workers.push(std::thread::spawn(move || {
+                worker_loop(&conn_rx, &conn_tx, &ctx);
             }));
         }
 
@@ -312,8 +316,10 @@ fn accept_loop(listener: &TcpListener, conn_tx: &mpsc::Sender<TcpStream>, shutdo
                 // one-line response; this is a request/response protocol,
                 // so always flush segments immediately.
                 let _ = stream.set_nodelay(true);
-                // The timeout keeps idle connections from pinning a worker
-                // past shutdown: the read loop re-checks the flag each tick.
+                // The timeout keeps idle connections from pinning a worker:
+                // each tick the read loop re-checks the shutdown flag and
+                // offers the idle connection back to the queue if other
+                // connections are waiting for a worker.
                 let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
                 if conn_tx.send(stream).is_err() {
                     break;
@@ -327,19 +333,81 @@ fn accept_loop(listener: &TcpListener, conn_tx: &mpsc::Sender<TcpStream>, shutdo
     }
 }
 
-fn serve_connection(stream: TcpStream, ctx: &WorkerCtx) {
+/// What became of a connection a worker was serving.
+enum ConnState {
+    /// Closed, errored, or shutting down — nothing left to serve.
+    Closed,
+    /// Idle between requests; may be rotated back into the queue.
+    Idle(TcpStream),
+}
+
+/// Worker body: serve connections off the shared queue, rotating an idle
+/// connection to the back whenever another one is waiting, so clients
+/// beyond the worker count are multiplexed instead of starved.
+fn worker_loop(
+    conn_rx: &Mutex<Receiver<TcpStream>>,
+    conn_tx: &mpsc::Sender<TcpStream>,
+    ctx: &WorkerCtx,
+) {
+    let mut current: Option<TcpStream> = None;
+    loop {
+        let stream = match current.take() {
+            Some(stream) => stream,
+            None => {
+                // recv with a timeout: the workers themselves hold sender
+                // clones (for rotation), so disconnection alone can't end
+                // the loop — the shutdown flag has to.
+                let next = conn_rx
+                    .lock()
+                    .expect("connection queue poisoned")
+                    .recv_timeout(Duration::from_millis(100));
+                match next {
+                    Ok(stream) => stream,
+                    Err(RecvTimeoutError::Timeout) => {
+                        if ctx.shutdown.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        continue;
+                    }
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        };
+        match serve_connection(stream, ctx) {
+            ConnState::Closed => {}
+            ConnState::Idle(stream) => {
+                let waiting = conn_rx
+                    .lock()
+                    .expect("connection queue poisoned")
+                    .try_recv();
+                match waiting {
+                    // Someone is waiting: rotate the idle connection to
+                    // the back of the queue and serve the waiter.
+                    Ok(next) => {
+                        let _ = conn_tx.send(stream);
+                        current = Some(next);
+                    }
+                    Err(TryRecvError::Empty) => current = Some(stream),
+                    Err(TryRecvError::Disconnected) => break,
+                }
+            }
+        }
+    }
+}
+
+fn serve_connection(stream: TcpStream, ctx: &WorkerCtx) -> ConnState {
     let Ok(read_half) = stream.try_clone() else {
-        return;
+        return ConnState::Closed;
     };
     let mut reader = BufReader::new(read_half);
     let mut writer = stream;
     let mut line = String::new();
     loop {
         if ctx.shutdown.load(Ordering::Relaxed) {
-            return;
+            return ConnState::Closed;
         }
         match reader.read_line(&mut line) {
-            Ok(0) => return,
+            Ok(0) => return ConnState::Closed,
             Ok(_) => {
                 let response = if line.trim().is_empty() {
                     None
@@ -349,17 +417,24 @@ fn serve_connection(stream: TcpStream, ctx: &WorkerCtx) {
                 line.clear();
                 if let Some(response) = response {
                     let Ok(json) = serde_json::to_string(&response) else {
-                        return;
+                        return ConnState::Closed;
                     };
                     if writeln!(writer, "{json}").is_err() {
-                        return;
+                        return ConnState::Closed;
                     }
                 }
             }
             // Partial bytes read before the timeout stay in `line`; the
-            // retry appends the rest of the request to them.
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
-            Err(_) => return,
+            // retry appends the rest of the request to them. Only a fully
+            // idle connection — no partial line, nothing buffered — is
+            // eligible for rotation (dropping the reader mid-request
+            // would lose the buffered bytes).
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if line.is_empty() && reader.buffer().is_empty() {
+                    return ConnState::Idle(writer);
+                }
+            }
+            Err(_) => return ConnState::Closed,
         }
     }
 }

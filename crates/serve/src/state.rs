@@ -194,14 +194,32 @@ impl ServeState {
                         PaperId(state.next_paper),
                         "WAL does not continue this base corpus"
                     );
+                    assert_eq!(
+                        decisions.len(),
+                        paper.authors.len(),
+                        "WAL record for paper {} carries {} decisions for {} author slots",
+                        paper.id.0,
+                        decisions.len(),
+                        paper.authors.len()
+                    );
                     state.next_paper += 1;
                     state.ctx.register_paper(paper);
                     state.apply(paper, Some(decisions));
                     state.papers_ingested += 1;
                 }
                 "epoch" => {
+                    // Hard assert (replay is a cold path): a marker that
+                    // disagrees with the re-publish cadence means the log
+                    // does not describe the state we are rebuilding, which
+                    // would silently void the bit-identity contract.
                     let snapshot = state.publish();
-                    debug_assert_eq!(Some(snapshot.epoch), record.epoch, "epoch drift in replay");
+                    assert_eq!(
+                        Some(snapshot.epoch),
+                        record.epoch,
+                        "epoch drift in replay: re-published epoch {} but the WAL marker records {:?}",
+                        snapshot.epoch,
+                        record.epoch
+                    );
                 }
                 other => panic!("unknown WAL record tag `{other}`"),
             }

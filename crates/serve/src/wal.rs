@@ -15,6 +15,7 @@
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
+use std::str;
 
 use iuad_core::Decision;
 use iuad_corpus::Paper;
@@ -112,10 +113,14 @@ impl WalRecord {
 
 /// An open write-ahead log. Every append is flushed to the OS before
 /// returning, so an acknowledged ingest survives a process kill (the
-/// durability unit is the record, not the batch).
+/// durability unit is the record, not the batch). Surviving an *OS*
+/// crash or power loss additionally needs per-record fsync — see
+/// [`Wal::set_fsync`]; without it the durability claim is scoped to
+/// process death only.
 #[derive(Debug)]
 pub struct Wal {
     writer: BufWriter<File>,
+    fsync: bool,
 }
 
 impl Wal {
@@ -123,39 +128,72 @@ impl Wal {
     pub fn create(path: &Path) -> std::io::Result<Wal> {
         Ok(Wal {
             writer: BufWriter::new(File::create(path)?),
+            fsync: false,
         })
     }
 
     /// Open an existing log for appending (warm restart continues the
-    /// same file after replay).
+    /// same file after replay). A torn tail left by a crash is truncated
+    /// away first: appending after the garbage would make the next replay
+    /// stop at the tear and silently drop every record written after it.
     pub fn append_to(path: &Path) -> std::io::Result<Wal> {
+        let (_, intact) = scan_wal(path)?;
+        let file = File::options().write(true).open(path)?;
+        file.set_len(intact)?;
+        drop(file);
         Ok(Wal {
             writer: BufWriter::new(File::options().append(true).open(path)?),
+            fsync: false,
         })
     }
 
-    /// Append one record and flush.
+    /// When enabled, every append also `sync_data`s the file, extending
+    /// record durability from process kill to OS crash / power loss — at
+    /// the cost of an fsync of latency on every acknowledged ingest.
+    pub fn set_fsync(&mut self, enabled: bool) {
+        self.fsync = enabled;
+    }
+
+    /// Append one record and flush (and fsync, if [`Wal::set_fsync`]).
     pub fn append(&mut self, record: &WalRecord) -> std::io::Result<()> {
         let json = serde_json::to_string(record)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
         writeln!(self.writer, "{}\t{}", json.len(), json)?;
-        self.writer.flush()
+        self.writer.flush()?;
+        if self.fsync {
+            self.writer.get_ref().sync_data()?;
+        }
+        Ok(())
     }
 }
 
 /// Read every intact record of a log. Tolerant of a torn tail: the first
 /// record whose length prefix is malformed, whose payload is shorter than
-/// declared, or whose JSON fails to parse ends the replay — everything
-/// before it is returned.
+/// declared, whose bytes are not UTF-8, or whose JSON fails to parse ends
+/// the replay — everything before it is returned.
 pub fn read_wal(path: &Path) -> std::io::Result<Vec<WalRecord>> {
+    Ok(scan_wal(path)?.0)
+}
+
+/// Walk the log, returning the intact records and the byte length of the
+/// intact prefix (the offset a torn tail must be truncated to before the
+/// file is reopened for append).
+fn scan_wal(path: &Path) -> std::io::Result<(Vec<WalRecord>, u64)> {
     let mut reader = BufReader::new(File::open(path)?);
     let mut records = Vec::new();
-    let mut line = String::new();
+    let mut intact = 0u64;
+    let mut buf = Vec::new();
     loop {
-        line.clear();
-        if reader.read_line(&mut line)? == 0 {
+        buf.clear();
+        let n = reader.read_until(b'\n', &mut buf)?;
+        if n == 0 {
             break;
         }
+        // A tear can land mid-codepoint, so decode per line, tolerantly,
+        // rather than failing the whole read on invalid UTF-8.
+        let Ok(line) = str::from_utf8(&buf) else {
+            break;
+        };
         let Some((len_str, json)) = line.split_once('\t') else {
             break; // torn or foreign tail
         };
@@ -170,8 +208,9 @@ pub fn read_wal(path: &Path) -> std::io::Result<Vec<WalRecord>> {
             break;
         };
         records.push(record);
+        intact += n as u64;
     }
-    Ok(records)
+    Ok((records, intact))
 }
 
 #[cfg(test)]
@@ -232,6 +271,40 @@ mod tests {
         std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
         let torn = read_wal(&path).unwrap();
         assert_eq!(torn.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn append_after_torn_tail_truncates_garbage() {
+        let dir = std::env::temp_dir().join("iuad-serve-wal-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn-append.wal");
+        {
+            let mut wal = Wal::create(&path).unwrap();
+            wal.append(&WalRecord::epoch(1)).unwrap();
+            wal.append(&WalRecord::paper(
+                sample_paper(10),
+                vec![WalDecision::from_decision(&Decision::NewAuthor {
+                    best_score: None,
+                })],
+            ))
+            .unwrap();
+        }
+        // Crash mid-write of the second record.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+
+        // Warm restart: reopen for append, then keep logging. Without the
+        // truncation, epoch 2 would land after the torn bytes and the next
+        // replay would stop at the tear and lose it.
+        {
+            let mut wal = Wal::append_to(&path).unwrap();
+            wal.append(&WalRecord::epoch(2)).unwrap();
+        }
+        let records = read_wal(&path).unwrap();
+        assert_eq!(records.len(), 2, "torn record dropped, new record kept");
+        assert_eq!(records[0].epoch, Some(1));
+        assert_eq!(records[1].epoch, Some(2));
         std::fs::remove_file(&path).ok();
     }
 }

@@ -131,6 +131,42 @@ fn wal_replay_reproduces_live_state_bit_identically() {
 }
 
 #[test]
+fn more_clients_than_workers_all_make_progress() {
+    let (base, _) = corpus().split_tail(50);
+    let state = ServeState::new(Iuad::fit(&base, &IuadConfig::default()), None);
+    let daemon = Daemon::spawn(
+        state,
+        &DaemonConfig {
+            workers: 1,
+            ..DaemonConfig::default()
+        },
+    )
+    .expect("spawn daemon");
+    let addr = daemon.addr();
+
+    // With a single worker, the second long-lived connection only makes
+    // progress if idle connections rotate back into the queue instead of
+    // pinning the worker for their lifetime.
+    let ping = Client::request("name_group", vec![("name", Value::U64(1))]);
+    let mut first = Client::connect(addr).expect("connect first client");
+    assert!(response_ok(
+        &first.call(&ping).expect("first client served")
+    ));
+
+    let mut second = Client::connect(addr).expect("connect second client");
+    for _ in 0..3 {
+        assert!(response_ok(
+            &second.call(&ping).expect("second client served")
+        ));
+        assert!(response_ok(
+            &first.call(&ping).expect("first client still served")
+        ));
+    }
+
+    daemon.shutdown();
+}
+
+#[test]
 fn daemon_serves_queries_while_streaming_and_warm_restarts() {
     let (base, tail) = corpus().split_tail(50);
     let config = IuadConfig::default();
