@@ -1,9 +1,9 @@
 # Local entrypoints mirroring .github/workflows/ci.yml — keep the two in
 # sync so "it passes locally" means "it passes in CI".
 
-.PHONY: build test lint fmt bench bench-smoke bench-json perf-guard scenarios serve-smoke repro all
+.PHONY: build test lint fmt doc bench bench-smoke bench-json perf-guard scenarios serve-smoke repro all
 
-all: build test lint
+all: build test lint doc
 
 build:
 	cargo build --release
@@ -16,6 +16,11 @@ fmt:
 
 lint: fmt
 	cargo clippy --workspace --all-targets -- -D warnings
+
+# What the CI `docs` job runs: rustdoc with warnings denied (broken links,
+# missing code-block languages, private intra-doc links all fail).
+doc:
+	RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
 
 # Full criterion measurements (slow).
 bench:

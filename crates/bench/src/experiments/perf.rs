@@ -3,12 +3,14 @@
 //! `BENCH_pipeline.json` so every future PR can compare against a recorded
 //! trajectory (see README § Performance for the schema).
 //!
-//! Schema version 2: the `incremental_engine_build` stage (a from-scratch
-//! post-merge engine rebuild) is replaced by `engine_derive` (the
-//! merge-aware `SimilarityEngine::derive` the pipeline now runs), and
-//! `candidate_pair_seconds` is the *same* measurement as the
-//! `candidate_pair_data` stage row (version 1 read the clock twice and the
-//! two fields disagreed).
+//! Schema version 3: three SGNS sub-stage rows (`sgns_vocab_build`,
+//! `sgns_sampler_build`, `sgns_epoch_loop`) follow the `profile_context`
+//! row they decompose — they are inner timings of the same wall-clock
+//! window, not additional pipeline phases, so they do not contribute to
+//! `total_seconds` beyond what `profile_context` already records. (Version
+//! 2 replaced `incremental_engine_build` with `engine_derive` and made
+//! `candidate_pair_seconds` the same measurement as the
+//! `candidate_pair_data` stage row.)
 //!
 //! The measurement replicates [`iuad_core::Iuad::fit`] stage by stage via
 //! the public Stage-1/Stage-2 entry points, so a stage timing here is the
@@ -73,23 +75,36 @@ pub fn measure(corpus: &Corpus, cfg: &IuadConfig, par: &ParallelConfig) -> Pipel
     // Reads the clock exactly once and returns the reading, so callers that
     // also report the value (the pair-throughput denominator) agree with
     // the stage row to the bit.
-    let mut stage = |name: &str, t0: Instant| -> f64 {
+    fn stage(stages: &mut Vec<StageTiming>, name: &str, t0: Instant) -> f64 {
         let seconds = t0.elapsed().as_secs_f64();
         stages.push(StageTiming {
             stage: name.to_string(),
             seconds,
         });
         seconds
-    };
+    }
     let total0 = Instant::now();
 
     let t = Instant::now();
-    let ctx = ProfileContext::build(corpus, cfg.embedding_dim, cfg.embedding_seed);
-    stage("profile_context", t);
+    let (ctx, sgns) =
+        ProfileContext::build_with_stats(corpus, cfg.embedding_dim, cfg.embedding_seed, par);
+    stage(&mut stages, "profile_context", t);
+    // SGNS sub-stage rows: inner timings of the profile_context window
+    // above, not additional pipeline phases.
+    for (name, seconds) in [
+        ("sgns_vocab_build", sgns.vocab_seconds),
+        ("sgns_sampler_build", sgns.sampler_seconds),
+        ("sgns_epoch_loop", sgns.epochs_seconds),
+    ] {
+        stages.push(StageTiming {
+            stage: name.to_string(),
+            seconds,
+        });
+    }
 
     let t = Instant::now();
     let scn = Scn::build_parallel(corpus, cfg.eta, par);
-    stage("scn_build", t);
+    stage(&mut stages, "scn_build", t);
 
     let t = Instant::now();
     let engine = SimilarityEngine::build_parallel(
@@ -100,18 +115,18 @@ pub fn measure(corpus: &Corpus, cfg: &IuadConfig, par: &ParallelConfig) -> Pipel
         CacheScope::AmbiguousOnly,
         par,
     );
-    stage("similarity_engine_build", t);
+    stage(&mut stages, "similarity_engine_build", t);
 
     let t = Instant::now();
     let data = candidate_pair_data_parallel(&scn, &ctx, &engine, par);
-    let candidate_pair_seconds = stage("candidate_pair_data", t);
+    let candidate_pair_seconds = stage(&mut stages, "candidate_pair_data", t);
 
     let gcn_cfg = &cfg.gcn;
     let t = Instant::now();
     let (rows, anchors) = training_rows(&data, &scn, &ctx, &engine, gcn_cfg);
     let all_features: Vec<usize> = (0..NUM_SIMILARITIES).collect();
     let model = fit_model(&rows, &anchors, &all_features, &gcn_cfg.em);
-    stage("mixture_fit", t);
+    stage(&mut stages, "mixture_fit", t);
 
     let t = Instant::now();
     let cluster_of_vertex = match &model {
@@ -129,11 +144,11 @@ pub fn measure(corpus: &Corpus, cfg: &IuadConfig, par: &ParallelConfig) -> Pipel
         }
         None => (0..scn.graph.num_vertices()).collect(),
     };
-    stage("score_and_cluster", t);
+    stage(&mut stages, "score_and_cluster", t);
 
     let t = Instant::now();
     let (network, plan) = merge_network(corpus, &scn, &cluster_of_vertex);
-    stage("merge_network", t);
+    stage(&mut stages, "merge_network", t);
 
     let t = Instant::now();
     let _incr_engine = SimilarityEngine::derive(
@@ -144,11 +159,11 @@ pub fn measure(corpus: &Corpus, cfg: &IuadConfig, par: &ParallelConfig) -> Pipel
         CacheScope::AmbiguousOnly,
         par,
     );
-    stage("engine_derive", t);
+    stage(&mut stages, "engine_derive", t);
 
     let candidate_pairs = data.pairs.len();
     PipelineBench {
-        schema_version: 2,
+        schema_version: 3,
         corpus_papers: corpus.papers.len(),
         corpus_names: corpus.num_names(),
         corpus_authors: corpus.num_authors(),

@@ -75,7 +75,12 @@ impl Iuad {
     /// is identical at any thread count.
     pub fn fit(corpus: &Corpus, config: &IuadConfig) -> Iuad {
         let par = &config.parallel;
-        let ctx = ProfileContext::build(corpus, config.embedding_dim, config.embedding_seed);
+        let ctx = ProfileContext::build_parallel(
+            corpus,
+            config.embedding_dim,
+            config.embedding_seed,
+            par,
+        );
         let scn = Scn::build_parallel(corpus, config.eta, par);
         let stage2_engine = SimilarityEngine::build_parallel(
             &scn,

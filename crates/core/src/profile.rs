@@ -9,7 +9,10 @@
 //! (see `similarity.rs`).
 
 use iuad_corpus::{Corpus, Mention, NameId, Paper, PaperId, VenueId};
-use iuad_text::{centroid, tokenize_filtered, train_sgns, Embeddings, SgnsConfig, Vocab};
+use iuad_par::ParallelConfig;
+use iuad_text::{
+    centroid, tokenize_filtered, train_sgns_with_stats, Embeddings, SgnsConfig, SgnsStats, Vocab,
+};
 
 /// Corpus-level context shared by all similarity computations.
 ///
@@ -51,6 +54,30 @@ impl ProfileContext {
     /// Build the context: tokenise titles, train SGNS, precompute keyword
     /// ids and frequency tables. `seed` drives embedding training only.
     pub fn build(corpus: &Corpus, embedding_dim: usize, seed: u64) -> Self {
+        Self::build_parallel(corpus, embedding_dim, seed, &ParallelConfig::sequential())
+    }
+
+    /// [`ProfileContext::build`] with SGNS segment compute fanned out over
+    /// `par` threads. The trainer's schedule is thread-count-invariant, so
+    /// the result is bit-identical to the sequential build.
+    pub fn build_parallel(
+        corpus: &Corpus,
+        embedding_dim: usize,
+        seed: u64,
+        par: &ParallelConfig,
+    ) -> Self {
+        Self::build_with_stats(corpus, embedding_dim, seed, par).0
+    }
+
+    /// [`ProfileContext::build_parallel`] plus the SGNS sub-stage timing
+    /// breakdown (consumed by the pipeline benchmark's schema_version-3
+    /// rows).
+    pub fn build_with_stats(
+        corpus: &Corpus,
+        embedding_dim: usize,
+        seed: u64,
+        par: &ParallelConfig,
+    ) -> (Self, SgnsStats) {
         let frequent_word_fraction = 0.10;
         let tokenized: Vec<Vec<String>> = corpus
             .papers
@@ -62,13 +89,14 @@ impl ProfileContext {
             .iter()
             .map(|doc| vocab.encode(doc.iter().map(String::as_str)))
             .collect();
-        let embeddings = train_sgns(
+        let (embeddings, sgns_stats) = train_sgns_with_stats(
             &encoded,
             vocab.len(),
             &SgnsConfig {
                 dim: embedding_dim,
                 epochs: 4,
                 seed,
+                parallel: *par,
                 ..Default::default()
             },
         );
@@ -94,17 +122,20 @@ impl ProfileContext {
             .iter()
             .map(|&f| 1.0 / (f64::from(f).max(2.0)).ln())
             .collect();
-        ProfileContext {
-            vocab,
-            embeddings,
-            paper_keywords,
-            paper_years: corpus.papers.iter().map(|p| p.year).collect(),
-            paper_venues: corpus.papers.iter().map(|p| p.venue).collect(),
-            venue_freq,
-            word_ln_freq,
-            venue_aa_weight,
-            frequent_word_fraction,
-        }
+        (
+            ProfileContext {
+                vocab,
+                embeddings,
+                paper_keywords,
+                paper_years: corpus.papers.iter().map(|p| p.year).collect(),
+                paper_venues: corpus.papers.iter().map(|p| p.venue).collect(),
+                venue_freq,
+                word_ln_freq,
+                venue_aa_weight,
+                frequent_word_fraction,
+            },
+            sgns_stats,
+        )
     }
 
     /// `F_B(b)`: corpus-wide occurrence count of keyword `b` (Equation 7).

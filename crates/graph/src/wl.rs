@@ -8,7 +8,7 @@
 //! `(label, neighbour-label multiset)` rather than a shared dictionary;
 //! this keeps feature maps comparable across independently-extracted
 //! subgraphs and across threads. The multiset folds in through a salted
-//! commutative mix (see [`compress`]), so refinement performs no neighbour
+//! commutative mix (see `compress`), so refinement performs no neighbour
 //! sorting. Collisions are theoretically possible but vanishingly rare at
 //! 64 bits, and only ever *raise* similarity marginally.
 //!
@@ -482,7 +482,7 @@ const GALLOP_RATIO: usize = 16;
 /// index `i` of `keys` whose value also occurs in `keep` (both strictly
 /// ascending), in ascending order. A two-pointer merge join for
 /// comparable sizes; gallops through `keys` when `keep` is ≥
-/// [`GALLOP_RATIO`]× smaller, so an empty `keep` costs nothing. The one
+/// `GALLOP_RATIO`× smaller, so an empty `keep` costs nothing. The one
 /// definition behind every payload-carrying sorted intersection
 /// (WL-label, keyword, venue, triangle evidence filters), so the gallop
 /// edge cases live in exactly one place.
@@ -524,7 +524,7 @@ pub fn join_ascending<T: Ord + Copy>(keys: &[T], keep: &[T], mut on_match: impl 
 /// Matches between *different* vertices are rare (refined WL labels encode
 /// whole subtree shapes), so the join is written for the mismatch case: a
 /// branchless advance over the label arrays, and a galloping (binary
-/// probing) variant when one side is ≥ [`GALLOP_RATIO`]× larger — the
+/// probing) variant when one side is ≥ `GALLOP_RATIO`× larger — the
 /// hub-versus-singleton shape common in same-name candidate sets. Shared
 /// labels are accumulated in ascending order in every path, so all
 /// variants produce bit-identical sums.

@@ -14,6 +14,8 @@
 //! therefore reproducible at any thread count, and the single-threaded
 //! default keeps the seed's behaviour bit-for-bit unchanged.
 
+#![warn(missing_docs)]
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
@@ -142,6 +144,54 @@ where
     })
 }
 
+/// Mutate disjoint contiguous shards of a slice concurrently.
+///
+/// `data` is split into shards of `shard_len` elements (the last shard may
+/// be shorter) and `f(offset, shard)` runs once per shard, where `offset`
+/// is the shard's starting index in `data`. Shards are `&mut` and disjoint,
+/// so workers never race by construction. Shards are distributed round-robin
+/// over workers (static assignment — the work per element is assumed
+/// uniform, as in a gradient-apply sweep).
+///
+/// **Determinism contract**: sharding only partitions *which worker* touches
+/// an element, never the per-element computation, so as long as `f` treats
+/// each shard independently (derives everything it does at element `i` from
+/// `offset + i`, not from shard boundaries), the result is identical for
+/// every `threads`/`chunk_size`/`shard_len` choice — including the
+/// sequential fallback, which invokes `f(0, data)` once over the whole
+/// slice.
+pub fn parallel_mut_shards<T, F>(cfg: &ParallelConfig, data: &mut [T], shard_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let n = data.len();
+    let threads = cfg.resolved_threads();
+    if n == 0 {
+        return;
+    }
+    let shard_len = shard_len.max(1);
+    if threads <= 1 || shard_len >= n {
+        f(0, data);
+        return;
+    }
+    // Static round-robin assignment of (offset, shard) pairs to workers.
+    let mut per_worker: Vec<Vec<(usize, &mut [T])>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, shard) in data.chunks_mut(shard_len).enumerate() {
+        per_worker[i % threads].push((i * shard_len, shard));
+    }
+    std::thread::scope(|scope| {
+        for worker in per_worker {
+            let f = &f;
+            scope.spawn(move || {
+                for (offset, shard) in worker {
+                    f(offset, shard);
+                }
+            });
+        }
+    });
+}
+
 /// Run independent jobs concurrently, returning results in job order.
 /// Convenience wrapper used for method-level concurrency (e.g. evaluating
 /// baselines side by side).
@@ -242,6 +292,32 @@ mod tests {
             .collect();
         let got = parallel_jobs(&cfg, jobs);
         assert_eq!(got, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mut_shards_touch_every_element_exactly_once() {
+        let want: Vec<u64> = (0..10_007u64).map(|x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 8] {
+            for shard_len in [1, 7, 64, 5000, 100_000] {
+                let mut data: Vec<u64> = (0..10_007).collect();
+                let cfg = ParallelConfig::with_threads(threads);
+                parallel_mut_shards(&cfg, &mut data, shard_len, |offset, shard| {
+                    for (i, x) in shard.iter_mut().enumerate() {
+                        assert_eq!(*x, (offset + i) as u64, "offset wrong");
+                        *x = *x * 3 + 1;
+                    }
+                });
+                assert_eq!(data, want, "threads={threads} shard_len={shard_len}");
+            }
+        }
+    }
+
+    #[test]
+    fn mut_shards_empty_slice_is_noop() {
+        let mut empty: Vec<u32> = Vec::new();
+        parallel_mut_shards(&ParallelConfig::with_threads(4), &mut empty, 8, |_, _| {
+            panic!("must not be called")
+        });
     }
 
     #[test]

@@ -9,17 +9,17 @@
 
 /// `(scenario name, canonical fingerprint)` — one row per matrix entry.
 pub const GOLDEN_FINGERPRINTS: &[(&str, &str)] = &[
-    ("baseline-reference", "0x8c5578e7244c2a75"),
-    ("homonym-storm", "0x6c3120d5fac6644b"),
-    ("abbreviated-variants", "0x75cad52e80f0083a"),
-    ("unicode-transliteration", "0xd20a607a1eb12e40"),
-    ("scale-free-hubs", "0x0f6911ed02d09760"),
+    ("baseline-reference", "0xfd8d4ffef6d6f736"),
+    ("homonym-storm", "0x8a5f0d9e0690e36f"),
+    ("abbreviated-variants", "0xba48b907c96ceafc"),
+    ("unicode-transliteration", "0x1dae72cd2046b8ed"),
+    ("scale-free-hubs", "0x44f6574b718e8c40"),
     ("tiny-sparse", "0x670a701ffe2b01de"),
     ("singleton-desert", "0x188c7dbf14c1be63"),
     ("dense-cliques", "0xf6dedcb3f82efd75"),
-    ("topic-blur", "0x831787ebded1a225"),
-    ("streaming-churn", "0x0f01b8155d04953c"),
-    ("hot-name-query-skew", "0x48195829565d4901"),
+    ("topic-blur", "0x2998c102a65a1881"),
+    ("streaming-churn", "0xd88c7bdd1142f34f"),
+    ("hot-name-query-skew", "0xc1adfc59814e23ba"),
 ];
 
 /// The golden fingerprint for `scenario`, if pinned.

@@ -1,11 +1,15 @@
-//! Text substrate: tokenisation, vocabulary, TF-IDF, and word embeddings.
+//! Text substrate: tokenisation, TF-IDF, deterministically parallel SGNS
+//! embeddings, and alias-table sampling.
 //!
 //! IUAD's research-interest similarities (γ₃, γ₄) need keyword vectors. The
 //! paper uses pre-trained language-model vectors (Word2Vec/GloVe/BERT); with
 //! no model downloads available offline, this crate trains
 //! skip-gram-with-negative-sampling (SGNS) embeddings from scratch on the
 //! corpus titles — functionally the Word2Vec the paper names first. See
-//! DESIGN.md for the substitution note.
+//! DESIGN.md for the substitution note. The trainer ([`train_sgns`]) runs a
+//! fixed batch/segment schedule whose outputs are bit-identical at any
+//! thread count (see [`SgnsConfig`] and the `sgns` module docs), with
+//! negative samples drawn from an exact Walker/Vose [`AliasTable`].
 //!
 //! ```
 //! use iuad_text::{tokenize_filtered, Vocab};
@@ -19,11 +23,13 @@
 #![warn(missing_docs)]
 
 mod embedding;
+mod sampler;
 mod sgns;
 mod tokenize;
 mod vocab;
 
 pub use embedding::{centroid, cosine, cosine_with_norms, norm, Embeddings};
-pub use sgns::{train_sgns, SgnsConfig};
+pub use sampler::AliasTable;
+pub use sgns::{train_sgns, train_sgns_with_stats, SgnsConfig, SgnsStats};
 pub use tokenize::{is_stopword, tokenize, tokenize_filtered};
 pub use vocab::Vocab;

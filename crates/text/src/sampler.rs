@@ -1,0 +1,279 @@
+//! Walker/Vose alias sampling over integer weights.
+//!
+//! The SGNS negative sampler draws from the unigram^0.75 distribution. The
+//! original implementation materialised a ~2^16-slot linear table (word `w`
+//! repeated `weight(w)` times); its memory is resolution-proportional and
+//! its random probes walk a table that does not fit in L1. The
+//! [`AliasTable`] here represents the *exact same integer distribution* —
+//! word `w` drawn with probability `weight(w) / Σ weights` — in two
+//! vocabulary-sized arrays and one O(1) lookup per draw.
+//!
+//! Construction is pure integer arithmetic (Vose's method over weights
+//! scaled by the bucket count `B`, the word count padded to a power of
+//! two), so the represented distribution is exact, not a float
+//! approximation: every word owns exactly `weight(w) · B` of the
+//! `B · Σ weights` lookup units. When `Σ weights` is itself a power of two
+//! and the unit space fits in 32 bits — which the SGNS trainer arranges by
+//! rounding its weights to sum to exactly 2^16 — each draw is one masked
+//! 32-bit rng call, a shift, and a branchless probe of a packed
+//! threshold/alias record: no division anywhere. `tests/properties.rs`
+//! pins the distribution exhaustively against the linear table's slot
+//! counts, and pins that the same rng stream always yields the same draw
+//! sequence.
+
+use rand::prelude::*;
+
+/// O(1) sampler for a discrete distribution given by integer weights
+/// (Walker/Vose alias method, integer-exact construction).
+///
+/// The bucket count is padded to the next power of two (padding buckets
+/// carry zero own-weight, so the represented distribution is unchanged).
+/// When the per-bucket unit count `Σ weights` is *also* a power of two and
+/// the whole unit space fits in 32 bits, sampling takes the fast path: one
+/// masked 32-bit rng draw, a shift for the bucket, a mask for the
+/// remainder — no integer division anywhere.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    /// Units of bucket `b` (out of `bucket_units`) owned by word `b` itself;
+    /// the remainder belongs to `alias[b]`. Length is the padded power of
+    /// two; padding buckets have threshold 0 (all their units are donated).
+    threshold: Vec<u64>,
+    /// The donor word owning the upper `bucket_units - threshold[b]` units.
+    alias: Vec<u32>,
+    /// Units per bucket: `Σ weights`.
+    bucket_units: u64,
+    /// Total lookup units: `buckets · Σ weights`.
+    total_units: u64,
+    /// Number of real (unpadded) words.
+    words: usize,
+    /// `(mask, shift)` for the division-free path: one draw `r =
+    /// rng.gen::<u32>() & mask` splits as bucket `r >> shift`, remainder
+    /// `r & (bucket_units - 1)`. Present iff `bucket_units` is a power of
+    /// two (≤ 2^31) and `total_units ≤ 2^32`.
+    fast: Option<(u32, u32)>,
+    /// Fast-path bucket records, `(alias << 32) | threshold`: one cache
+    /// load serves both fields of a probe. Empty when `fast` is `None`.
+    packed: Vec<u64>,
+}
+
+impl AliasTable {
+    /// Build from integer `weights` (one per word). Returns `None` when the
+    /// total weight is zero — there is nothing to sample.
+    ///
+    /// Exactness: with `B` buckets (the padded power of two) and `W = Σ
+    /// weights`, the unit space `0..B·W` is partitioned into `B` buckets of
+    /// `W` units, and word `w` owns exactly `weights[w] · B` units across
+    /// all buckets, i.e. is drawn with probability exactly
+    /// `weights[w] / W`.
+    pub fn new(weights: &[u64]) -> Option<AliasTable> {
+        let words = weights.len();
+        let bucket_units: u64 = weights.iter().sum();
+        if bucket_units == 0 {
+            return None;
+        }
+        let buckets = words.next_power_of_two();
+        let total_units = (buckets as u64)
+            .checked_mul(bucket_units)
+            .expect("alias table unit space overflows u64");
+        // Scaled weights: word w owns `weights[w] * buckets` units; each
+        // bucket holds exactly `bucket_units` of them. Padding buckets own
+        // nothing and are filled entirely by donors.
+        let mut scaled: Vec<u64> = weights.iter().map(|&w| w * buckets as u64).collect();
+        scaled.resize(buckets, 0);
+        let mut threshold: Vec<u64> = scaled.clone();
+        let mut alias: Vec<u32> = (0..buckets as u32).collect();
+        // Deterministic worklists: ascending bucket id, LIFO processing.
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (w, &s) in scaled.iter().enumerate() {
+            if s < bucket_units {
+                small.push(w as u32);
+            } else {
+                large.push(w as u32);
+            }
+        }
+        while let (Some(s), Some(&l)) = (small.pop(), large.last()) {
+            // Bucket `s` keeps its own `scaled[s]` units; word `l` donates
+            // the remainder and sheds that much of its surplus.
+            threshold[s as usize] = scaled[s as usize];
+            alias[s as usize] = l;
+            scaled[l as usize] -= bucket_units - scaled[s as usize];
+            if scaled[l as usize] < bucket_units {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Whatever remains (all exactly at bucket_units, modulo the final
+        // bucket) fills its own bucket.
+        for w in small.into_iter().chain(large) {
+            threshold[w as usize] = bucket_units;
+        }
+        let fast = if bucket_units.is_power_of_two()
+            && bucket_units <= 1 << 31
+            && total_units <= 1 << 32
+        {
+            Some(((total_units - 1) as u32, bucket_units.trailing_zeros()))
+        } else {
+            None
+        };
+        let packed = if fast.is_some() {
+            threshold
+                .iter()
+                .zip(&alias)
+                .map(|(&t, &a)| (u64::from(a) << 32) | t)
+                .collect()
+        } else {
+            Vec::new()
+        };
+        Some(AliasTable {
+            threshold,
+            alias,
+            bucket_units,
+            total_units,
+            words,
+            fast,
+            packed,
+        })
+    }
+
+    /// Number of words in the distribution (excluding padding buckets).
+    pub fn len(&self) -> usize {
+        self.words
+    }
+
+    /// Whether the table holds no words (never true for a constructed
+    /// table — [`AliasTable::new`] returns `None` instead).
+    pub fn is_empty(&self) -> bool {
+        self.words == 0
+    }
+
+    /// Number of buckets: `len()` padded to the next power of two.
+    pub fn buckets(&self) -> usize {
+        self.threshold.len()
+    }
+
+    /// Total lookup units (`buckets · Σ weights`): the domain of
+    /// [`AliasTable::lookup`].
+    pub fn total_units(&self) -> u64 {
+        self.total_units
+    }
+
+    /// Exact per-word unit mass, summed over buckets in O(buckets): by
+    /// construction `unit_mass()[w] == weights[w] · buckets()`, i.e. the
+    /// word's linear-table slot count scaled by the bucket count. Used by
+    /// the property tests to pin the represented distribution against the
+    /// linear table's without walking the full unit space.
+    pub fn unit_mass(&self) -> Vec<u64> {
+        let mut mass = vec![0u64; self.words];
+        for (b, (&t, &a)) in self.threshold.iter().zip(&self.alias).enumerate() {
+            // `t > 0` implies a real word (padding buckets own nothing);
+            // donors are always real words.
+            if t > 0 {
+                mass[b] += t;
+            }
+            if self.bucket_units > t {
+                mass[a as usize] += self.bucket_units - t;
+            }
+        }
+        mass
+    }
+
+    /// Map one unit `r ∈ 0..total_units` to its word: bucket `r / W`, then
+    /// the bucket's own word below its threshold, its alias above.
+    #[inline]
+    pub fn lookup(&self, r: u64) -> u32 {
+        debug_assert!(r < self.total_units);
+        let bucket = (r / self.bucket_units) as usize;
+        let rem = r % self.bucket_units;
+        if rem < self.threshold[bucket] {
+            bucket as u32
+        } else {
+            self.alias[bucket]
+        }
+    }
+
+    /// Draw one word: one rng call plus an O(1) bucket probe. On the fast
+    /// path (power-of-two `Σ weights`, unit space ≤ 2^32) the draw is a
+    /// single masked `u32` with no division; otherwise one `gen_range`
+    /// over the unit space feeds [`AliasTable::lookup`]. Either way the
+    /// draw sequence is a pure function of the table and the rng stream.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        if let Some((mask, shift)) = self.fast {
+            let r = rng.gen::<u32>() & mask;
+            let bucket = (r >> shift) as usize;
+            let rem = u64::from(r) & (self.bucket_units - 1);
+            // One load serves the whole probe, and a branchless select
+            // decides it: whether a draw lands below the threshold is
+            // essentially a coin flip per bucket, so a compare-and-pick
+            // beats a ~50%-mispredicted branch.
+            let p = self.packed[bucket];
+            let own = u64::from(rem < (p & 0xffff_ffff));
+            (own * bucket as u64 + (1 - own) * (p >> 32)) as u32
+        } else {
+            self.lookup(rng.gen_range(0..self.total_units))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+
+    /// Exhaustive unit mass per word must equal `weight · buckets` — the
+    /// alias layout is a permutation of the linear table's slots, scaled by
+    /// the (padded) bucket count.
+    fn assert_exact(weights: &[u64]) {
+        let t = AliasTable::new(weights).expect("nonzero weights");
+        assert_eq!(t.len(), weights.len());
+        assert!(t.buckets().is_power_of_two());
+        let mut mass = vec![0u64; weights.len()];
+        for r in 0..t.total_units() {
+            mass[t.lookup(r) as usize] += 1;
+        }
+        let b = t.buckets() as u64;
+        for (w, &wt) in weights.iter().enumerate() {
+            assert_eq!(mass[w], wt * b, "word {w} of {weights:?}");
+        }
+        // The O(buckets) accessor agrees with the exhaustive walk.
+        assert_eq!(mass, t.unit_mass());
+    }
+
+    #[test]
+    fn exact_distribution_on_small_tables() {
+        assert_exact(&[1]);
+        assert_exact(&[1, 1]);
+        assert_exact(&[3, 1]);
+        assert_exact(&[0, 5, 0, 2, 1]);
+        assert_exact(&[7, 7, 7]);
+        assert_exact(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_exact(&[100, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn zero_total_weight_is_none() {
+        assert!(AliasTable::new(&[]).is_none());
+        assert!(AliasTable::new(&[0, 0, 0]).is_none());
+    }
+
+    #[test]
+    fn same_stream_same_draws() {
+        let t = AliasTable::new(&[5, 1, 0, 9, 2]).unwrap();
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(t.sample(&mut a), t.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn zero_weight_words_are_never_drawn() {
+        let t = AliasTable::new(&[4, 0, 4, 0, 4]).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..2000 {
+            let w = t.sample(&mut rng);
+            assert!(w.is_multiple_of(2), "drew zero-weight word {w}");
+        }
+    }
+}

@@ -5,6 +5,8 @@
 //! consumers should depend on the individual crates (`iuad-core`,
 //! `iuad-corpus`, ...) directly.
 
+#![warn(missing_docs)]
+
 pub use iuad_baselines as baselines;
 pub use iuad_cluster as cluster;
 pub use iuad_core as core;
@@ -14,6 +16,7 @@ pub use iuad_eval as eval;
 pub use iuad_fpgrowth as fpgrowth;
 pub use iuad_graph as graph;
 pub use iuad_mixture as mixture;
+pub use iuad_par as par;
 pub use iuad_scenarios as scenarios;
 pub use iuad_serve as serve;
 pub use iuad_text as text;

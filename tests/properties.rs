@@ -437,3 +437,83 @@ proptest! {
         }
     }
 }
+
+/// Slot counts of the pre-alias linear 0.75-power unigram table: word `w`
+/// occupied `ceil((count^0.75 / Σ counts^0.75) · 2^16)` slots. The alias
+/// sampler must represent exactly this distribution.
+fn linear_table_slots(counts: &[u64]) -> Vec<u64> {
+    let total_pow: f64 = counts.iter().map(|&c| (c as f64).powf(0.75)).sum();
+    counts
+        .iter()
+        .map(|&c| {
+            let share = (c as f64).powf(0.75) / total_pow;
+            (share * (1u64 << 16) as f64).ceil() as u64
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The Walker/Vose alias table represents *exactly* the linear
+    /// 0.75-power table's distribution: word `w`'s unit mass is its linear
+    /// slot count scaled by the bucket count (the word count padded to a
+    /// power of two), for arbitrary corpus count vectors.
+    #[test]
+    fn alias_table_matches_linear_power_table_exactly(
+        head in 1u64..500,
+        tail in prop::collection::vec(0u64..500, 0..59),
+    ) {
+        let mut counts = vec![head];
+        counts.extend(tail);
+        let slots = linear_table_slots(&counts);
+        let table = iuad_suite::text::AliasTable::new(&slots).expect("nonzero slots");
+        prop_assert_eq!(table.len(), slots.len());
+        prop_assert!(table.buckets().is_power_of_two());
+        let b = table.buckets() as u64;
+        let linear_len: u64 = slots.iter().sum();
+        prop_assert_eq!(table.total_units(), linear_len * b);
+        let mass = table.unit_mass();
+        for (w, &s) in slots.iter().enumerate() {
+            prop_assert_eq!(mass[w], s * b, "word {} of {:?}", w, counts);
+        }
+    }
+
+    /// Small tables, checked exhaustively through the public `lookup` path:
+    /// the O(n) mass accessor and the unit-by-unit walk agree, so the
+    /// lookup layout really is a permutation of the linear table's slots.
+    #[test]
+    fn alias_lookup_walk_matches_unit_mass(
+        head in 1u64..40,
+        tail in prop::collection::vec(0u64..40, 0..11),
+    ) {
+        let mut weights = vec![head];
+        weights.extend(tail);
+        let table = iuad_suite::text::AliasTable::new(&weights).expect("nonzero weights");
+        let mut mass = vec![0u64; weights.len()];
+        for r in 0..table.total_units() {
+            mass[table.lookup(r) as usize] += 1;
+        }
+        prop_assert_eq!(mass, table.unit_mass());
+    }
+
+    /// Same rng stream ⇒ same draws: sampling is a pure function of the
+    /// table and the rng state, one rng call per draw.
+    #[test]
+    fn alias_sampling_is_deterministic_per_stream(
+        head in 1u64..100,
+        tail in prop::collection::vec(0u64..100, 0..29),
+        seed in 0u64..10_000,
+    ) {
+        let mut weights = vec![head];
+        weights.extend(tail);
+        use iuad_suite::text::AliasTable;
+        use rand::{rngs::StdRng, SeedableRng};
+        let table = AliasTable::new(&weights).expect("nonzero weights");
+        let mut a = StdRng::seed_from_u64(seed);
+        let mut b = StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            prop_assert_eq!(table.sample(&mut a), table.sample(&mut b));
+        }
+    }
+}
