@@ -1,7 +1,7 @@
 # Local entrypoints mirroring .github/workflows/ci.yml — keep the two in
 # sync so "it passes locally" means "it passes in CI".
 
-.PHONY: build test lint fmt doc bench bench-smoke bench-json perf-guard scenarios serve-smoke repro all
+.PHONY: build test lint fmt doc bench bench-smoke bench-json perf-guard scenarios serve-smoke serve-crash repro all
 
 all: build test lint doc
 
@@ -54,6 +54,13 @@ scenarios:
 # queries, zero errors, ≥2 epoch advances, WAL warm restart bit-identical.
 serve-smoke:
 	cargo run --release -p iuad-bench --bin iuad -- serve-smoke
+
+# What the CI `serve-crash` job runs: the crash matrix — kill the serving
+# pipeline at every named crash point (WAL append, torn record, publish,
+# torn checkpoint, checkpoint rename), recover from disk, and require
+# bit-identity with an uncrashed control at each one.
+serve-crash:
+	cargo run --release -p iuad-bench --bin iuad -- serve-crash
 
 # Regenerate the paper's tables and figures.
 repro:

@@ -28,7 +28,7 @@ use iuad_eval::{pairwise_confusion, Confusion, Table};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  iuad generate [--papers N] [--authors N] [--seed S] <out.jsonl>\n  iuad fit <corpus.jsonl> [--eta N] [--delta X] [--bench-json PATH]\n  iuad evaluate <corpus.jsonl> [--eta N] [--delta X] [--bench-json PATH]\n  iuad serve <corpus.jsonl> [--wal PATH] [--fsync true] [--workers N] [--batch N] [--max-inflight N] [--queue N] [--eta N] [--delta X]\n  iuad serve-smoke"
+        "usage:\n  iuad generate [--papers N] [--authors N] [--seed S] <out.jsonl>\n  iuad fit <corpus.jsonl> [--eta N] [--delta X] [--bench-json PATH]\n  iuad evaluate <corpus.jsonl> [--eta N] [--delta X] [--bench-json PATH]\n  iuad serve <corpus.jsonl> [--wal PATH] [--fsync true] [--workers N] [--batch N] [--max-inflight N] [--queue N] [--checkpoint-every N] [--eta N] [--delta X]\n  iuad serve-smoke\n  iuad serve-crash [--json PATH]"
     );
     exit(2)
 }
@@ -191,6 +191,8 @@ fn main() {
                 batch_size: args.get("batch").unwrap_or(16),
                 max_inflight_per_name: args.get("max-inflight").unwrap_or(2),
                 ingest_queue: args.get("queue").unwrap_or(64),
+                checkpoint_every: args.get("checkpoint-every").unwrap_or(0),
+                faults: None,
             };
             let (iuad, elapsed) = iuad_eval::time_it(|| Iuad::fit(&corpus, &config));
             eprintln!(
@@ -200,24 +202,49 @@ fn main() {
             );
             let fsync = args.get("fsync").unwrap_or(false);
             let state = match args.get::<PathBuf>("wal") {
-                Some(path) if path.exists() => {
-                    // Warm restart: replay the recorded stream, then keep
-                    // appending to the same log (append_to truncates any
-                    // torn tail a crash left behind).
-                    let records = match iuad_serve::read_wal(&path) {
+                Some(path)
+                    if path.exists()
+                        || !iuad_serve::list_checkpoints(&path)
+                            .map(|l| l.is_empty())
+                            .unwrap_or(true) =>
+                {
+                    // Warm restart: run the recovery state machine (newest
+                    // valid checkpoint + WAL tail, with fallback), then
+                    // keep appending to the same log (append_to truncates
+                    // any torn tail a crash left behind).
+                    let recovery = match iuad_serve::ServeState::recover(iuad, &path) {
                         Ok(r) => r,
                         Err(e) => {
-                            eprintln!("error reading WAL {}: {e}", path.display());
+                            eprintln!("error recovering from {}: {e}", path.display());
                             exit(1);
                         }
                     };
-                    let mut state = iuad_serve::ServeState::replay(iuad, &records);
-                    eprintln!(
-                        "replayed {} WAL records: {} papers, epoch {}",
-                        records.len(),
-                        state.papers_ingested(),
-                        state.epoch()
-                    );
+                    let mut state = recovery.state;
+                    match recovery.checkpoint_seq {
+                        Some(seq) => eprintln!(
+                            "recovered from checkpoint {seq} ({} records) + {} WAL tail \
+                             records ({} corrupt checkpoint(s) skipped): {} papers, epoch {}",
+                            recovery.checkpoint_records,
+                            recovery.tail_records,
+                            recovery.corrupt_checkpoints,
+                            state.papers_ingested(),
+                            state.epoch()
+                        ),
+                        None => eprintln!(
+                            "replayed {} WAL records: {} papers, epoch {}",
+                            recovery.tail_records,
+                            state.papers_ingested(),
+                            state.epoch()
+                        ),
+                    }
+                    if !path.exists() {
+                        // Checkpoint-only recovery (the WAL file itself was
+                        // lost): start a fresh, empty log.
+                        if let Err(e) = std::fs::File::create(&path) {
+                            eprintln!("error recreating WAL {}: {e}", path.display());
+                            exit(1);
+                        }
+                    }
                     match iuad_serve::Wal::append_to(&path) {
                         Ok(mut wal) => {
                             wal.set_fsync(fsync);
@@ -263,6 +290,68 @@ fn main() {
                 state.papers_ingested(),
                 iuad_serve::fingerprint_hex(state.fingerprint())
             );
+        }
+        "serve-crash" => {
+            // The release crash-matrix gate: seeded corpus, streamed
+            // ingest with publishes and checkpoints, an injected kill at
+            // every named crash point, recovery, and a bit-identity
+            // assertion against an uncrashed control.
+            let corpus = Corpus::generate(&CorpusConfig {
+                num_authors: 120,
+                num_papers: 440,
+                seed: 0xc4a5_5eed,
+                ..Default::default()
+            });
+            let (base, tail) = corpus.split_tail(24);
+            let iuad = Iuad::fit(&base, &IuadConfig::default());
+            let state = iuad_serve::ServeState::new(iuad, None);
+            let papers: Vec<_> = tail.iter().map(|(p, _)| p.clone()).collect();
+            let dir = std::env::temp_dir().join("iuad-serve-crash");
+            let report = iuad_serve::run_crash_matrix(
+                &state,
+                &papers,
+                &dir,
+                &iuad_serve::CrashSpec::default(),
+            );
+            let mut t = Table::new(["crash point", "nth", "papers", "epoch", "from", "status"]);
+            for case in &report.cases {
+                let from = match case.checkpoint_seq {
+                    Some(seq) => format!("ckpt {seq} + {} tail", case.tail_records),
+                    None => format!("replay ({} records)", case.tail_records),
+                };
+                let status = if case.passed() {
+                    "bit-identical".to_owned()
+                } else {
+                    case.error.clone().unwrap_or_else(|| "failed".to_owned())
+                };
+                t.row([
+                    &case.point,
+                    &case.nth.to_string(),
+                    &case.papers.to_string(),
+                    &case.epoch.to_string(),
+                    &from,
+                    &status,
+                ]);
+            }
+            println!("{t}");
+            if let Some(path) = args.get::<PathBuf>("json") {
+                match serde_json::to_string(&report)
+                    .map_err(std::io::Error::other)
+                    .and_then(|json| std::fs::write(&path, json))
+                {
+                    Ok(()) => eprintln!("wrote {}", path.display()),
+                    Err(e) => {
+                        eprintln!("error writing {}: {e}", path.display());
+                        exit(1);
+                    }
+                }
+            }
+            if report.passed() {
+                println!("serve crash matrix OK");
+            } else {
+                eprintln!("serve crash matrix FAILED");
+                exit(1);
+            }
         }
         "serve-smoke" => {
             let outcome = iuad_serve::run_smoke();

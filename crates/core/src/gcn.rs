@@ -324,7 +324,7 @@ fn densify(uf: &mut UnionFind, n: usize) -> (Vec<usize>, usize, usize) {
 pub type LabeledPair = ((VertexId, VertexId), bool);
 
 /// The Stage-2 result.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Gcn {
     /// The fitted mixture (None when the corpus had no candidate pairs).
     pub model: Option<TwoComponentMixture>,

@@ -464,6 +464,110 @@ pub fn wal_replay_matches_live(
     )
 }
 
+/// WAL compaction preserves warm-restart bit-identity: stream the
+/// scenario's held-out tail through a WAL-backed serving state as in
+/// [`wal_replay_matches_live`], but checkpoint mid-stream — compacting the
+/// log into a fingerprint-stamped base snapshot and truncating the WAL —
+/// then run the real recovery state machine
+/// ([`iuad_serve::ServeState::recover`]) and compare against the live
+/// state. Recovery must start from the checkpoint (not a full replay),
+/// apply the WAL tail on top, and land fingerprint-equal with a
+/// `diff_from`-equal engine. Same shuffled-arrival gating as the replay
+/// invariant.
+pub fn wal_compaction_matches_live(
+    corpus: &Corpus,
+    config: &IuadConfig,
+    spec: &ScenarioSpec,
+) -> InvariantReport {
+    const NAME: &str = "wal-compaction-matches-live";
+    if spec.arrival != ArrivalOrder::Shuffled {
+        return InvariantReport::ok(
+            NAME,
+            "skipped: corpus-order stream (checked on shuffled-arrival regimes)".to_string(),
+        );
+    }
+    let (base, tail) = spec.split_for_streaming(corpus);
+    if tail.is_empty() {
+        return InvariantReport::ok(NAME, "no held-out stream to serve".to_string());
+    }
+    let dir = std::env::temp_dir().join("iuad-scenarios-wal");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        return InvariantReport::fail(NAME, format!("cannot create WAL dir: {e}"));
+    }
+    let path = dir.join(format!("{}-compact.wal", spec.name));
+    for (_, ckpt) in iuad_serve::list_checkpoints(&path).unwrap_or_default() {
+        std::fs::remove_file(ckpt).ok();
+    }
+    let wal = match iuad_serve::Wal::create(&path) {
+        Ok(wal) => wal,
+        Err(e) => return InvariantReport::fail(NAME, format!("cannot create WAL: {e}")),
+    };
+    let fit_state = iuad_serve::ServeState::new(Iuad::fit(&base, config), None);
+    // Mirror the daemon: publish epoch 1 up front, publish every 16
+    // papers, checkpoint once at mid-stream so recovery must combine the
+    // snapshot with a non-trivial WAL tail.
+    let checkpoint_at = (tail.len() / 2).max(1);
+    let live = {
+        let mut state = fit_state.clone_base();
+        state.set_wal(Some(wal));
+        state.publish();
+        for (batch, (paper, _)) in tail.iter().enumerate() {
+            state.ingest(paper.clone());
+            if (batch + 1) % 16 == 0 {
+                state.publish();
+            }
+            if batch + 1 == checkpoint_at {
+                if let Err(e) = state.checkpoint() {
+                    return InvariantReport::fail(NAME, format!("checkpoint failed: {e}"));
+                }
+            }
+        }
+        state
+    };
+    let recovery = iuad_serve::ServeState::recover_from_base(&fit_state, &path);
+    std::fs::remove_file(&path).ok();
+    for (_, ckpt) in iuad_serve::list_checkpoints(&path).unwrap_or_default() {
+        std::fs::remove_file(ckpt).ok();
+    }
+    let recovery = match recovery {
+        Ok(recovery) => recovery,
+        Err(e) => return InvariantReport::fail(NAME, format!("recovery failed: {e}")),
+    };
+    if recovery.checkpoint_seq != Some(1) {
+        return InvariantReport::fail(
+            NAME,
+            format!(
+                "recovery bypassed the checkpoint (started from {:?})",
+                recovery.checkpoint_seq
+            ),
+        );
+    }
+    let (live_fp, rec_fp) = (live.fingerprint(), recovery.state.fingerprint());
+    if live_fp != rec_fp {
+        return InvariantReport::fail(
+            NAME,
+            format!(
+                "partition fingerprints diverge: live {} vs recovered {}",
+                iuad_serve::fingerprint_hex(live_fp),
+                iuad_serve::fingerprint_hex(rec_fp)
+            ),
+        );
+    }
+    if let Some(diff) = recovery.state.engine().diff_from(live.engine()) {
+        return InvariantReport::fail(NAME, format!("engines diverge after recovery: {diff}"));
+    }
+    InvariantReport::ok(
+        NAME,
+        format!(
+            "{} papers recovered from checkpoint @{} + {} tail records, state bit-identical ({})",
+            tail.len(),
+            checkpoint_at,
+            recovery.tail_records,
+            iuad_serve::fingerprint_hex(live_fp)
+        ),
+    )
+}
+
 /// The incremental interface is consistent with the batch pipeline:
 /// `disambiguate_paper` agrees slot-for-slot with `disambiguate_mention`,
 /// matched vertices always bear the mention's name, repeated queries are

@@ -11,8 +11,8 @@ use crate::fingerprint::{canonical_labels, fingerprint_hex, fingerprint_of_label
 use crate::invariants::{
     derive_matches_rebuild, duplicate_injection_cocluster, incremental_consistency,
     oracle_merge_monotone_recall, parallel_config_invariance, partition_structure,
-    pipeline_permutation_robustness, stage1_permutation_invariance, wal_replay_matches_live,
-    InvariantReport,
+    pipeline_permutation_robustness, stage1_permutation_invariance, wal_compaction_matches_live,
+    wal_replay_matches_live, InvariantReport,
 };
 
 /// Streaming statistics from the incremental-consistency invariant.
@@ -136,6 +136,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioOutcome {
         oracle_merge_monotone_recall(&corpus, &test, &iuad),
         derive_matches_rebuild(&corpus, &config, &iuad),
         wal_replay_matches_live(&corpus, &config, spec),
+        wal_compaction_matches_live(&corpus, &config, spec),
     ];
     let (incr_report, incremental) = incremental_consistency(&corpus, &config, spec);
     invariants.push(incr_report);

@@ -1,10 +1,59 @@
 //! A minimal blocking client for the daemon's line-delimited JSON
-//! protocol. One request out, one response line back, per call.
+//! protocol. One request out, one response line back, per call — plus a
+//! deterministic retry/backoff loop ([`Client::call_with_backoff`]) that
+//! honours the server's shed hints.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
 
 use serde::Value;
+
+use crate::fault::splitmix;
+
+/// Deterministic retry policy for shed responses. The wait before retry
+/// `k` (0-based) is `min(max(base_ms << k, retry_after_ms), cap_ms)`: the
+/// server's `retry_after_ms` hint (when the response carries one — the
+/// server knows its own queue) is a *floor* under the exponential curve,
+/// which keeps growing for persistent congestion instead of hammering at
+/// the hint interval. A seeded jitter of up to half the wait is added —
+/// seeded, so a load-driver run replays the exact same pacing, yet
+/// concurrent clients with different seeds still de-synchronize instead
+/// of retry-stampeding in lockstep.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    /// Retries after the first attempt (total attempts = `attempts + 1`).
+    pub attempts: u32,
+    /// First-retry wait in milliseconds (doubles per retry).
+    pub base_ms: u64,
+    /// Upper bound on any single wait, before jitter.
+    pub cap_ms: u64,
+    /// Seed of the jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for Backoff {
+    fn default() -> Backoff {
+        Backoff {
+            attempts: 8,
+            base_ms: 2,
+            cap_ms: 64,
+            jitter_seed: 0x5e7e,
+        }
+    }
+}
+
+impl Backoff {
+    /// The wait before retry `attempt` (0-based), combining the
+    /// exponential schedule, the server's hint, and seeded jitter.
+    /// Advances the jitter stream (`rng`).
+    fn wait(&self, attempt: u32, hint_ms: Option<u64>, rng: &mut u64) -> Duration {
+        let exp = self.base_ms.saturating_mul(1u64 << attempt.min(16));
+        let base = exp.max(hint_ms.unwrap_or(0)).min(self.cap_ms.max(1));
+        let jitter = splitmix(rng) % (base / 2 + 1);
+        Duration::from_millis(base + jitter)
+    }
+}
 
 /// A connected protocol client.
 #[derive(Debug)]
@@ -39,6 +88,33 @@ impl Client {
         }
         serde_json::from_str(line.trim())
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// [`Client::call`], retrying shed responses under `backoff`. Errors
+    /// (transport or protocol) are returned immediately; a shed response
+    /// is retried after the backoff wait — honouring the server's
+    /// `retry_after_ms` hint when present — until a non-shed response or
+    /// the attempt budget runs out, in which case the last shed response
+    /// is returned (callers can tell from its `shed` field).
+    pub fn call_with_backoff(
+        &mut self,
+        request: &Value,
+        backoff: &Backoff,
+    ) -> std::io::Result<Value> {
+        let mut rng = backoff.jitter_seed;
+        let mut response = self.call(request)?;
+        for attempt in 0..backoff.attempts {
+            if !response_shed(&response) {
+                return Ok(response);
+            }
+            let hint = match response_field(&response, "retry_after_ms") {
+                Some(Value::U64(ms)) => Some(*ms),
+                _ => None,
+            };
+            std::thread::sleep(backoff.wait(attempt, hint, &mut rng));
+            response = self.call(request)?;
+        }
+        Ok(response)
     }
 
     /// Build a request object from `op` plus extra fields.

@@ -1,0 +1,289 @@
+//! The crash matrix: kill the serving pipeline at every named
+//! [`CrashPoint`], recover from disk, and assert bit-identity against an
+//! uncrashed control.
+//!
+//! Each case clones one fitted base state, drives a deterministic
+//! ingest/publish/checkpoint schedule with a [`FaultInjector`] armed at
+//! the case's crash point, and catches the [`SimulatedCrash`] unwind — at
+//! that instant the disk holds exactly what a killed process would have
+//! left (including seeded torn writes). Recovery then runs the real state
+//! machine ([`ServeState::recover_from_base`]); the control is a second
+//! clone of the base driven through the *durable* prefix of the same
+//! schedule with live decisions. Fingerprint equality plus an
+//! [`iuad_core::SimilarityEngine::diff_from`] of `None` therefore proves
+//! two things at once: recovery rebuilt the durable state bit for bit,
+//! and the recorded decisions agree with what the live decision rule
+//! would have produced.
+//!
+//! The same harness backs the `tests/serve.rs` crash-matrix test and the
+//! `iuad serve-crash` CI gate (`make serve-crash`).
+
+use std::path::Path;
+
+use iuad_corpus::Paper;
+use serde::Serialize;
+
+use crate::fault::{CrashPoint, FaultInjector, SimulatedCrash};
+use crate::state::ServeState;
+use crate::wal::Wal;
+
+/// Shape of a crash-matrix run.
+#[derive(Debug, Clone)]
+pub struct CrashSpec {
+    /// Papers per epoch publish in the drive schedule.
+    pub batch: usize,
+    /// Papers per checkpoint in the drive schedule.
+    pub checkpoint_every: u64,
+    /// Seed of the fault injector (torn-write lengths).
+    pub seed: u64,
+}
+
+impl Default for CrashSpec {
+    fn default() -> CrashSpec {
+        CrashSpec {
+            batch: 6,
+            checkpoint_every: 10,
+            seed: 0xc4a5_4001,
+        }
+    }
+}
+
+/// One crash point's outcome.
+#[derive(Debug, Clone, Serialize)]
+pub struct CrashCase {
+    /// The crash point's stable name.
+    pub point: String,
+    /// Which (1-based) hit of the point was killed.
+    pub nth: u64,
+    /// Whether the drive died at the scheduled point (any other panic, or
+    /// no panic, fails the case).
+    pub crashed: bool,
+    /// Whether recovery produced a state at all.
+    pub recovered: bool,
+    /// Papers in the recovered state (base corpus excluded).
+    pub papers: u64,
+    /// Epoch of the recovered state.
+    pub epoch: u64,
+    /// Checkpoint sequence recovery started from (`None` = plain replay).
+    pub checkpoint_seq: Option<u64>,
+    /// WAL tail records applied on top of the checkpoint.
+    pub tail_records: u64,
+    /// Checkpoints recovery had to reject before one worked.
+    pub corrupt_checkpoints: u64,
+    /// Recovered partition fingerprint equals the uncrashed control's.
+    pub fingerprint_match: bool,
+    /// Recovered similarity engine is bit-identical to the control's.
+    pub engine_identical: bool,
+    /// First failure description, when the case did not pass.
+    pub error: Option<String>,
+}
+
+impl CrashCase {
+    /// Whether this case met every gate.
+    pub fn passed(&self) -> bool {
+        self.crashed && self.recovered && self.fingerprint_match && self.engine_identical
+    }
+}
+
+/// All cases of one matrix run.
+#[derive(Debug, Clone, Serialize)]
+pub struct CrashReport {
+    /// One entry per [`CrashPoint`], in [`CrashPoint::ALL`] order.
+    pub cases: Vec<CrashCase>,
+}
+
+impl CrashReport {
+    /// Whether every case passed.
+    pub fn passed(&self) -> bool {
+        !self.cases.is_empty() && self.cases.iter().all(CrashCase::passed)
+    }
+}
+
+/// Install (once) a panic hook that silences [`SimulatedCrash`] unwinds —
+/// they are the matrix working as intended — while delegating every real
+/// panic to the previous hook.
+fn silence_simulated_crashes() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<SimulatedCrash>().is_none() {
+                default(info);
+            }
+        }));
+    });
+}
+
+/// The deterministic drive schedule shared by the crashing run and the
+/// control: ingest papers in order, publish every `batch`, checkpoint
+/// every `checkpoint_every` papers. The control caps itself at the
+/// durable prefix (`max_papers` ingested, `max_epochs` published) and
+/// skips checkpointing (it never mutates in-memory state).
+fn drive(
+    state: &mut ServeState,
+    papers: &[Paper],
+    spec: &CrashSpec,
+    max_papers: u64,
+    max_epochs: u64,
+    checkpoints: bool,
+) {
+    let mut since_checkpoint = 0u64;
+    let mut published = 0u64;
+    for (i, paper) in papers.iter().enumerate() {
+        if (i as u64) >= max_papers {
+            break;
+        }
+        state.ingest(paper.clone());
+        since_checkpoint += 1;
+        if (i + 1) % spec.batch.max(1) == 0 && published < max_epochs {
+            state.publish();
+            published += 1;
+        }
+        if checkpoints && spec.checkpoint_every > 0 && since_checkpoint >= spec.checkpoint_every {
+            state
+                .checkpoint()
+                .expect("checkpoint failed in crash-matrix drive");
+            since_checkpoint = 0;
+        }
+    }
+}
+
+/// Which (1-based) hit of each point the matrix kills, chosen to land
+/// mid-schedule: publishes and checkpoints at their *second* occurrence
+/// when the schedule has one (the second checkpoint exercises the
+/// fold-previous-checkpoint path and the idempotent tail-skip rule),
+/// WAL-append points mid-stream.
+fn scheduled_nth(point: CrashPoint, num_papers: usize, spec: &CrashSpec) -> u64 {
+    let two_epochs = num_papers >= 2 * spec.batch;
+    let two_checkpoints = (num_papers as u64) >= 2 * spec.checkpoint_every;
+    match point {
+        CrashPoint::AfterWalAppend => (num_papers as u64 / 3).max(2),
+        CrashPoint::MidRecordWrite => (num_papers as u64 / 2).max(2),
+        CrashPoint::BeforePublish | CrashPoint::AfterPublish => 1 + u64::from(two_epochs),
+        CrashPoint::MidCheckpointWrite | CrashPoint::AfterCheckpointRename => {
+            1 + u64::from(two_checkpoints)
+        }
+    }
+}
+
+/// Run the full crash matrix: one case per [`CrashPoint`]. `base` is a
+/// fresh-fit [`ServeState`] (see [`ServeState::clone_base`]); `papers`
+/// the stream to ingest; `dir` a scratch directory for per-case WAL and
+/// checkpoint files (cleaned per case, removed only on pass).
+///
+/// # Panics
+/// On scratch-directory I/O failure.
+pub fn run_crash_matrix(
+    base: &ServeState,
+    papers: &[Paper],
+    dir: &Path,
+    spec: &CrashSpec,
+) -> CrashReport {
+    silence_simulated_crashes();
+    std::fs::create_dir_all(dir).expect("create crash-matrix scratch dir");
+    let cases = CrashPoint::ALL
+        .iter()
+        .map(|&point| run_case(base, papers, dir, spec, point))
+        .collect();
+    CrashReport { cases }
+}
+
+fn run_case(
+    base: &ServeState,
+    papers: &[Paper],
+    dir: &Path,
+    spec: &CrashSpec,
+    point: CrashPoint,
+) -> CrashCase {
+    let nth = scheduled_nth(point, papers.len(), spec);
+    let mut case = CrashCase {
+        point: point.name().to_owned(),
+        nth,
+        crashed: false,
+        recovered: false,
+        papers: 0,
+        epoch: 0,
+        checkpoint_seq: None,
+        tail_records: 0,
+        corrupt_checkpoints: 0,
+        fingerprint_match: false,
+        engine_identical: false,
+        error: None,
+    };
+    let wal_path = dir.join(format!("crash-{}.wal", point.name()));
+    // Scrub any leftovers from a previous failed run.
+    std::fs::remove_file(&wal_path).ok();
+    for (_, path) in crate::checkpoint::list_checkpoints(&wal_path).unwrap_or_default() {
+        std::fs::remove_file(path).ok();
+    }
+
+    // The crashing run.
+    let faults = FaultInjector::seeded(spec.seed ^ nth);
+    faults.arm_crash(point, nth);
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut state = base.clone_base();
+        state.set_wal(Some(Wal::create(&wal_path).expect("create crash WAL")));
+        state.set_faults(Some(std::sync::Arc::clone(&faults)));
+        drive(&mut state, papers, spec, u64::MAX, u64::MAX, true);
+    }));
+    match outcome {
+        Ok(()) => {
+            case.error = Some(format!(
+                "drive completed without reaching hit {nth} of {}",
+                point.name()
+            ));
+            return case;
+        }
+        Err(payload) => match payload.downcast_ref::<SimulatedCrash>() {
+            Some(crash) if crash.point == point => case.crashed = true,
+            Some(crash) => {
+                case.error = Some(format!(
+                    "crashed at {} while {} was armed",
+                    crash.point.name(),
+                    point.name()
+                ));
+                return case;
+            }
+            None => {
+                case.error = Some("drive panicked outside the fault injector".to_owned());
+                return case;
+            }
+        },
+    }
+
+    // Recovery — the real state machine, over whatever the crash left.
+    let recovery = match ServeState::recover_from_base(base, &wal_path) {
+        Ok(recovery) => recovery,
+        Err(e) => {
+            case.error = Some(format!("recovery failed: {e}"));
+            return case;
+        }
+    };
+    case.recovered = true;
+    case.papers = recovery.state.papers_ingested();
+    case.epoch = recovery.state.epoch();
+    case.checkpoint_seq = recovery.checkpoint_seq;
+    case.tail_records = recovery.tail_records as u64;
+    case.corrupt_checkpoints = recovery.corrupt_checkpoints as u64;
+
+    // The uncrashed control: live decisions over the durable prefix.
+    let mut control = base.clone_base();
+    drive(&mut control, papers, spec, case.papers, case.epoch, false);
+
+    case.fingerprint_match = recovery.state.fingerprint() == control.fingerprint();
+    let diff = recovery.state.engine().diff_from(control.engine());
+    case.engine_identical = diff.is_none();
+    if !case.fingerprint_match {
+        case.error = Some("recovered fingerprint differs from uncrashed control".to_owned());
+    } else if let Some(diff) = diff {
+        case.error = Some(format!("engine differs from control: {diff}"));
+    } else {
+        // Clean pass: remove the case's scratch files.
+        std::fs::remove_file(&wal_path).ok();
+        for (_, path) in crate::checkpoint::list_checkpoints(&wal_path).unwrap_or_default() {
+            std::fs::remove_file(path).ok();
+        }
+    }
+    case
+}

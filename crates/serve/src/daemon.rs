@@ -36,6 +36,8 @@ use iuad_graph::VertexId;
 use rustc_hash::FxHashMap;
 use serde::Value;
 
+use crate::checkpoint::CheckpointMeta;
+use crate::fault::FaultInjector;
 use crate::snapshot::EpochStore;
 use crate::state::ServeState;
 
@@ -51,6 +53,13 @@ pub struct DaemonConfig {
     pub max_inflight_per_name: u32,
     /// Bound of the ingest queue; `ingest` requests shed when it is full.
     pub ingest_queue: usize,
+    /// Fold the WAL into a checkpoint after every this many accepted
+    /// papers (0 disables automatic compaction; `checkpoint` requests
+    /// still work).
+    pub checkpoint_every: u64,
+    /// Fault plan for crash-matrix / stall-injection runs (`None` in
+    /// production; the hooks then cost one branch each).
+    pub faults: Option<Arc<FaultInjector>>,
 }
 
 impl Default for DaemonConfig {
@@ -60,22 +69,36 @@ impl Default for DaemonConfig {
             batch_size: 16,
             max_inflight_per_name: 2,
             ingest_queue: 64,
+            checkpoint_every: 0,
+            faults: None,
         }
     }
 }
 
 /// Monotonic request-plane counters (relaxed atomics; exact totals are
-/// read after shutdown, live reads are advisory).
+/// read after shutdown, live reads are advisory). `queue_depth` is a
+/// gauge, not a counter: the ingest requests currently queued or being
+/// applied.
 #[derive(Debug, Default)]
 pub struct DaemonStats {
     /// Query requests received (`whois` / `profile` / `name_group`).
     pub queries: AtomicU64,
-    /// Requests shed by admission control or the full ingest queue.
+    /// Total requests shed (sum of the per-cause counters below).
     pub shed: AtomicU64,
+    /// `whois` requests shed by per-name admission control.
+    pub shed_admission: AtomicU64,
+    /// `ingest` requests shed because the ingest queue was full.
+    pub shed_ingest_full: AtomicU64,
     /// Papers accepted into the network.
     pub ingested: AtomicU64,
     /// Malformed or failed requests.
     pub errors: AtomicU64,
+    /// Ingest requests currently queued or being applied (gauge).
+    pub queue_depth: AtomicU64,
+    /// High-water mark of `queue_depth` over the daemon's lifetime.
+    pub queue_hwm: AtomicU64,
+    /// WAL compactions performed (automatic + requested).
+    pub checkpoints: AtomicU64,
 }
 
 /// Per-name-group admission control: a counting semaphore per name.
@@ -86,15 +109,17 @@ struct Admission {
 }
 
 impl Admission {
-    fn try_acquire(self: &Arc<Admission>, name: u32) -> Option<AdmissionGuard> {
+    /// Acquire an in-flight slot for `name`, or report the current
+    /// in-flight count (the shed response's `queue_depth`).
+    fn try_acquire(self: &Arc<Admission>, name: u32) -> Result<AdmissionGuard, u32> {
         let mut counts = self.counts.lock().expect("admission table poisoned");
         let slot = counts.entry(name).or_insert(0);
         if *slot >= self.max {
-            return None;
+            return Err(*slot);
         }
         *slot += 1;
         drop(counts);
-        Some(AdmissionGuard {
+        Ok(AdmissionGuard {
             admission: Arc::clone(self),
             name,
         })
@@ -131,6 +156,9 @@ enum IngestMsg {
     Flush {
         reply: mpsc::Sender<u64>,
     },
+    Checkpoint {
+        reply: mpsc::Sender<Result<CheckpointMeta, String>>,
+    },
 }
 
 /// Everything a worker needs to answer requests.
@@ -140,6 +168,9 @@ struct WorkerCtx {
     admission: Arc<Admission>,
     shutdown: Arc<AtomicBool>,
     ingest_tx: SyncSender<IngestMsg>,
+    /// Publish batch size, for shed `retry_after_ms` estimates.
+    batch: u64,
+    faults: Option<Arc<FaultInjector>>,
 }
 
 /// A running daemon: accept thread + worker pool + single ingest thread.
@@ -170,6 +201,7 @@ impl std::fmt::Debug for IngestMsg {
         match self {
             IngestMsg::Paper { paper, .. } => f.debug_tuple("Paper").field(&paper.id).finish(),
             IngestMsg::Flush { .. } => f.write_str("Flush"),
+            IngestMsg::Checkpoint { .. } => f.write_str("Checkpoint"),
         }
     }
 }
@@ -196,8 +228,12 @@ impl Daemon {
 
         let ingest = {
             let store = Arc::clone(&store);
+            let stats = Arc::clone(&stats);
             let batch = cfg.batch_size.max(1);
-            std::thread::spawn(move || ingest_loop(state, &ingest_rx, &store, batch))
+            let checkpoint_every = cfg.checkpoint_every;
+            std::thread::spawn(move || {
+                ingest_loop(state, &ingest_rx, &store, &stats, batch, checkpoint_every)
+            })
         };
 
         let accept = {
@@ -216,6 +252,8 @@ impl Daemon {
                 admission: Arc::clone(&admission),
                 shutdown: Arc::clone(&shutdown),
                 ingest_tx: ingest_tx.clone(),
+                batch: cfg.batch_size.max(1) as u64,
+                faults: cfg.faults.clone(),
             };
             workers.push(std::thread::spawn(move || {
                 worker_loop(&conn_rx, &conn_tx, &ctx);
@@ -282,26 +320,48 @@ fn ingest_loop(
     mut state: ServeState,
     rx: &Receiver<IngestMsg>,
     store: &EpochStore,
+    stats: &DaemonStats,
     batch: usize,
+    checkpoint_every: u64,
 ) -> ServeState {
     let mut pending = 0usize;
+    let mut since_checkpoint = 0u64;
     while let Ok(msg) = rx.recv() {
         match msg {
             IngestMsg::Paper { paper, reply } => {
                 let result = state.ingest(paper);
+                stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
                 // Reply before publishing: the ingest is durable (WALed)
                 // already, and the publish belongs to no one request.
                 let _ = reply.send(result);
                 pending += 1;
+                since_checkpoint += 1;
                 if pending >= batch {
                     store.publish(state.publish());
                     pending = 0;
+                }
+                if checkpoint_every > 0 && since_checkpoint >= checkpoint_every && state.has_wal() {
+                    // Compaction failure is not fatal to serving: the WAL
+                    // still has every record, so durability is intact —
+                    // it only stays longer.
+                    if state.checkpoint().is_ok() {
+                        stats.checkpoints.fetch_add(1, Ordering::Relaxed);
+                    }
+                    since_checkpoint = 0;
                 }
             }
             IngestMsg::Flush { reply } => {
                 let epoch = store.publish(state.publish());
                 pending = 0;
                 let _ = reply.send(epoch);
+            }
+            IngestMsg::Checkpoint { reply } => {
+                let result = state.checkpoint();
+                if result.is_ok() {
+                    stats.checkpoints.fetch_add(1, Ordering::Relaxed);
+                }
+                since_checkpoint = 0;
+                let _ = reply.send(result);
             }
         }
     }
@@ -454,6 +514,7 @@ fn handle_request(line: &str, ctx: &WorkerCtx) -> Value {
         Some("name_group") => name_group(fields, ctx),
         Some("ingest") => ingest(fields, ctx),
         Some("flush") => flush(ctx),
+        Some("checkpoint") => checkpoint(ctx),
         Some("stats") => stats(ctx),
         Some("shutdown") => {
             ctx.shutdown.store(true, Ordering::Relaxed);
@@ -473,10 +534,24 @@ fn whois(fields: &[(String, Value)], ctx: &WorkerCtx) -> Value {
         return err_response("whois requires a numeric `name`");
     };
     let name = name as u32;
-    let Some(_guard) = ctx.admission.try_acquire(name) else {
-        ctx.stats.shed.fetch_add(1, Ordering::Relaxed);
-        return shed_response();
+    let _guard = match ctx.admission.try_acquire(name) {
+        Ok(guard) => guard,
+        Err(inflight) => {
+            ctx.stats.shed.fetch_add(1, Ordering::Relaxed);
+            ctx.stats.shed_admission.fetch_add(1, Ordering::Relaxed);
+            // The slots ahead of this request are whois scorings; budget
+            // a couple of milliseconds per in-flight scoring for each.
+            let retry_after_ms = 2 * u64::from(ctx.admission.max);
+            return shed_response("admission", retry_after_ms, u64::from(inflight));
+        }
     };
+    if let Some(faults) = &ctx.faults {
+        // Injected slow-handler stall (holds the admission slot, which is
+        // what makes admission sheds reproducible under test).
+        if let Some(stall) = faults.whois_stall() {
+            std::thread::sleep(stall);
+        }
+    }
     let mut authors = vec![NameId(name)];
     if let Some(coauthors) = get_u32_list(fields, "coauthors") {
         authors.extend(coauthors.into_iter().map(NameId));
@@ -560,16 +635,30 @@ fn ingest(fields: &[(String, Value)], ctx: &WorkerCtx) -> Value {
         year: get_u64(fields, "year").unwrap_or(2000) as u16,
     };
     let (reply_tx, reply_rx) = mpsc::channel();
+    // Gauge before the send so the ingest thread's decrement can never
+    // observe the message before the increment (the gauge may transiently
+    // over-count by in-flight sends, never under-count).
+    let depth = ctx.stats.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+    ctx.stats.queue_hwm.fetch_max(depth, Ordering::Relaxed);
     match ctx.ingest_tx.try_send(IngestMsg::Paper {
         paper,
         reply: reply_tx,
     }) {
         Ok(()) => {}
         Err(TrySendError::Full(_)) => {
+            ctx.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
             ctx.stats.shed.fetch_add(1, Ordering::Relaxed);
-            return shed_response();
+            ctx.stats.shed_ingest_full.fetch_add(1, Ordering::Relaxed);
+            return shed_response(
+                "ingest-queue-full",
+                retry_after_ingest(depth - 1, ctx.batch),
+                depth - 1,
+            );
         }
-        Err(TrySendError::Disconnected(_)) => return err_response("ingest unavailable"),
+        Err(TrySendError::Disconnected(_)) => {
+            ctx.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            return err_response("ingest unavailable");
+        }
     }
     match reply_rx.recv() {
         Ok((id, decisions)) => {
@@ -613,6 +702,27 @@ fn flush(ctx: &WorkerCtx) -> Value {
     }
 }
 
+fn checkpoint(ctx: &WorkerCtx) -> Value {
+    let (reply_tx, reply_rx) = mpsc::channel();
+    if ctx
+        .ingest_tx
+        .send(IngestMsg::Checkpoint { reply: reply_tx })
+        .is_err()
+    {
+        return err_response("ingest unavailable");
+    }
+    match reply_rx.recv() {
+        Ok(Ok(meta)) => obj(vec![
+            ("ok", Value::Bool(true)),
+            ("seq", Value::U64(meta.seq)),
+            ("epoch", Value::U64(meta.epoch)),
+            ("records", Value::U64(meta.records)),
+        ]),
+        Ok(Err(e)) => err_response(&e),
+        Err(_) => err_response("ingest thread unavailable"),
+    }
+}
+
 fn stats(ctx: &WorkerCtx) -> Value {
     let snapshot = ctx.store.load();
     let held = ctx
@@ -630,12 +740,32 @@ fn stats(ctx: &WorkerCtx) -> Value {
         ),
         ("shed", Value::U64(ctx.stats.shed.load(Ordering::Relaxed))),
         (
+            "shed_admission",
+            Value::U64(ctx.stats.shed_admission.load(Ordering::Relaxed)),
+        ),
+        (
+            "shed_ingest_full",
+            Value::U64(ctx.stats.shed_ingest_full.load(Ordering::Relaxed)),
+        ),
+        (
             "ingested",
             Value::U64(ctx.stats.ingested.load(Ordering::Relaxed)),
         ),
         (
             "errors",
             Value::U64(ctx.stats.errors.load(Ordering::Relaxed)),
+        ),
+        (
+            "queue_depth",
+            Value::U64(ctx.stats.queue_depth.load(Ordering::Relaxed)),
+        ),
+        (
+            "queue_hwm",
+            Value::U64(ctx.stats.queue_hwm.load(Ordering::Relaxed)),
+        ),
+        (
+            "checkpoints",
+            Value::U64(ctx.stats.checkpoints.load(Ordering::Relaxed)),
         ),
         ("retained_epochs", Value::Array(held)),
     ])
@@ -675,10 +805,25 @@ fn err_response(message: &str) -> Value {
     ])
 }
 
-fn shed_response() -> Value {
+/// Deterministic retry hint for a full ingest queue: ~2ms of apply time
+/// per queued paper, plus ~8ms of publish time per batch boundary the
+/// backlog will cross. Both constants are intentionally round — the hint
+/// is a pacing signal for well-behaved clients, not a latency model.
+fn retry_after_ingest(depth: u64, batch: u64) -> u64 {
+    2 * depth + 8 * (depth / batch.max(1) + 1)
+}
+
+/// A shed response: `cause` is `"admission"` or `"ingest-queue-full"`,
+/// `retry_after_ms` is a deterministic pacing hint, and `queue_depth` is
+/// the backlog the request would have joined (in-flight whois count for
+/// admission, queued papers for ingest).
+fn shed_response(cause: &str, retry_after_ms: u64, queue_depth: u64) -> Value {
     obj(vec![
         ("ok", Value::Bool(false)),
         ("shed", Value::Bool(true)),
+        ("cause", Value::Str(cause.to_owned())),
+        ("retry_after_ms", Value::U64(retry_after_ms)),
+        ("queue_depth", Value::U64(queue_depth)),
     ])
 }
 
@@ -725,7 +870,11 @@ mod tests {
         });
         let first = admission.try_acquire(7).expect("slot 1");
         let second = admission.try_acquire(7).expect("slot 2");
-        assert!(admission.try_acquire(7).is_none(), "cap is per name");
+        assert_eq!(
+            admission.try_acquire(7).map(|_| ()).unwrap_err(),
+            2,
+            "cap is per name, and the rejection reports the in-flight count"
+        );
         let other = admission.try_acquire(9).expect("other names unaffected");
         drop(second);
         let third = admission.try_acquire(7).expect("slot freed on drop");

@@ -25,24 +25,41 @@
 //!   mentions on hub names) is handled by per-name-group admission
 //!   control: over-cap queries get a `shed` response instead of queueing
 //!   behind the hot group, keeping tail latency bounded for everyone else.
+//!   Shed responses carry the cause, the queue depth, and a
+//!   `retry_after_ms` hint that [`Client::call_with_backoff`] honours.
+//! * **Checkpoints & crash recovery** ([`checkpoint`], [`fault`],
+//!   [`crash`]): the WAL is compacted into fingerprint-stamped checkpoint
+//!   files written atomically; recovery ([`ServeState::recover`]) walks a
+//!   state machine — newest valid checkpoint, older fallback, plain
+//!   replay — and is pinned bit-identical to the never-crashed daemon at
+//!   every named [`CrashPoint`] by the crash matrix
+//!   ([`crash::run_crash_matrix`]).
 //!
-//! The wire protocol and WAL format are documented in the repository
-//! README ("Serving" section).
+//! The wire protocol, WAL format, checkpoint format, and recovery state
+//! machine are documented in the repository README ("Serving" section).
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod client;
+pub mod crash;
 pub mod daemon;
+pub mod fault;
 pub mod fingerprint;
 pub mod load;
 pub mod snapshot;
 pub mod state;
 pub mod wal;
 
-pub use client::{response_field, response_ok, response_shed, Client};
+pub use checkpoint::{
+    checkpoint_path, list_checkpoints, read_checkpoint, Checkpoint, CheckpointMeta,
+};
+pub use client::{response_field, response_ok, response_shed, Backoff, Client};
+pub use crash::{run_crash_matrix, CrashCase, CrashReport, CrashSpec};
 pub use daemon::{Daemon, DaemonConfig, DaemonStats};
+pub use fault::{CrashPoint, FaultInjector, SimulatedCrash};
 pub use fingerprint::{fingerprint_hex, partition_fingerprint};
 pub use load::{run_load, run_smoke, LoadReport, LoadSpec, SmokeOutcome};
 pub use snapshot::{EpochStore, ProfileView, Snapshot};
-pub use state::ServeState;
+pub use state::{Recovery, ServeState};
 pub use wal::{read_wal, Wal, WalDecision, WalRecord};

@@ -15,15 +15,16 @@
 //! a warm restart from the WAL that reproduces the live state bit for bit.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use iuad_core::{Iuad, IuadConfig};
 use iuad_corpus::{Corpus, CorpusConfig, Paper};
 use rustc_hash::FxHashMap;
 use serde::{Serialize, Value};
 
-use crate::client::{response_ok, response_shed, Client};
+use crate::client::{response_ok, response_shed, Backoff, Client};
 use crate::daemon::{Daemon, DaemonConfig};
+use crate::fault::splitmix;
 use crate::state::ServeState;
 use crate::wal::{read_wal, Wal};
 
@@ -127,14 +128,6 @@ impl SmokeOutcome {
     }
 }
 
-fn splitmix(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
-
 fn percentile(sorted: &[u64], q: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
@@ -164,22 +157,22 @@ fn ingest_request(paper: &Paper) -> Value {
     )
 }
 
-/// Stream one paper, retrying (briefly) when the ingest queue sheds.
+/// Stream one paper through [`Client::call_with_backoff`]: sheds are
+/// retried on the server's `retry_after_ms` pacing with seeded jitter
+/// (derived from the paper id, so runs replay exactly), and a stream that
+/// stays shed through the full budget is a failure.
 fn ingest_with_retry(client: &mut Client, paper: &Paper) -> bool {
     let request = ingest_request(paper);
-    for _ in 0..500 {
-        let Ok(response) = client.call(&request) else {
-            return false;
-        };
-        if response_ok(&response) {
-            return true;
-        }
-        if !response_shed(&response) {
-            return false;
-        }
-        std::thread::sleep(Duration::from_millis(2));
+    let backoff = Backoff {
+        attempts: 60,
+        base_ms: 2,
+        cap_ms: 32,
+        jitter_seed: 0x0010_6357 ^ u64::from(paper.id.0),
+    };
+    match client.call_with_backoff(&request, &backoff) {
+        Ok(response) => response_ok(&response),
+        Err(_) => false,
     }
-    false
 }
 
 /// Names ranked by how often they appear on the corpus' papers; the head

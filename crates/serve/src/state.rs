@@ -15,6 +15,7 @@
 //! subsequent decisions score against canonical state.
 
 use std::path::Path;
+use std::sync::Arc;
 
 use iuad_core::{
     absorb_mention, decide_with_evidence, CacheScope, Decision, Gcn, Iuad, IuadConfig,
@@ -23,9 +24,13 @@ use iuad_core::{
 use iuad_corpus::{NameId, Paper, PaperId};
 use iuad_graph::VertexId;
 
+use crate::checkpoint::{
+    list_checkpoints, prune_checkpoints, read_checkpoint, write_checkpoint, CheckpointMeta,
+};
+use crate::fault::{CrashPoint, FaultInjector};
 use crate::fingerprint::partition_fingerprint;
 use crate::snapshot::Snapshot;
-use crate::wal::{Wal, WalDecision, WalRecord};
+use crate::wal::{read_wal, Wal, WalDecision, WalRecord};
 
 /// Live mutable serving state (owned by the daemon's ingest thread).
 #[derive(Debug)]
@@ -47,6 +52,24 @@ pub struct ServeState {
     epoch: u64,
     papers_ingested: u64,
     wal: Option<Wal>,
+    faults: Option<Arc<FaultInjector>>,
+}
+
+/// How a [`ServeState::recover`] run rebuilt the state — which checkpoint
+/// (if any) it started from, how much WAL tail it replayed, and how many
+/// damaged checkpoints it had to skip on the way.
+#[derive(Debug)]
+pub struct Recovery {
+    /// The recovered state (bit-identical to the pre-crash daemon).
+    pub state: ServeState,
+    /// Sequence number of the checkpoint used, `None` for plain replay.
+    pub checkpoint_seq: Option<u64>,
+    /// Records folded into that checkpoint.
+    pub checkpoint_records: usize,
+    /// WAL tail records applied on top (after idempotent skips).
+    pub tail_records: usize,
+    /// Checkpoints rejected as corrupt or inconsistent before one worked.
+    pub corrupt_checkpoints: usize,
 }
 
 impl ServeState {
@@ -65,13 +88,52 @@ impl ServeState {
             epoch: 0,
             papers_ingested: 0,
             wal,
+            faults: None,
         }
     }
 
     /// Attach (or replace) the WAL after construction — the replay path
-    /// builds the state first, then reopens the log for appending.
-    pub fn set_wal(&mut self, wal: Option<Wal>) {
+    /// builds the state first, then reopens the log for appending. The
+    /// state's fault plan (if any) is propagated to the new log.
+    pub fn set_wal(&mut self, mut wal: Option<Wal>) {
+        if let Some(w) = &mut wal {
+            w.set_faults(self.faults.clone());
+        }
         self.wal = wal;
+    }
+
+    /// Whether a WAL is attached (checkpointing requires one).
+    pub fn has_wal(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// Attach a fault plan (crash-matrix runs); threads through to the WAL
+    /// and checkpoint writer. `None` disarms.
+    pub fn set_faults(&mut self, faults: Option<Arc<FaultInjector>>) {
+        if let Some(wal) = &mut self.wal {
+            wal.set_faults(faults.clone());
+        }
+        self.faults = faults;
+    }
+
+    /// An independent copy of the in-memory state, without the WAL handle
+    /// or fault plan. Recovery clones one fitted base per candidate
+    /// checkpoint instead of re-fitting, and the crash matrix clones its
+    /// uncrashed control from the same base as the crashing run.
+    pub fn clone_base(&self) -> ServeState {
+        ServeState {
+            config: self.config.clone(),
+            ctx: self.ctx.clone(),
+            gcn: self.gcn.clone(),
+            network: self.network.clone(),
+            engine: self.engine.clone(),
+            touched: self.touched.clone(),
+            next_paper: self.next_paper,
+            epoch: self.epoch,
+            papers_ingested: self.papers_ingested,
+            wal: None,
+            faults: None,
+        }
     }
 
     /// Ingest one paper: rewrite its id to the next slot, register its
@@ -85,7 +147,7 @@ impl ServeState {
         paper.id = PaperId(self.next_paper);
         self.next_paper += 1;
         self.ctx.register_paper(&paper);
-        let decisions = self.apply(&paper, None);
+        let decisions = self.apply(&paper);
         if let Some(wal) = &mut self.wal {
             let logged = decisions
                 .iter()
@@ -98,32 +160,25 @@ impl ServeState {
         (paper.id, decisions)
     }
 
-    /// Decide (or take the recorded decisions) and absorb every slot of
-    /// `paper`, tracking touched vertices for the next publish.
-    fn apply(
-        &mut self,
-        paper: &Paper,
-        recorded: Option<&[WalDecision]>,
-    ) -> Vec<(NameId, Decision)> {
+    /// Decide live and absorb every slot of `paper`, tracking touched
+    /// vertices for the next publish.
+    fn apply(&mut self, paper: &Paper) -> Vec<(NameId, Decision)> {
         (0..paper.authors.len())
             .map(|slot| {
                 let name = paper.authors[slot];
                 let engine = self.engine.as_ref().expect("engine present");
                 let evidence = MentionEvidence::gather(&self.ctx, engine, paper, slot);
-                let decision = match recorded {
-                    Some(recs) => recs[slot].to_decision().expect("malformed decision in WAL"),
-                    None => match (&self.gcn.model, self.network.by_name.get(&name)) {
-                        (Some(model), Some(candidates)) => decide_with_evidence(
-                            &self.network,
-                            &self.ctx,
-                            engine,
-                            model,
-                            self.config.gcn.delta,
-                            &evidence,
-                            candidates,
-                        ),
-                        _ => Decision::NewAuthor { best_score: None },
-                    },
+                let decision = match (&self.gcn.model, self.network.by_name.get(&name)) {
+                    (Some(model), Some(candidates)) => decide_with_evidence(
+                        &self.network,
+                        &self.ctx,
+                        engine,
+                        model,
+                        self.config.gcn.delta,
+                        &evidence,
+                        candidates,
+                    ),
+                    _ => Decision::NewAuthor { best_score: None },
                 };
                 let v = absorb_mention(
                     &mut self.network,
@@ -139,9 +194,121 @@ impl ServeState {
             .collect()
     }
 
+    /// Absorb every slot of `paper` with the *recorded* decisions,
+    /// validating each decision against the network state at its own
+    /// absorb step (a slot may legitimately reference a vertex the
+    /// previous slot of the same paper just created, so validation cannot
+    /// run up front). Checkpoint and WAL bytes are external input to
+    /// recovery — a record that parsed but carries an out-of-range vertex
+    /// or one publishing under a different name must fail the attempt, not
+    /// corrupt the rebuilt network.
+    fn apply_recorded(&mut self, paper: &Paper, decisions: &[WalDecision]) -> Result<(), String> {
+        if decisions.len() != paper.authors.len() {
+            return Err(format!(
+                "record for paper {} carries {} decisions for {} author slots",
+                paper.id.0,
+                decisions.len(),
+                paper.authors.len()
+            ));
+        }
+        for (slot, (recorded, &name)) in decisions.iter().zip(&paper.authors).enumerate() {
+            let decision = recorded
+                .to_decision()
+                .map_err(|e| format!("paper {} slot {slot}: {e}", paper.id.0))?;
+            if let Decision::Existing { vertex, .. } = decision {
+                if vertex.index() >= self.network.graph.num_vertices() {
+                    return Err(format!(
+                        "paper {} slot {slot}: decision references vertex {} but the network has {}",
+                        paper.id.0,
+                        vertex.0,
+                        self.network.graph.num_vertices()
+                    ));
+                }
+                let have = self.network.graph.vertex(vertex).name;
+                if have != name {
+                    return Err(format!(
+                        "paper {} slot {slot}: decision assigns name {} to vertex {} of name {}",
+                        paper.id.0, name.0, vertex.0, have.0
+                    ));
+                }
+            }
+            let engine = self.engine.as_ref().expect("engine present");
+            let evidence = MentionEvidence::gather(&self.ctx, engine, paper, slot);
+            let v = absorb_mention(
+                &mut self.network,
+                self.engine.as_mut().expect("engine present"),
+                paper,
+                slot,
+                decision,
+                &evidence.profile,
+            );
+            self.touched.push(v);
+        }
+        Ok(())
+    }
+
+    /// Apply a recorded stream (checkpoint fold or WAL tail) on top of the
+    /// current state. With `resume`, records the state already contains —
+    /// paper ids below `next_paper`, epoch markers at or below the current
+    /// epoch — are skipped idempotently, which is what makes replaying a
+    /// WAL tail after a checkpoint (including the crash window where the
+    /// checkpoint renamed but the WAL was not yet truncated) safe. After
+    /// the skips, any discontinuity (a paper-id gap, an epoch marker that
+    /// is not the next epoch, a malformed record) is an error: a gap means
+    /// records exist only in a checkpoint we could not read, and a wrong
+    /// state must never be served. Returns the number of records applied.
+    pub fn apply_records(&mut self, records: &[WalRecord], resume: bool) -> Result<usize, String> {
+        let mut applied = 0usize;
+        for record in records {
+            match record.t.as_str() {
+                "paper" => {
+                    let paper = record.paper.as_ref().ok_or("paper record without paper")?;
+                    let decisions = record
+                        .decisions
+                        .as_ref()
+                        .ok_or("paper record without decisions")?;
+                    if resume && paper.id.0 < self.next_paper {
+                        continue;
+                    }
+                    if paper.id != PaperId(self.next_paper) {
+                        return Err(format!(
+                            "paper-id gap: record {} but the next slot is {} — \
+                             the stream does not continue this state",
+                            paper.id.0, self.next_paper
+                        ));
+                    }
+                    self.next_paper += 1;
+                    self.ctx.register_paper(paper);
+                    self.apply_recorded(paper, decisions)?;
+                    self.papers_ingested += 1;
+                    applied += 1;
+                }
+                "epoch" => {
+                    let marker = record.epoch.ok_or("epoch record without epoch")?;
+                    if resume && marker <= self.epoch {
+                        continue;
+                    }
+                    if marker != self.epoch + 1 {
+                        return Err(format!(
+                            "epoch drift: marker {marker} after epoch {}",
+                            self.epoch
+                        ));
+                    }
+                    self.publish();
+                    applied += 1;
+                }
+                other => return Err(format!("unknown WAL record tag `{other}`")),
+            }
+        }
+        Ok(applied)
+    }
+
     /// Publish the next epoch: canonicalize the live engine over the
     /// touched set, mark the WAL, and return a frozen [`Snapshot`].
     pub fn publish(&mut self) -> Snapshot {
+        if let Some(faults) = &self.faults {
+            faults.check(CrashPoint::BeforePublish);
+        }
         let plan = MergePlan::refresh(self.network.graph.num_vertices(), &self.touched);
         self.touched.clear();
         let old = self.engine.take().expect("engine present");
@@ -158,6 +325,9 @@ impl ServeState {
         if let Some(wal) = &mut self.wal {
             wal.append(&WalRecord::epoch(self.epoch))
                 .expect("WAL append failed at epoch publish");
+        }
+        if let Some(faults) = &self.faults {
+            faults.check(CrashPoint::AfterPublish);
         }
         Snapshot {
             epoch: self.epoch,
@@ -179,58 +349,219 @@ impl ServeState {
     /// profiles, so cadence matters). The replayed state fingerprints
     /// equal to the pre-shutdown live state; the scenario invariant
     /// `wal-replay-matches-live` asserts this per regime.
+    /// # Panics
+    /// On any record that does not continue the base corpus (paper-id gap,
+    /// epoch drift, malformed decision): replay is a cold path, and a log
+    /// that does not describe the state being rebuilt would silently void
+    /// the bit-identity contract. Recovery paths that must *not* panic use
+    /// [`ServeState::recover`], which routes the same validation through
+    /// `Result`s and checkpoint fallback instead.
     pub fn replay(iuad: Iuad, records: &[WalRecord]) -> ServeState {
         let mut state = ServeState::new(iuad, None);
-        for record in records {
-            match record.t.as_str() {
-                "paper" => {
-                    let paper = record.paper.as_ref().expect("paper record without paper");
-                    let decisions = record
-                        .decisions
-                        .as_ref()
-                        .expect("paper record without decisions");
-                    assert_eq!(
-                        paper.id,
-                        PaperId(state.next_paper),
-                        "WAL does not continue this base corpus"
-                    );
-                    assert_eq!(
-                        decisions.len(),
-                        paper.authors.len(),
-                        "WAL record for paper {} carries {} decisions for {} author slots",
-                        paper.id.0,
-                        decisions.len(),
-                        paper.authors.len()
-                    );
-                    state.next_paper += 1;
-                    state.ctx.register_paper(paper);
-                    state.apply(paper, Some(decisions));
-                    state.papers_ingested += 1;
-                }
-                "epoch" => {
-                    // Hard assert (replay is a cold path): a marker that
-                    // disagrees with the re-publish cadence means the log
-                    // does not describe the state we are rebuilding, which
-                    // would silently void the bit-identity contract.
-                    let snapshot = state.publish();
-                    assert_eq!(
-                        Some(snapshot.epoch),
-                        record.epoch,
-                        "epoch drift in replay: re-published epoch {} but the WAL marker records {:?}",
-                        snapshot.epoch,
-                        record.epoch
-                    );
-                }
-                other => panic!("unknown WAL record tag `{other}`"),
-            }
+        if let Err(e) = state.apply_records(records, false) {
+            panic!("WAL replay failed: {e}");
         }
         state
     }
 
     /// Replay a WAL file at `path` (see [`ServeState::replay`]).
     pub fn replay_file(iuad: Iuad, path: &Path) -> std::io::Result<ServeState> {
-        let records = crate::wal::read_wal(path)?;
+        let records = read_wal(path)?;
         Ok(ServeState::replay(iuad, &records))
+    }
+
+    /// Fold the durable history into a new checkpoint and truncate the
+    /// WAL to empty. The fold is the previous valid checkpoint's records
+    /// plus the current WAL contents (minus the idempotent overlap left by
+    /// a crash between a past checkpoint's rename and its WAL truncation);
+    /// the result is cross-checked against the live counters before
+    /// anything is written, the checkpoint is written atomically
+    /// (temp-file + rename + directory fsync), and only then is the WAL
+    /// truncated — a crash at any point leaves a recoverable disk state
+    /// (see [`ServeState::recover`]). All but the newest two checkpoints
+    /// are pruned. Returns the new checkpoint's header.
+    ///
+    /// # Errors
+    /// Without an attached WAL, on any I/O failure, or if the fold does
+    /// not reproduce the live counters (a corrupt prior checkpoint — the
+    /// checkpoint is refused rather than written wrong).
+    pub fn checkpoint(&mut self) -> Result<CheckpointMeta, String> {
+        let wal_path = self
+            .wal
+            .as_ref()
+            .ok_or("checkpoint requires an attached WAL")?
+            .path()
+            .to_path_buf();
+        let listed = list_checkpoints(&wal_path).map_err(|e| e.to_string())?;
+        let next_seq = listed.last().map_or(1, |&(seq, _)| seq + 1);
+        let prior = listed
+            .iter()
+            .rev()
+            .find_map(|(_, path)| read_checkpoint(path).ok());
+        let tail = read_wal(&wal_path).map_err(|e| e.to_string())?;
+        let (mut records, skip_paper, skip_epoch) = match prior {
+            Some(cp) => (cp.records, cp.meta.next_paper, cp.meta.epoch),
+            None => (Vec::new(), 0, 0),
+        };
+        for record in tail {
+            let folded = match record.t.as_str() {
+                "paper" => record.paper.as_ref().is_none_or(|p| p.id.0 >= skip_paper),
+                "epoch" => record.epoch.is_none_or(|e| e > skip_epoch),
+                _ => true,
+            };
+            if folded {
+                records.push(record);
+            }
+        }
+        // The fold must describe exactly the live state; a mismatch means
+        // the prior checkpoint lied (or the WAL lost records) and folding
+        // would bake the damage into the new base.
+        let papers = records.iter().filter(|r| r.t == "paper").count() as u64;
+        let epochs = records.iter().filter(|r| r.t == "epoch").count() as u64;
+        if papers != self.papers_ingested || epochs != self.epoch {
+            return Err(format!(
+                "refusing to checkpoint: fold has {papers} papers / {epochs} epochs \
+                 but the live state has {} / {}",
+                self.papers_ingested, self.epoch
+            ));
+        }
+        let meta = CheckpointMeta {
+            version: 1,
+            seq: next_seq,
+            epoch: self.epoch,
+            papers: self.papers_ingested,
+            next_paper: self.next_paper,
+            fingerprint: format!("{:016x}", self.fingerprint()),
+            records: records.len() as u64,
+        };
+        write_checkpoint(&wal_path, &meta, &records, self.faults.as_ref())
+            .map_err(|e| format!("checkpoint write: {e}"))?;
+        self.wal
+            .as_mut()
+            .expect("WAL present")
+            .truncate_after_checkpoint()
+            .map_err(|e| format!("WAL truncation after checkpoint: {e}"))?;
+        prune_checkpoints(&wal_path, 2).map_err(|e| e.to_string())?;
+        Ok(meta)
+    }
+
+    /// Rebuild the serving state from disk: the recovery state machine.
+    ///
+    /// Candidates are tried in order of freshness — each checkpoint from
+    /// newest to oldest, then (when it can be correct) plain WAL replay:
+    ///
+    /// 1. Strictly read the checkpoint; reject on any framing damage.
+    /// 2. Replay its records over a clone of the fitted base and verify
+    ///    the rebuilt fingerprint, epoch, and paper counts against the
+    ///    header; reject on any mismatch.
+    /// 3. Apply the WAL tail idempotently on top; reject on any gap
+    ///    (records that exist only inside a newer, corrupt checkpoint).
+    ///    When a newer checkpoint was rejected, the tail must additionally
+    ///    carry this candidate forward by at least one record — an empty
+    ///    tail cannot prove an older checkpoint is still current, and the
+    ///    rejected one may hold records that exist nowhere else.
+    ///
+    /// Each attempt runs under `catch_unwind` so arbitrarily corrupt bytes
+    /// degrade to fallback, never a panic. Plain replay is attempted only
+    /// when no checkpoint files exist (never compacted) or the WAL is
+    /// non-empty and continues the base corpus directly (first checkpoint
+    /// write died before truncation) — an empty WAL next to unreadable
+    /// checkpoints is unrecoverable, and serving the bare base fit would
+    /// be serving a wrong epoch.
+    ///
+    /// # Errors
+    /// When no candidate rebuilds a consistent state. The daemon must
+    /// refuse to start rather than serve wrong answers.
+    pub fn recover(iuad: Iuad, wal_path: &Path) -> Result<Recovery, String> {
+        Self::recover_from_base(&ServeState::new(iuad, None), wal_path)
+    }
+
+    /// [`ServeState::recover`] against an already-built fresh-fit base
+    /// (cloned per candidate, never mutated) — the crash matrix recovers
+    /// many times from one fit instead of re-fitting per case.
+    ///
+    /// # Errors
+    /// As [`ServeState::recover`].
+    pub fn recover_from_base(base: &ServeState, wal_path: &Path) -> Result<Recovery, String> {
+        let tail = if wal_path.exists() {
+            read_wal(wal_path).map_err(|e| format!("WAL read: {e}"))?
+        } else {
+            Vec::new()
+        };
+        let listed = list_checkpoints(wal_path).unwrap_or_default();
+        let mut corrupt = 0usize;
+        for (seq, path) in listed.iter().rev() {
+            // Once a *newer* checkpoint has been rejected, an older one is
+            // only trustworthy if the WAL tail proves it is still current
+            // (the rejected checkpoint may hold records that exist nowhere
+            // else — after its WAL truncation, an empty tail next to an
+            // older checkpoint is indistinguishable from silent data
+            // loss, and serving the older state would be serving a wrong
+            // epoch).
+            let newer_rejected = corrupt > 0;
+            let Ok(cp) = read_checkpoint(path) else {
+                corrupt += 1;
+                continue;
+            };
+            let want_fp = u64::from_str_radix(&cp.meta.fingerprint, 16);
+            let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                || -> Result<(ServeState, usize), String> {
+                    let mut state = base.clone_base();
+                    state.apply_records(&cp.records, false)?;
+                    if want_fp.as_ref().ok() != Some(&state.fingerprint())
+                        || state.epoch != cp.meta.epoch
+                        || state.papers_ingested != cp.meta.papers
+                        || state.next_paper != cp.meta.next_paper
+                    {
+                        return Err("checkpoint header disagrees with its records".to_owned());
+                    }
+                    let applied = state.apply_records(&tail, true)?;
+                    Ok((state, applied))
+                },
+            ));
+            match attempt {
+                Ok(Ok((_, 0))) if newer_rejected => {
+                    // The candidate rebuilds cleanly but nothing in the WAL
+                    // carries it past the rejected newer checkpoint, so its
+                    // currency cannot be proven. Keep looking (and fail
+                    // recovery) instead of serving a possibly-stale epoch.
+                    corrupt += 1;
+                }
+                Ok(Ok((state, applied))) => {
+                    return Ok(Recovery {
+                        state,
+                        checkpoint_seq: Some(*seq),
+                        checkpoint_records: cp.records.len(),
+                        tail_records: applied,
+                        corrupt_checkpoints: corrupt,
+                    });
+                }
+                _ => corrupt += 1,
+            }
+        }
+        if listed.is_empty() || !tail.is_empty() {
+            let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                || -> Result<(ServeState, usize), String> {
+                    let mut state = base.clone_base();
+                    let applied = state.apply_records(&tail, false)?;
+                    Ok((state, applied))
+                },
+            ));
+            if let Ok(Ok((state, applied))) = attempt {
+                return Ok(Recovery {
+                    state,
+                    checkpoint_seq: None,
+                    checkpoint_records: 0,
+                    tail_records: applied,
+                    corrupt_checkpoints: corrupt,
+                });
+            }
+        }
+        Err(format!(
+            "unrecoverable serving state at {}: {corrupt} checkpoint(s) rejected and the \
+             WAL tail does not continue any valid base — refusing to serve a wrong epoch",
+            wal_path.display()
+        ))
     }
 
     /// Canonical partition fingerprint of the live network.

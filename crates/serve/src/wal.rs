@@ -11,11 +11,34 @@
 //! re-publishes at the recorded epoch markers, so a warm restart walks the
 //! exact operation sequence of the live daemon and lands on a bit-identical
 //! state (see [`crate::ServeState::replay`]).
+//!
+//! # Durability scope, exactly
+//!
+//! Three failure classes, three guarantees:
+//!
+//! * **Process kill** (panic, SIGKILL): every acknowledged append survives
+//!   unconditionally — records are flushed to the OS before the caller
+//!   sees the reply, so only the record being written at the instant of
+//!   death can tear, and the tear is detected and dropped on replay.
+//! * **OS crash / power loss, record data**: surviving this needs
+//!   [`Wal::set_fsync`] (`--fsync true`), which `sync_data`s the file per
+//!   append at the cost of an fsync of ingest latency.
+//! * **OS crash / power loss, *metadata***: independently of the per-record
+//!   flag, the log's structural operations — file creation, torn-tail
+//!   truncation on reopen, and the post-checkpoint truncation — are
+//!   followed by a file `sync_all` and an fsync of the **parent
+//!   directory**. Without the directory fsync a freshly created log (or a
+//!   checkpoint rename, see [`crate::checkpoint`]) can vanish from the
+//!   directory across a power cut even though the file's own blocks were
+//!   synced, and a truncation can resurface dropped garbage. These events
+//!   are rare (startup, restart, checkpoint), so the fsyncs are
+//!   unconditional.
 
 use std::fs::File;
-use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::path::Path;
+use std::io::{BufRead, BufReader, BufWriter, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
 use std::str;
+use std::sync::Arc;
 
 use iuad_core::Decision;
 use iuad_corpus::Paper;
@@ -120,15 +143,33 @@ impl WalRecord {
 #[derive(Debug)]
 pub struct Wal {
     writer: BufWriter<File>,
+    path: PathBuf,
     fsync: bool,
+    faults: Option<Arc<crate::fault::FaultInjector>>,
+}
+
+/// Fsync the directory containing `path`, making a creation, rename, or
+/// truncation of `path` itself durable across an OS crash (syncing the
+/// file alone persists its blocks, not the directory entry pointing at
+/// them). No-op for a bare filename with no parent component.
+pub(crate) fn fsync_parent_dir(path: &Path) -> std::io::Result<()> {
+    match path.parent() {
+        Some(parent) if !parent.as_os_str().is_empty() => File::open(parent)?.sync_all(),
+        _ => Ok(()),
+    }
 }
 
 impl Wal {
-    /// Create (truncate) a log at `path`.
+    /// Create (truncate) a log at `path`. The parent directory is fsynced
+    /// so the new log's directory entry survives an OS crash.
     pub fn create(path: &Path) -> std::io::Result<Wal> {
+        let file = File::create(path)?;
+        fsync_parent_dir(path)?;
         Ok(Wal {
-            writer: BufWriter::new(File::create(path)?),
+            writer: BufWriter::new(file),
+            path: path.to_path_buf(),
             fsync: false,
+            faults: None,
         })
     }
 
@@ -136,14 +177,20 @@ impl Wal {
     /// same file after replay). A torn tail left by a crash is truncated
     /// away first: appending after the garbage would make the next replay
     /// stop at the tear and silently drop every record written after it.
+    /// The truncation is made durable (file `sync_all` + parent-directory
+    /// fsync) before any new record can land after it.
     pub fn append_to(path: &Path) -> std::io::Result<Wal> {
         let (_, intact) = scan_wal(path)?;
         let file = File::options().write(true).open(path)?;
         file.set_len(intact)?;
+        file.sync_all()?;
         drop(file);
+        fsync_parent_dir(path)?;
         Ok(Wal {
             writer: BufWriter::new(File::options().append(true).open(path)?),
+            path: path.to_path_buf(),
             fsync: false,
+            faults: None,
         })
     }
 
@@ -154,16 +201,58 @@ impl Wal {
         self.fsync = enabled;
     }
 
+    /// Attach a fault injector (crash-matrix runs); `None` disarms.
+    pub fn set_faults(&mut self, faults: Option<Arc<crate::fault::FaultInjector>>) {
+        self.faults = faults;
+    }
+
+    /// The log's file path (checkpointing folds the log by reading it
+    /// back through this).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
     /// Append one record and flush (and fsync, if [`Wal::set_fsync`]).
     pub fn append(&mut self, record: &WalRecord) -> std::io::Result<()> {
         let json = serde_json::to_string(record)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
-        writeln!(self.writer, "{}\t{}", json.len(), json)?;
+        let framed = format!("{}\t{}\n", json.len(), json);
+        if let Some(faults) = &self.faults {
+            if faults.hit(crate::fault::CrashPoint::MidRecordWrite) {
+                // Die mid-write: a seeded prefix of the framed bytes
+                // reaches the OS, the rest never will — the torn tail the
+                // length prefix exists to detect.
+                let cut = faults.torn_prefix(framed.len());
+                self.writer.write_all(&framed.as_bytes()[..cut])?;
+                self.writer.flush()?;
+                crate::fault::FaultInjector::crash(crate::fault::CrashPoint::MidRecordWrite);
+            }
+        }
+        self.writer.write_all(framed.as_bytes())?;
         self.writer.flush()?;
         if self.fsync {
             self.writer.get_ref().sync_data()?;
         }
+        if let Some(faults) = &self.faults {
+            faults.check(crate::fault::CrashPoint::AfterWalAppend);
+        }
         Ok(())
+    }
+
+    /// Drop every record — called by [`crate::ServeState::checkpoint`]
+    /// *after* the checkpoint that folded them is durably renamed into
+    /// place. The truncation itself is made durable (file `sync_all` +
+    /// parent-directory fsync) before returning, so a later crash cannot
+    /// resurface the folded records and replay them twice.
+    pub(crate) fn truncate_after_checkpoint(&mut self) -> std::io::Result<()> {
+        self.writer.flush()?;
+        let file = self.writer.get_mut();
+        file.set_len(0)?;
+        // A create-mode handle tracks a cursor; without the rewind the
+        // next append would leave a sparse hole where the old bytes were.
+        file.seek(SeekFrom::Start(0))?;
+        file.sync_all()?;
+        fsync_parent_dir(&self.path)
     }
 }
 

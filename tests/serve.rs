@@ -8,12 +8,16 @@
 //! memory is reclaimed exactly when its last reader drops.
 
 use std::sync::atomic::Ordering;
+use std::sync::OnceLock;
 use std::time::Duration;
 
+use proptest::prelude::*;
+
 use iuad_suite::core::{CacheScope, Iuad, IuadConfig, SimilarityEngine};
-use iuad_suite::corpus::{Corpus, CorpusConfig};
+use iuad_suite::corpus::{Corpus, CorpusConfig, Paper};
 use iuad_suite::serve::{
-    read_wal, response_field, response_ok, response_shed, Client, Daemon, DaemonConfig, EpochStore,
+    checkpoint_path, list_checkpoints, read_wal, response_field, response_ok, response_shed,
+    run_crash_matrix, Backoff, Client, CrashSpec, Daemon, DaemonConfig, EpochStore, FaultInjector,
     ServeState, Wal,
 };
 use serde::Value;
@@ -277,4 +281,396 @@ fn daemon_serves_queries_while_streaming_and_warm_restarts() {
     );
 
     let _ = std::fs::remove_file(&path);
+}
+
+/// Remove a WAL file and every checkpoint (and temp) file next to it.
+fn scrub_serving_files(path: &std::path::Path) {
+    let _ = std::fs::remove_file(path);
+    for (_, ckpt) in list_checkpoints(path).unwrap_or_default() {
+        let _ = std::fs::remove_file(ckpt);
+    }
+}
+
+#[test]
+fn crash_matrix_recovers_bit_identically_at_every_point() {
+    let (base, tail) = corpus().split_tail(24);
+    let state = ServeState::new(Iuad::fit(&base, &IuadConfig::default()), None);
+    let papers: Vec<Paper> = tail.iter().map(|(p, _)| p.clone()).collect();
+    let dir = std::env::temp_dir()
+        .join("iuad-serve-tests")
+        .join("crash-matrix");
+
+    let report = run_crash_matrix(&state, &papers, &dir, &CrashSpec::default());
+    for case in &report.cases {
+        assert!(
+            case.passed(),
+            "crash point `{}` (hit {}) failed: crashed={} recovered={} fp_match={} \
+             engine_identical={} error={:?}",
+            case.point,
+            case.nth,
+            case.crashed,
+            case.recovered,
+            case.fingerprint_match,
+            case.engine_identical,
+            case.error
+        );
+    }
+    assert_eq!(report.cases.len(), 6, "one case per named crash point");
+    assert!(report.passed());
+    // The matrix must exercise both recovery modes: checkpoint-based
+    // (crashes after the first checkpoint landed) and plain WAL replay
+    // (crashes before or during the first checkpoint write).
+    assert!(
+        report.cases.iter().any(|c| c.checkpoint_seq.is_some()),
+        "no case recovered from a checkpoint"
+    );
+    assert!(
+        report.cases.iter().any(|c| c.checkpoint_seq.is_none()),
+        "no case exercised plain WAL replay"
+    );
+}
+
+#[test]
+fn checkpoint_compacts_wal_and_recovery_resumes_from_it() {
+    let (base, tail) = corpus().split_tail(30);
+    let config = IuadConfig::default();
+    let path = scratch_wal("compact.wal");
+    scrub_serving_files(&path);
+
+    let fit_state = ServeState::new(Iuad::fit(&base, &config), None);
+    let mut live = fit_state.clone_base();
+    live.set_wal(Some(Wal::create(&path).expect("create WAL")));
+    for (i, (paper, _)) in tail.iter().enumerate() {
+        live.ingest(paper.clone());
+        if (i + 1) % 8 == 0 {
+            live.publish();
+        }
+        if i + 1 == 16 {
+            live.checkpoint().expect("first checkpoint");
+        }
+    }
+
+    // The checkpoint truncated the WAL: only post-checkpoint records remain.
+    let wal_tail = read_wal(&path).expect("read WAL");
+    assert!(
+        !wal_tail.is_empty() && wal_tail.len() < tail.len(),
+        "expected a compacted WAL holding only the post-checkpoint tail, got {} records",
+        wal_tail.len()
+    );
+
+    let recovery = ServeState::recover_from_base(&fit_state, &path).expect("recover");
+    assert_eq!(recovery.checkpoint_seq, Some(1));
+    assert!(recovery.tail_records > 0);
+    assert_eq!(recovery.corrupt_checkpoints, 0);
+    assert_eq!(recovery.state.epoch(), live.epoch());
+    assert_eq!(recovery.state.papers_ingested(), live.papers_ingested());
+    assert_eq!(recovery.state.fingerprint(), live.fingerprint());
+    assert_eq!(
+        recovery.state.engine().diff_from(live.engine()),
+        None,
+        "recovered similarity caches must be bit-identical to the live ones"
+    );
+
+    // A second checkpoint folds the first plus the tail, and empties the WAL.
+    live.checkpoint().expect("second checkpoint");
+    assert!(read_wal(&path).expect("read WAL").is_empty());
+    let recovery = ServeState::recover_from_base(&fit_state, &path).expect("recover from fold");
+    assert_eq!(recovery.checkpoint_seq, Some(2));
+    assert_eq!(recovery.tail_records, 0);
+    assert_eq!(recovery.state.fingerprint(), live.fingerprint());
+
+    // Checkpoint-only recovery: the WAL file itself may be gone.
+    std::fs::remove_file(&path).expect("remove WAL");
+    let recovery = ServeState::recover_from_base(&fit_state, &path).expect("recover without WAL");
+    assert_eq!(recovery.checkpoint_seq, Some(2));
+    assert_eq!(recovery.state.fingerprint(), live.fingerprint());
+
+    scrub_serving_files(&path);
+}
+
+#[test]
+fn recovery_falls_back_past_corruption_but_refuses_unprovable_gaps() {
+    let (base, tail) = corpus().split_tail(20);
+    let config = IuadConfig::default();
+    let path = scratch_wal("fallback.wal");
+    scrub_serving_files(&path);
+
+    let fit_state = ServeState::new(Iuad::fit(&base, &config), None);
+    let mut live = fit_state.clone_base();
+    live.set_wal(Some(Wal::create(&path).expect("create WAL")));
+    for (i, (paper, _)) in tail.iter().enumerate() {
+        live.ingest(paper.clone());
+        if (i + 1) % 8 == 0 {
+            live.publish();
+        }
+        if i + 1 == 12 {
+            live.checkpoint().expect("checkpoint");
+        }
+    }
+
+    // A corrupt *newer* checkpoint whose records the WAL tail still covers:
+    // recovery must reject it and fall back to checkpoint 1 + tail.
+    let bogus = checkpoint_path(&path, 2);
+    std::fs::write(&bogus, b"not a checkpoint\n").expect("write bogus checkpoint");
+    let recovery = ServeState::recover_from_base(&fit_state, &path).expect("fall back");
+    assert_eq!(recovery.checkpoint_seq, Some(1));
+    assert_eq!(recovery.corrupt_checkpoints, 1);
+    assert_eq!(recovery.state.fingerprint(), live.fingerprint());
+    assert_eq!(recovery.state.epoch(), live.epoch());
+    std::fs::remove_file(&bogus).expect("remove bogus checkpoint");
+
+    // Now take a real second checkpoint (truncating the WAL) and corrupt
+    // it. Its records exist nowhere else — the older checkpoint plus an
+    // empty tail cannot be proven current, so recovery must refuse to
+    // serve rather than silently rewind to a stale epoch.
+    live.checkpoint().expect("second checkpoint");
+    assert!(read_wal(&path).expect("read WAL").is_empty());
+    std::fs::write(checkpoint_path(&path, 2), b"bit rot\n").expect("corrupt checkpoint 2");
+    let err = ServeState::recover_from_base(&fit_state, &path)
+        .expect_err("recovery must refuse a stale fallback");
+    assert!(
+        err.contains("refusing to serve"),
+        "unexpected recovery error: {err}"
+    );
+
+    scrub_serving_files(&path);
+}
+
+/// Shared fixture for the corrupt-checkpoint proptest: one fitted base, a
+/// driven live state checkpointed mid-stream, and the resulting durable
+/// bytes (fitting per proptest case would dominate the suite's runtime).
+struct RecoveryFixture {
+    base: ServeState,
+    live_fingerprint: u64,
+    live_epoch: u64,
+    wal_bytes: Vec<u8>,
+    ckpt_bytes: Vec<u8>,
+}
+
+fn recovery_fixture() -> &'static RecoveryFixture {
+    static FIXTURE: OnceLock<RecoveryFixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let (base, tail) = corpus().split_tail(24);
+        let path = scratch_wal("prop-fixture.wal");
+        scrub_serving_files(&path);
+        let fit_state = ServeState::new(Iuad::fit(&base, &IuadConfig::default()), None);
+        let mut live = fit_state.clone_base();
+        live.set_wal(Some(Wal::create(&path).expect("create WAL")));
+        for (i, (paper, _)) in tail.iter().enumerate() {
+            live.ingest(paper.clone());
+            if (i + 1) % 8 == 0 {
+                live.publish();
+            }
+            if i + 1 == 20 {
+                live.checkpoint().expect("fixture checkpoint");
+            }
+        }
+        let wal_bytes = std::fs::read(&path).expect("read fixture WAL");
+        let ckpt_bytes = std::fs::read(checkpoint_path(&path, 1)).expect("read fixture ckpt");
+        let fixture = RecoveryFixture {
+            base: fit_state,
+            live_fingerprint: live.fingerprint(),
+            live_epoch: live.epoch(),
+            wal_bytes,
+            ckpt_bytes,
+        };
+        scrub_serving_files(&path);
+        fixture
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Feed recovery an arbitrarily torn or bit-flipped "newest" checkpoint
+    /// next to a valid older checkpoint and an intact WAL tail. Whatever
+    /// the damage, recovery must not panic and must land on the exact live
+    /// state — the mutated checkpoint either survives validation (only
+    /// possible when its payload is still equivalent) or is rejected in
+    /// favour of the provably-current fallback. It must never serve a
+    /// wrong epoch.
+    #[test]
+    fn corrupt_checkpoint_bytes_never_panic_or_serve_a_wrong_epoch(
+        variant in 0usize..2,
+        cut in 0usize..4096,
+        pos in 0usize..4096,
+        xor in 1u8..255,
+    ) {
+        let fixture = recovery_fixture();
+        let path = scratch_wal("prop-case.wal");
+        scrub_serving_files(&path);
+        std::fs::write(&path, &fixture.wal_bytes).expect("write case WAL");
+        std::fs::write(checkpoint_path(&path, 1), &fixture.ckpt_bytes)
+            .expect("write valid checkpoint");
+
+        let mut mutated = fixture.ckpt_bytes.clone();
+        if variant == 0 {
+            mutated.truncate(cut % (mutated.len() + 1));
+        } else {
+            let pos = pos % mutated.len();
+            mutated[pos] ^= xor;
+        }
+        std::fs::write(checkpoint_path(&path, 2), &mutated).expect("write mutated checkpoint");
+
+        let recovery = ServeState::recover_from_base(&fixture.base, &path);
+        scrub_serving_files(&path);
+        let recovery = recovery.expect("a valid fallback candidate always exists");
+        prop_assert_eq!(recovery.state.fingerprint(), fixture.live_fingerprint);
+        prop_assert_eq!(recovery.state.epoch(), fixture.live_epoch);
+    }
+}
+
+#[test]
+fn admission_sheds_carry_cause_and_retry_hint_and_backoff_recovers() {
+    let (base, _) = corpus().split_tail(50);
+    let state = ServeState::new(Iuad::fit(&base, &IuadConfig::default()), None);
+    let faults = FaultInjector::seeded(0xfa_17);
+    faults.arm_whois_stall(1, 200);
+    let daemon = Daemon::spawn(
+        state,
+        &DaemonConfig {
+            workers: 2,
+            max_inflight_per_name: 1,
+            faults: Some(std::sync::Arc::clone(&faults)),
+            ..DaemonConfig::default()
+        },
+    )
+    .expect("spawn daemon");
+    let addr = daemon.addr();
+    let whois = Client::request(
+        "whois",
+        vec![("name", Value::U64(3)), ("year", Value::U64(2005))],
+    );
+
+    // One client parks in the injected 200ms stall *while holding the
+    // admission slot* for name 3...
+    let slow = {
+        let whois = whois.clone();
+        std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("connect slow client");
+            let response = client.call(&whois).expect("slow whois round-trip");
+            assert!(response_ok(&response), "stalled whois failed: {response:?}");
+        })
+    };
+    std::thread::sleep(Duration::from_millis(60));
+
+    // ...so a second query for the same name is shed with a structured
+    // response: the cause, the current depth, and a retry hint.
+    let mut client = Client::connect(addr).expect("connect shed client");
+    let response = client.call(&whois).expect("shed whois round-trip");
+    assert!(response_shed(&response), "expected a shed: {response:?}");
+    assert_eq!(
+        response_field(&response, "cause"),
+        Some(&Value::Str("admission".to_owned()))
+    );
+    assert!(matches!(
+        response_field(&response, "retry_after_ms"),
+        Some(Value::U64(ms)) if *ms > 0
+    ));
+    assert!(matches!(
+        response_field(&response, "queue_depth"),
+        Some(Value::U64(_))
+    ));
+
+    // The seeded backoff client turns that hint into an eventual success
+    // once the stalled holder drains.
+    let response = client
+        .call_with_backoff(
+            &whois,
+            &Backoff {
+                attempts: 10,
+                base_ms: 40,
+                cap_ms: 250,
+                jitter_seed: 0x5e7e,
+            },
+        )
+        .expect("backoff whois round-trip");
+    assert!(
+        response_ok(&response),
+        "backoff client never got through: {response:?}"
+    );
+
+    slow.join().expect("slow client thread");
+    let stats = daemon.stats();
+    assert!(
+        stats.shed_admission.load(Ordering::Relaxed) >= 1,
+        "per-cause shed counter did not record the admission shed"
+    );
+    assert_eq!(
+        stats.shed_admission.load(Ordering::Relaxed)
+            + stats.shed_ingest_full.load(Ordering::Relaxed),
+        stats.shed.load(Ordering::Relaxed),
+        "per-cause shed counters must partition the total"
+    );
+    daemon.shutdown();
+}
+
+#[test]
+fn daemon_checkpoint_op_compacts_and_warm_restart_uses_it() {
+    let (base, tail) = corpus().split_tail(20);
+    let config = IuadConfig::default();
+    let path = scratch_wal("daemon-ckpt.wal");
+    scrub_serving_files(&path);
+    let fit = || Iuad::fit(&base, &config);
+
+    let wal = Wal::create(&path).expect("create WAL");
+    let daemon = Daemon::spawn(
+        ServeState::new(fit(), Some(wal)),
+        &DaemonConfig {
+            batch_size: 8,
+            ..DaemonConfig::default()
+        },
+    )
+    .expect("spawn daemon");
+
+    let mut client = Client::connect(daemon.addr()).expect("connect");
+    for (paper, _) in &tail {
+        let authors: Vec<Value> = paper
+            .authors
+            .iter()
+            .map(|n| Value::U64(u64::from(n.0)))
+            .collect();
+        let request = Client::request(
+            "ingest",
+            vec![
+                ("authors", Value::Array(authors)),
+                ("title", Value::Str(paper.title.clone())),
+                ("venue", Value::U64(u64::from(paper.venue.0))),
+                ("year", Value::U64(u64::from(paper.year))),
+            ],
+        );
+        let response = client
+            .call_with_backoff(&request, &Backoff::default())
+            .expect("ingest round-trip");
+        assert!(response_ok(&response), "ingest failed: {response:?}");
+    }
+    let flush = client
+        .call(&Client::request("flush", vec![]))
+        .expect("flush round-trip");
+    assert!(response_ok(&flush));
+
+    // The wire-level checkpoint op compacts the WAL in the ingest thread.
+    let response = client
+        .call(&Client::request("checkpoint", vec![]))
+        .expect("checkpoint round-trip");
+    assert!(response_ok(&response), "checkpoint failed: {response:?}");
+    assert_eq!(response_field(&response, "seq"), Some(&Value::U64(1)));
+    assert_eq!(daemon.stats().checkpoints.load(Ordering::Relaxed), 1);
+    assert!(read_wal(&path).expect("read WAL").is_empty());
+
+    let state = daemon.shutdown();
+    let live_fp = state.fingerprint();
+    drop(state); // close the WAL before recovery reopens the files
+
+    // Warm restart now goes through the checkpoint, not a full replay.
+    let recovery = ServeState::recover(fit(), &path).expect("recover");
+    assert_eq!(recovery.checkpoint_seq, Some(1));
+    assert_eq!(recovery.tail_records, 0);
+    assert_eq!(
+        recovery.state.fingerprint(),
+        live_fp,
+        "checkpoint warm restart diverged from the pre-shutdown state"
+    );
+
+    scrub_serving_files(&path);
 }
