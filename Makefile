@@ -1,7 +1,7 @@
 # Local entrypoints mirroring .github/workflows/ci.yml — keep the two in
 # sync so "it passes locally" means "it passes in CI".
 
-.PHONY: build test lint fmt doc bench bench-smoke bench-json perf-guard scenarios serve-smoke serve-crash repro all
+.PHONY: build test lint fmt doc bench bench-smoke bench-json bench-scale perf-guard scale-guard scenarios serve-smoke serve-crash repro all
 
 all: build test lint doc
 
@@ -41,6 +41,19 @@ perf-guard:
 	cp BENCH_pipeline.json /tmp/BENCH_baseline.json
 	$(MAKE) bench-json
 	python3 scripts/perf_guard.py /tmp/BENCH_baseline.json BENCH_pipeline.json
+
+# Regenerate the committed scale-tier baseline (BENCH_scale.json; schema in
+# README § Performance): 100k generated papers through the name-block-sharded
+# fit. The 1M tier is manual/nightly only: IUAD_SCALE_1M=1 make bench-scale.
+bench-scale:
+	IUAD_BENCH_THREADS=1 cargo run --release -p iuad-bench --bin repro -- scale
+
+# What the CI bench-scale step runs: stash the committed scale baseline,
+# re-measure the 100k tier, fail on a >25% regression.
+scale-guard:
+	cp BENCH_scale.json /tmp/BENCH_scale_baseline.json
+	$(MAKE) bench-scale
+	python3 scripts/perf_guard.py /tmp/BENCH_scale_baseline.json BENCH_scale.json
 
 # What the CI `scenarios` job runs: the conformance suite in release mode,
 # then regenerate the committed SCENARIOS.json scorecard (schema in

@@ -7,7 +7,10 @@
 //!
 //! Artefact ids: `perf scenarios serve-load fig3 table2 table3 table4
 //! table5 fig5 table6 fig6 ablation-eta ablation-delta ablation-sampling
-//! ablation-split ablation-features`.
+//! ablation-split ablation-features`, plus `scale` (also reachable as
+//! `perf --scale`), which is *not* part of `all`: it generates its own
+//! 100k-paper corpus (and the 1M tier with `IUAD_SCALE_1M=1`) and writes
+//! `BENCH_scale.json` — run it via `make bench-scale`.
 //! `perf` measures stage wall-times and writes `BENCH_pipeline.json`
 //! (single-threaded baseline: `IUAD_BENCH_THREADS=1 repro perf`);
 //! `scenarios` runs the conformance matrix and writes `SCENARIOS.json`
@@ -65,6 +68,7 @@ impl LazyCorpus {
 fn dispatch(id: &str, corpus: &mut LazyCorpus) -> Option<String> {
     let out = match id {
         "perf" => experiments::perf::run(corpus.get()),
+        "scale" => experiments::scale::run(),
         "scenarios" => experiments::scenarios::run(),
         "serve-load" => experiments::serve_load::run(),
         "fig3" => experiments::fig3::run(corpus.get()),
@@ -86,10 +90,19 @@ fn dispatch(id: &str, corpus: &mut LazyCorpus) -> Option<String> {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `perf --scale` is the documented spelling of the scale tier; rewrite
+    // it to the `scale` artefact id (or append it if `perf` wasn't named).
+    if let Some(i) = args.iter().position(|a| a == "--scale") {
+        args.remove(i);
+        match args.iter_mut().find(|a| a.as_str() == "perf") {
+            Some(a) => *a = "scale".to_string(),
+            None => args.push("scale".to_string()),
+        }
+    }
     if args.is_empty() {
         eprintln!(
-            "usage: repro <artefact>... | all\n  artefacts: {}",
+            "usage: repro <artefact>... | all | scale\n  artefacts: {}",
             ALL.join(" ")
         );
         std::process::exit(2);
@@ -109,7 +122,7 @@ fn main() {
             }
             None => {
                 eprintln!(
-                    "unknown artefact `{id}` — expected one of: {}",
+                    "unknown artefact `{id}` — expected one of: {} scale",
                     ALL.join(" ")
                 );
                 std::process::exit(2);

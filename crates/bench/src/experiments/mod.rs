@@ -9,6 +9,7 @@ pub mod fig3;
 pub mod fig5;
 pub mod fig6;
 pub mod perf;
+pub mod scale;
 pub mod scenarios;
 pub mod serve_load;
 pub mod table2;

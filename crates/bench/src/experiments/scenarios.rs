@@ -3,22 +3,24 @@
 //! machine-readable `SCENARIOS.json` at the repository root, mirroring the
 //! committed perf trajectory in `BENCH_pipeline.json`.
 //!
-//! Schema (`schema_version` 1):
+//! Schema (`schema_version` 2):
 //!
 //! ```json
 //! {
-//!   "schema_version": 1,
+//!   "schema_version": 2,
 //!   "scenarios": [ <ScenarioOutcome>, ... ]
 //! }
 //! ```
 //!
 //! where each `ScenarioOutcome` records the scenario's master seed and the
 //! derived seeds (corpus / embeddings / eval split), the corpus shape, the
-//! canonical-partition `fingerprint`, per-invariant `{name, passed,
-//! detail}` reports, the differential `methods` panel (truth oracle,
-//! trivial partitions, IUAD both stages, all baselines — pairwise micro +
-//! B³ + K-metric each), and streaming statistics from the incremental
-//! interface.
+//! canonical-partition `fingerprint`, per-invariant `{name, status,
+//! detail}` reports (`status` is `"passed"`, `"skipped"`, or `"failed"` —
+//! a skip means the property was not applicable and was never exercised,
+//! distinct from a pass since schema 2), the differential `methods` panel
+//! (truth oracle, trivial partitions, IUAD both stages, all baselines —
+//! pairwise micro + B³ + K-metric each), and streaming statistics from the
+//! incremental interface.
 
 use iuad_corpus::scenario_matrix;
 use iuad_eval::Table;
@@ -50,6 +52,7 @@ pub fn run_matrix() -> ScenarioScorecard {
         );
         let t0 = std::time::Instant::now();
         let outcome = run_scenario(spec);
+        let skipped = outcome.skipped_invariants();
         eprintln!(
             "scenarios: [{}/{}] {} done in {:.1?} (fingerprint {}, invariants {})",
             i + 1,
@@ -57,16 +60,18 @@ pub fn run_matrix() -> ScenarioScorecard {
             spec.name,
             t0.elapsed(),
             outcome.fingerprint,
-            if outcome.all_invariants_passed() {
-                "all passed"
+            if !outcome.all_invariants_passed() {
+                "FAILED".to_string()
+            } else if skipped.is_empty() {
+                "all passed".to_string()
             } else {
-                "FAILED"
+                format!("passed, {} skipped", skipped.len())
             }
         );
         scenarios.push(outcome);
     }
     ScenarioScorecard {
-        schema_version: 1,
+        schema_version: 2,
         scenarios,
     }
 }
@@ -112,9 +117,10 @@ pub fn render(card: &ScenarioScorecard) -> String {
         let failed: Vec<&str> = s
             .invariants
             .iter()
-            .filter(|i| !i.passed)
+            .filter(|i| i.failed())
             .map(|i| i.name.as_str())
             .collect();
+        let skipped = s.invariants.iter().filter(|i| i.skipped()).count();
         overview.row([
             s.name.clone(),
             format!("{:#x}", s.master_seed),
@@ -122,10 +128,16 @@ pub fn render(card: &ScenarioScorecard) -> String {
             s.corpus.ambiguous_names.to_string(),
             s.corpus.max_authors_per_name.to_string(),
             s.fingerprint.clone(),
-            if failed.is_empty() {
+            if !failed.is_empty() {
+                format!("FAILED: {}", failed.join(","))
+            } else if skipped == 0 {
                 format!("{}/{} ok", s.invariants.len(), s.invariants.len())
             } else {
-                format!("FAILED: {}", failed.join(","))
+                format!(
+                    "{}/{} ok, {skipped} skipped",
+                    s.invariants.len() - skipped,
+                    s.invariants.len()
+                )
             },
         ]);
     }

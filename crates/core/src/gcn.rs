@@ -117,6 +117,52 @@ pub fn candidate_pair_data_parallel(
     PairData { pairs, vectors }
 }
 
+/// [`candidate_pair_data_parallel`] sharded across the contiguous name
+/// blocks of `plan`, one `iuad-par` job per block. Because blocks are
+/// ascending name ranges and candidate groups are iterated in ascending
+/// name order both globally and within each block, concatenating the
+/// per-block outputs in block order reproduces the monolithic pair and
+/// γ-vector arrays element for element.
+pub fn candidate_pair_data_sharded(
+    scn: &Scn,
+    ctx: &ProfileContext,
+    engine: &SimilarityEngine,
+    plan: &crate::shard::ShardPlan,
+    par: &ParallelConfig,
+) -> PairData {
+    let jobs: Vec<_> = plan
+        .blocks()
+        .map(|(lo, hi)| {
+            move || {
+                let mut names: Vec<_> = scn
+                    .by_name
+                    .iter()
+                    .filter(|(n, vs)| n.0 >= lo && n.0 < hi && vs.len() >= 2)
+                    .collect();
+                names.sort_by_key(|(n, _)| n.0);
+                let mut pairs: Vec<(VertexId, VertexId)> = Vec::new();
+                let mut vectors: Vec<SimilarityVector> = Vec::new();
+                for (_, vs) in names {
+                    for i in 0..vs.len() {
+                        for j in (i + 1)..vs.len() {
+                            pairs.push((vs[i].min(vs[j]), vs[i].max(vs[j])));
+                        }
+                    }
+                    vectors.extend(engine.similarity_block(ctx, vs));
+                }
+                (pairs, vectors)
+            }
+        })
+        .collect();
+    let mut data = PairData::default();
+    for (pairs, vectors) in iuad_par::parallel_jobs(par, jobs) {
+        data.pairs.extend(pairs);
+        data.vectors.extend(vectors);
+    }
+    debug_assert_eq!(data.vectors.len(), data.pairs.len());
+    data
+}
+
 /// Build the training rows: a seeded `sample_frac` sample of candidate
 /// vectors, optionally augmented with synthetic matched rows from vertex
 /// splitting (§V-F2). Returns `(rows, anchors)`: split rows are *known*
@@ -298,6 +344,85 @@ pub fn clusters_by_linkage(
     densify(&mut uf, n)
 }
 
+/// [`clusters_by_linkage`] sharded across the contiguous name blocks of
+/// `plan`. Requires `pairs` grouped by ascending name (the order every
+/// `candidate_pair_data*` constructor produces), so each block's pairs are
+/// one contiguous slice. Each block clusters its own name groups — HAC
+/// touches only same-name pairs — and returns its union operations; the
+/// global fold applies them and densifies. Cluster ids depend only on the
+/// resulting partition (densify orders by smallest member), so the output
+/// is bit-identical to the monolithic clustering.
+pub fn clusters_by_linkage_sharded(
+    scn: &Scn,
+    pairs: &[(VertexId, VertexId)],
+    scores: &[f64],
+    delta: f64,
+    plan: &crate::shard::ShardPlan,
+    par: &ParallelConfig,
+) -> (Vec<usize>, usize, usize) {
+    assert_eq!(pairs.len(), scores.len());
+    let n = scn.graph.num_vertices();
+    let pair_names: Vec<u32> = pairs
+        .iter()
+        .map(|&(a, _)| scn.graph.vertex(a).name.0)
+        .collect();
+    debug_assert!(
+        pair_names.windows(2).all(|w| w[0] <= w[1]),
+        "candidate pairs must be grouped by ascending name"
+    );
+    let jobs: Vec<_> = plan
+        .blocks()
+        .map(|(lo, hi)| {
+            let start = pair_names.partition_point(|&x| x < lo);
+            let end = pair_names.partition_point(|&x| x < hi);
+            move || {
+                let score_of: FxHashMap<(VertexId, VertexId), f64> = pairs[start..end]
+                    .iter()
+                    .copied()
+                    .zip(
+                        scores[start..end]
+                            .iter()
+                            .map(|s| s.clamp(-SCORE_CLAMP, SCORE_CLAMP)),
+                    )
+                    .collect();
+                let mut names: Vec<_> = scn
+                    .by_name
+                    .iter()
+                    .filter(|(n, vs)| n.0 >= lo && n.0 < hi && vs.len() >= 2)
+                    .collect();
+                names.sort_by_key(|(n, _)| n.0);
+                let mut unions: Vec<(usize, usize)> = Vec::new();
+                for (_, vs) in names {
+                    let labels = iuad_cluster::hac(
+                        vs.len(),
+                        |i, j| {
+                            let key = (vs[i].min(vs[j]), vs[i].max(vs[j]));
+                            -score_of.get(&key).copied().unwrap_or(f64::NEG_INFINITY)
+                        },
+                        iuad_cluster::Linkage::Average,
+                        -delta,
+                    );
+                    for i in 0..vs.len() {
+                        for j in (i + 1)..vs.len() {
+                            if labels[i] == labels[j] {
+                                unions.push((vs[i].index(), vs[j].index()));
+                            }
+                        }
+                    }
+                }
+                unions
+            }
+        })
+        .collect();
+    let mut uf = UnionFind::new(n);
+    for unions in iuad_par::parallel_jobs(par, jobs) {
+        for (a, b) in unions {
+            uf.union(a, b);
+        }
+    }
+    densify(&mut uf, n)
+}
+
 /// Bound on per-pair log-odds inside the linkage average.
 pub const SCORE_CLAMP: f64 = 25.0;
 
@@ -375,6 +500,50 @@ impl Gcn {
         labels: &[LabeledPair],
     ) -> Gcn {
         Self::build_inner(scn, ctx, engine, cfg, labels, &ParallelConfig::sequential())
+    }
+
+    /// Run the full Stage 2 with γ-vector computation and clustering
+    /// sharded across the name blocks of `plan`. Candidate data
+    /// concatenates in monolith order, the training sample and EM fit stay
+    /// global (one seeded rng over the concatenated vectors), scoring is a
+    /// pure map, and the sharded clustering reproduces the monolithic
+    /// partition — so the result is bit-identical to [`Gcn::build_parallel`].
+    pub fn build_sharded(
+        scn: &Scn,
+        ctx: &ProfileContext,
+        engine: &SimilarityEngine,
+        cfg: &GcnConfig,
+        plan: &crate::shard::ShardPlan,
+        par: &ParallelConfig,
+    ) -> Gcn {
+        let data = candidate_pair_data_sharded(scn, ctx, engine, plan, par);
+        let (rows, anchors) = training_rows(&data, scn, ctx, engine, cfg);
+        let all_features: Vec<usize> = (0..NUM_SIMILARITIES).collect();
+        let model = fit_model(&rows, &anchors, &all_features, &cfg.em);
+        let (cluster_of_vertex, num_clusters, num_merges) = match &model {
+            Some(m) => {
+                let scores = scores_for_parallel(m, &data.vectors, &all_features, par);
+                match cfg.merge_policy {
+                    MergePolicy::Transitive => {
+                        clusters_from_scores(scn, &data.pairs, &scores, cfg.delta)
+                    }
+                    MergePolicy::AverageLinkage => {
+                        clusters_by_linkage_sharded(scn, &data.pairs, &scores, cfg.delta, plan, par)
+                    }
+                }
+            }
+            None => {
+                let n = scn.graph.num_vertices();
+                ((0..n).collect(), n, 0)
+            }
+        };
+        Gcn {
+            model,
+            cluster_of_vertex,
+            num_clusters,
+            num_merges,
+            pairs_scored: data.pairs.len(),
+        }
     }
 
     fn build_inner(

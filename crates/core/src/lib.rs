@@ -37,6 +37,7 @@ pub mod incremental;
 pub mod pipeline;
 pub mod profile;
 pub mod scn;
+pub mod shard;
 pub mod similarity;
 
 pub use gcn::{merge_network, Gcn, GcnConfig, MergePlan, MergePolicy};
@@ -45,6 +46,7 @@ pub use incremental::{
 };
 pub use iuad_par::ParallelConfig;
 pub use pipeline::{FittedState, Iuad, IuadConfig};
-pub use profile::{KeywordYears, ProfileContext, VenueCounts, VertexProfile};
+pub use profile::{KeywordSlab, KeywordYears, ProfileContext, VenueCounts, VertexProfile};
 pub use scn::{EdgeData, Scn, ScnVertex};
+pub use shard::ShardPlan;
 pub use similarity::{CacheScope, SimilarityEngine, SimilarityVector, FAMILIES, NUM_SIMILARITIES};

@@ -129,6 +129,54 @@ impl Iuad {
         }
     }
 
+    /// Run both stages sharded across `num_blocks` name-disjoint blocks
+    /// (see [`crate::shard::ShardPlan`]). Every per-name stage — the SCN
+    /// mention scan, similarity-cache extraction, candidate-pair scoring,
+    /// and per-name clustering — fans out one job per block; the global
+    /// passes (η-SCR mining, EM training, merge, derive) are unchanged.
+    /// The fitted result is **bit-identical** to [`Iuad::fit`] at any block
+    /// count (pinned per scenario by the `sharded-fit-matches-monolith`
+    /// invariant), while the peak working set per worker shrinks to one
+    /// block's share of the name space.
+    pub fn fit_sharded(corpus: &Corpus, config: &IuadConfig, num_blocks: usize) -> Iuad {
+        let par = &config.parallel;
+        let plan = crate::shard::ShardPlan::for_corpus(corpus, num_blocks);
+        let ctx = ProfileContext::build_parallel(
+            corpus,
+            config.embedding_dim,
+            config.embedding_seed,
+            par,
+        );
+        let scn = Scn::build_sharded(corpus, config.eta, &plan, par);
+        let stage2_engine = SimilarityEngine::build_sharded(
+            &scn,
+            &ctx,
+            config.alpha,
+            config.wl_iters,
+            CacheScope::AmbiguousOnly,
+            &plan,
+            par,
+        );
+        let gcn = Gcn::build_sharded(&scn, &ctx, &stage2_engine, &config.gcn, &plan, par);
+        let (network, merge_plan) = merge_network(corpus, &scn, &gcn.cluster_of_vertex);
+        let engine = SimilarityEngine::derive(
+            stage2_engine,
+            &merge_plan,
+            &network,
+            &ctx,
+            CacheScope::AmbiguousOnly,
+            par,
+        );
+        Iuad {
+            config: config.clone(),
+            ctx,
+            scn,
+            gcn,
+            network,
+            engine,
+        }
+    }
+
     /// Final mention → author-cluster assignment (cluster id = vertex index
     /// in [`Iuad::network`]).
     pub fn assignments(&self) -> FxHashMap<Mention, usize> {
@@ -378,6 +426,27 @@ mod tests {
         let a = Iuad::fit(&c, &IuadConfig::default());
         let b = Iuad::fit(&c, &IuadConfig::default());
         assert_eq!(a.assignments(), b.assignments());
+    }
+
+    #[test]
+    fn fit_sharded_matches_fit_at_any_block_count() {
+        let c = corpus();
+        let mono = Iuad::fit(&c, &IuadConfig::default());
+        for blocks in [1, 2, 3, 7] {
+            let sharded = Iuad::fit_sharded(&c, &IuadConfig::default(), blocks);
+            assert_eq!(
+                sharded.assignments(),
+                mono.assignments(),
+                "final assignments diverged at {blocks} blocks"
+            );
+            assert_eq!(
+                sharded.stage1_assignments(),
+                mono.stage1_assignments(),
+                "stage-1 assignments diverged at {blocks} blocks"
+            );
+            assert_eq!(sharded.gcn.cluster_of_vertex, mono.gcn.cluster_of_vertex);
+            assert_eq!(sharded.gcn.pairs_scored, mono.gcn.pairs_scored);
+        }
     }
 
     #[test]

@@ -14,6 +14,70 @@ use iuad_text::{
     centroid, tokenize_filtered, train_sgns_with_stats, Embeddings, SgnsConfig, SgnsStats, Vocab,
 };
 
+/// Per-paper keyword ids in one flat CSR-style slab: paper `i`'s keywords
+/// are `words[offsets[i]..offsets[i + 1]]`.
+///
+/// The former `Vec<Vec<u32>>` layout paid a 24-byte header plus a separate
+/// heap allocation per paper — at a million papers that is a million tiny
+/// allocations before the pipeline proper starts. The slab stores the same
+/// ids in two contiguous buffers and indexes like a slice table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeywordSlab {
+    offsets: Vec<u32>,
+    words: Vec<u32>,
+}
+
+impl Default for KeywordSlab {
+    fn default() -> Self {
+        KeywordSlab {
+            offsets: vec![0],
+            words: Vec::new(),
+        }
+    }
+}
+
+impl KeywordSlab {
+    /// Number of papers in the slab.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True when no paper has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append the next paper's keyword list.
+    pub fn push<I: IntoIterator<Item = u32>>(&mut self, words: I) {
+        self.words.extend(words);
+        let end = u32::try_from(self.words.len()).unwrap_or_else(|_| {
+            panic!(
+                "KeywordSlab overflow: {} keyword ids exceed the u32 offset space",
+                self.words.len()
+            )
+        });
+        self.offsets.push(end);
+    }
+
+    /// Iterate papers' keyword slices in paper-id order.
+    pub fn iter(&self) -> impl Iterator<Item = &[u32]> + '_ {
+        (0..self.len()).map(move |i| &self[i])
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.offsets.capacity() * 4 + self.words.capacity() * 4
+    }
+}
+
+impl std::ops::Index<usize> for KeywordSlab {
+    type Output = [u32];
+
+    fn index(&self, paper: usize) -> &[u32] {
+        &self.words[self.offsets[paper] as usize..self.offsets[paper + 1] as usize]
+    }
+}
+
 /// Corpus-level context shared by all similarity computations.
 ///
 /// Built once per corpus: the title vocabulary, SGNS keyword embeddings,
@@ -26,7 +90,7 @@ pub struct ProfileContext {
     /// SGNS embeddings over the vocabulary.
     pub embeddings: Embeddings,
     /// Keyword ids per paper (stop words and frequent words excluded).
-    pub paper_keywords: Vec<Vec<u32>>,
+    pub paper_keywords: KeywordSlab,
     /// Publication year per paper.
     pub paper_years: Vec<u16>,
     /// Venue per paper.
@@ -79,16 +143,20 @@ impl ProfileContext {
         par: &ParallelConfig,
     ) -> (Self, SgnsStats) {
         let frequent_word_fraction = 0.10;
-        let tokenized: Vec<Vec<String>> = corpus
-            .papers
-            .iter()
-            .map(|p| tokenize_filtered(&p.title))
-            .collect();
-        let vocab = Vocab::build(tokenized.iter().cloned());
-        let encoded: Vec<Vec<u32>> = tokenized
-            .iter()
-            .map(|doc| vocab.encode(doc.iter().map(String::as_str)))
-            .collect();
+        // Tokenise + intern + encode in one streaming pass per title:
+        // `observe_doc` makes the one-pass build id-identical to the former
+        // two-pass `Vocab::build` + `encode`, without materialising every
+        // title's tokens as owned `String`s (or cloning them into the
+        // vocabulary) first. Only the encoded `u32` docs are kept, and only
+        // for the duration of SGNS training.
+        let mut vocab = Vocab::default();
+        let mut encoded: Vec<Vec<u32>> = Vec::with_capacity(corpus.papers.len());
+        for p in &corpus.papers {
+            let tokens = tokenize_filtered(&p.title);
+            let mut ids = Vec::with_capacity(tokens.len());
+            vocab.observe_doc(tokens.iter().map(String::as_str), &mut ids);
+            encoded.push(ids);
+        }
         let (embeddings, sgns_stats) = train_sgns_with_stats(
             &encoded,
             vocab.len(),
@@ -102,15 +170,15 @@ impl ProfileContext {
         );
         // Keywords: drop corpus-frequent words (generic vocabulary that
         // slipped past the stop list).
-        let paper_keywords: Vec<Vec<u32>> = encoded
-            .iter()
-            .map(|doc| {
+        let mut paper_keywords = KeywordSlab::default();
+        for doc in &encoded {
+            paper_keywords.push(
                 doc.iter()
                     .copied()
-                    .filter(|&w| !vocab.is_frequent(w, frequent_word_fraction))
-                    .collect()
-            })
-            .collect();
+                    .filter(|&w| !vocab.is_frequent(w, frequent_word_fraction)),
+            );
+        }
+        drop(encoded);
         let mut venue_freq = vec![0u32; corpus.num_venues()];
         for p in &corpus.papers {
             venue_freq[p.venue.index()] += 1;
@@ -165,6 +233,21 @@ impl ProfileContext {
         self.paper_keywords.push(keywords);
         self.paper_years.push(paper.year);
         self.paper_venues.push(paper.venue);
+    }
+
+    /// Approximate heap footprint of the context in bytes: the interned
+    /// vocabulary, the embedding matrix, and every per-paper evidence
+    /// table. The scale bench divides this by the mention count to track
+    /// the memory-per-mention budget.
+    pub fn heap_bytes(&self) -> usize {
+        self.vocab.heap_bytes()
+            + self.embeddings.heap_bytes()
+            + self.paper_keywords.heap_bytes()
+            + self.paper_years.capacity() * std::mem::size_of::<u16>()
+            + self.paper_venues.capacity() * std::mem::size_of::<VenueId>()
+            + self.venue_freq.capacity() * std::mem::size_of::<u32>()
+            + self.word_ln_freq.capacity() * std::mem::size_of::<f64>()
+            + self.venue_aa_weight.capacity() * std::mem::size_of::<f64>()
     }
 }
 
@@ -630,7 +713,7 @@ mod tests {
     fn frequent_words_are_dropped_from_keywords() {
         let c = small_corpus();
         let ctx = ProfileContext::build(&c, 16, 1);
-        for doc in &ctx.paper_keywords {
+        for doc in ctx.paper_keywords.iter() {
             for &w in doc {
                 assert!(!ctx.vocab.is_frequent(w, ctx.frequent_word_fraction));
             }

@@ -74,6 +74,102 @@ impl Scn {
     /// deterministic order), so the network is identical at any thread
     /// count.
     pub fn build_parallel(corpus: &Corpus, eta: u32, par: &ParallelConfig) -> Scn {
+        let mine = ScnMine::build(corpus, eta, par);
+        let scan = mine.scan_mentions(corpus, 0, u32::MAX);
+        mine.assemble(corpus, vec![scan])
+    }
+
+    /// [`Scn::build_parallel`] with the mention-assignment scan sharded
+    /// across contiguous name-id blocks, each block running as one
+    /// `iuad-par` job. Bit-identical to the monolithic build: SCR mining
+    /// and the triangle-rule proto fold are global (they are inherently
+    /// cross-name), each block's scan touches only proto vertices on its
+    /// own names (see `ScnMine::scan_mentions`), and the join rebuilds
+    /// the final graph in canonical (paper, slot) order exactly as the
+    /// monolith does.
+    pub fn build_sharded(
+        corpus: &Corpus,
+        eta: u32,
+        plan: &crate::shard::ShardPlan,
+        par: &ParallelConfig,
+    ) -> Scn {
+        let mine = ScnMine::build(corpus, eta, par);
+        let jobs: Vec<_> = plan
+            .blocks()
+            .map(|(lo, hi)| {
+                let mine = &mine;
+                move || mine.scan_mentions(corpus, lo, hi)
+            })
+            .collect();
+        let scans = iuad_par::parallel_jobs(par, jobs);
+        mine.assemble(corpus, scans)
+    }
+
+    /// Freeze this network's adjacency as a [`iuad_graph::Csr`] snapshot —
+    /// built once per network by every engine build/derivation so the
+    /// structural kernels (WL, triangles, balls) walk contiguous sorted
+    /// memory. The snapshot does not track later mutations (e.g.
+    /// [`crate::Iuad::absorb`] appending vertices).
+    pub fn csr(&self) -> iuad_graph::Csr {
+        self.graph.csr()
+    }
+
+    /// Predicted cluster labels for all mentions of `name`, parallel to
+    /// `corpus.mentions_of_name(name)`.
+    pub fn labels_of_name(&self, corpus: &Corpus, name: NameId) -> Vec<usize> {
+        corpus
+            .mentions_of_name(name)
+            .iter()
+            .map(|m| self.assignment[m].index())
+            .collect()
+    }
+
+    /// Number of vertices carrying at least one stable (SCR) edge.
+    pub fn num_stable_vertices(&self) -> usize {
+        self.graph
+            .vertices()
+            .filter(|&(v, _)| {
+                self.graph
+                    .neighbors(v)
+                    .any(|(_, e)| e.scr_support >= self.eta)
+            })
+            .count()
+    }
+}
+
+/// The global (cross-name) part of SCN construction: mined η-SCRs plus the
+/// realised proto graph from the stable-triangle fold. Everything downstream
+/// of this — the per-mention coverage scan — is name-disjoint and shards
+/// freely (see `ScnMine::scan_mentions`).
+pub(crate) struct ScnMine {
+    /// Per-paper sorted, deduplicated author-name lists.
+    name_lists: Vec<Vec<u32>>,
+    /// Mined η-SCRs: `(name_a, name_b)` with `a < b` → support.
+    scrs: FxHashMap<(u32, u32), u32>,
+    /// Each SCR's realised proto edge, oriented (vertex-of-a, vertex-of-b).
+    scr_edge: FxHashMap<(u32, u32), (VertexId, VertexId)>,
+    /// Number of proto vertices the triangle fold created.
+    num_proto: usize,
+    eta: u32,
+}
+
+/// One block's mention-assignment output: raw proto assignments, proof
+/// unions between same-name proto vertices, and the uncovered singletons.
+pub(crate) struct MentionScan {
+    /// Covered mention → proto vertex id.
+    raw: Vec<(Mention, usize)>,
+    /// Same-name proto vertices proven identical by a shared mention.
+    pending_unions: Vec<(usize, usize)>,
+    /// Mentions no SCR covers (future singleton vertices), in scan order.
+    uncovered: Vec<Mention>,
+}
+
+impl ScnMine {
+    /// η-SCR mining plus the sequential SCR-insertion fold with the
+    /// stable-triangle rule. The fold walks SCRs strongest-first across
+    /// *all* names (a triangle can span any three names), so it stays
+    /// global under sharding.
+    fn build(corpus: &Corpus, eta: u32, par: &ParallelConfig) -> ScnMine {
         assert!(eta >= 2, "eta must be at least 2");
         // --- η-SCR mining (frequent 2-itemsets over co-author lists) -----
         let name_lists: Vec<Vec<u32>> = iuad_par::parallel_map(par, &corpus.papers, |p| {
@@ -88,7 +184,6 @@ impl Scn {
         // Proto graph: one vertex per (name, stable author hypothesis).
         let mut proto: AdjGraph<NameId, ()> = AdjGraph::new();
         let mut proto_by_name: FxHashMap<u32, Vec<VertexId>> = FxHashMap::default();
-        // Each SCR's realised edge, oriented (vertex-of-a, vertex-of-b).
         let mut scr_edge: FxHashMap<(u32, u32), (VertexId, VertexId)> = FxHashMap::default();
 
         // Strongest relations first; ties resolved lexicographically so the
@@ -128,49 +223,84 @@ impl Scn {
             scr_edge.insert((a, b), (va, vb));
         }
 
-        // --- Mention assignment -------------------------------------------
-        // Covered mentions go to SCR vertices; a paper whose mention touches
-        // two different SCR vertices of the same name proves those vertices
-        // identical (one person wrote that slot), so union them.
-        let num_proto = proto.num_vertices();
-        let mut uncovered: Vec<Mention> = Vec::new();
-        // Mention → proto id (or, later, singleton id ≥ num_proto).
-        let mut raw_assignment: FxHashMap<Mention, usize> = FxHashMap::default();
-        let mut pending_unions: Vec<(usize, usize)> = Vec::new();
+        ScnMine {
+            name_lists,
+            scrs,
+            scr_edge,
+            num_proto: proto.num_vertices(),
+            eta,
+        }
+    }
 
-        for (p, names) in corpus.papers.iter().zip(&name_lists) {
+    /// Mention assignment for the mentions whose *own* name lies in
+    /// `[name_lo, name_hi)`. Covered mentions go to SCR vertices; a paper
+    /// whose mention touches two different SCR vertices of the same name
+    /// proves those vertices identical (one person wrote that slot), so
+    /// they are queued for union.
+    ///
+    /// This is the name-disjoint shardable phase: for a mention of name
+    /// `a`, `mine` below is always the `a`-side endpoint of the SCR edge,
+    /// so every raw assignment and every pending union produced here
+    /// involves only proto vertices *of names in this block*. Blocks
+    /// therefore write disjoint state, and scanning blocks in any order
+    /// (or concurrently) reproduces the monolithic scan exactly.
+    fn scan_mentions(&self, corpus: &Corpus, name_lo: u32, name_hi: u32) -> MentionScan {
+        let mut scan = MentionScan {
+            raw: Vec::new(),
+            pending_unions: Vec::new(),
+            uncovered: Vec::new(),
+        };
+        for (p, names) in corpus.papers.iter().zip(&self.name_lists) {
             for (slot, &n) in p.authors.iter().enumerate() {
-                let mention = Mention::new(p.id, slot);
                 let a = n.0;
+                if a < name_lo || a >= name_hi {
+                    continue;
+                }
+                let mention = Mention::new(p.id, slot);
                 let mut assigned: Option<usize> = None;
                 for &b in names.iter().filter(|&&b| b != a) {
                     let key = if a < b { (a, b) } else { (b, a) };
-                    if let Some(&(v1, v2)) = scr_edge.get(&key) {
+                    if let Some(&(v1, v2)) = self.scr_edge.get(&key) {
                         let mine = if a < b { v1 } else { v2 };
                         match assigned {
                             None => {
                                 assigned = Some(mine.index());
-                                raw_assignment.insert(mention, mine.index());
+                                scan.raw.push((mention, mine.index()));
                             }
                             Some(prev) if prev != mine.index() => {
-                                pending_unions.push((prev, mine.index()));
+                                scan.pending_unions.push((prev, mine.index()));
                             }
                             Some(_) => {}
                         }
                     }
                 }
                 if assigned.is_none() {
-                    uncovered.push(mention);
+                    scan.uncovered.push(mention);
                 }
             }
         }
+        scan
+    }
 
-        let mut uf = UnionFind::new(num_proto + uncovered.len());
-        for (x, y) in pending_unions {
-            uf.union(x, y);
-        }
-        for (k, m) in uncovered.iter().enumerate() {
-            raw_assignment.insert(*m, num_proto + k);
+    /// Join the block scans and rebuild the final network. Singleton ids
+    /// never participate in a union, and the rebuild renumbers union-find
+    /// roots by first appearance in (paper, slot) mention order, so the
+    /// result is independent of block count and block boundaries.
+    fn assemble(self, corpus: &Corpus, scans: Vec<MentionScan>) -> Scn {
+        let num_uncovered: usize = scans.iter().map(|s| s.uncovered.len()).sum();
+        let num_raw: usize = scans.iter().map(|s| s.raw.len()).sum();
+        let mut uf = UnionFind::new(self.num_proto + num_uncovered);
+        let mut ordered: Vec<(Mention, usize)> = Vec::with_capacity(num_raw + num_uncovered);
+        let mut next_singleton = self.num_proto;
+        for scan in scans {
+            for &(x, y) in &scan.pending_unions {
+                uf.union(x, y);
+            }
+            ordered.extend(scan.raw);
+            for m in scan.uncovered {
+                ordered.push((m, next_singleton));
+                next_singleton += 1;
+            }
         }
 
         // --- Rebuild the final graph ---------------------------------------
@@ -179,7 +309,6 @@ impl Scn {
         let mut graph: AdjGraph<ScnVertex, EdgeData> = AdjGraph::new();
         let mut assignment: FxHashMap<Mention, VertexId> = FxHashMap::default();
 
-        let mut ordered: Vec<(Mention, usize)> = raw_assignment.into_iter().collect();
         ordered.sort_unstable(); // (paper, slot) order → deterministic ids
         for (mention, raw) in ordered {
             let root = uf.find(raw);
@@ -211,7 +340,7 @@ impl Scn {
                         continue; // same vertex cannot self-loop
                     }
                     let key = if na < nb { (na, nb) } else { (nb, na) };
-                    let support = scrs.get(&key).copied().unwrap_or(0);
+                    let support = self.scrs.get(&key).copied().unwrap_or(0);
                     graph.upsert_edge(
                         va,
                         vb,
@@ -238,40 +367,9 @@ impl Scn {
             graph,
             assignment,
             by_name,
-            scrs,
-            eta,
+            scrs: self.scrs,
+            eta: self.eta,
         }
-    }
-
-    /// Freeze this network's adjacency as a [`iuad_graph::Csr`] snapshot —
-    /// built once per network by every engine build/derivation so the
-    /// structural kernels (WL, triangles, balls) walk contiguous sorted
-    /// memory. The snapshot does not track later mutations (e.g.
-    /// [`crate::Iuad::absorb`] appending vertices).
-    pub fn csr(&self) -> iuad_graph::Csr {
-        self.graph.csr()
-    }
-
-    /// Predicted cluster labels for all mentions of `name`, parallel to
-    /// `corpus.mentions_of_name(name)`.
-    pub fn labels_of_name(&self, corpus: &Corpus, name: NameId) -> Vec<usize> {
-        corpus
-            .mentions_of_name(name)
-            .iter()
-            .map(|m| self.assignment[m].index())
-            .collect()
-    }
-
-    /// Number of vertices carrying at least one stable (SCR) edge.
-    pub fn num_stable_vertices(&self) -> usize {
-        self.graph
-            .vertices()
-            .filter(|&(v, _)| {
-                self.graph
-                    .neighbors(v)
-                    .any(|(_, e)| e.scr_support >= self.eta)
-            })
-            .count()
     }
 }
 
@@ -427,6 +525,41 @@ mod tests {
     #[should_panic(expected = "eta")]
     fn eta_one_rejected() {
         let _ = Scn::build(&figure2_corpus(), 1);
+    }
+
+    /// The sharded build must reproduce the monolithic network exactly —
+    /// same assignment, same by_name groups — at any block count,
+    /// including blocks that slice straight through SCR name pairs.
+    #[test]
+    fn sharded_build_matches_monolith() {
+        let cases = [
+            figure2_corpus(),
+            Corpus::generate(&iuad_corpus::CorpusConfig {
+                num_authors: 150,
+                num_papers: 600,
+                seed: 7,
+                ..Default::default()
+            }),
+        ];
+        let par = ParallelConfig::sequential();
+        for c in &cases {
+            let mono = Scn::build(c, 2);
+            for blocks in [1usize, 2, 3, 7] {
+                let plan = crate::shard::ShardPlan::for_corpus(c, blocks);
+                let sharded = Scn::build_sharded(c, 2, &plan, &par);
+                assert_eq!(sharded.assignment, mono.assignment, "blocks = {blocks}");
+                assert_eq!(
+                    sharded.graph.num_vertices(),
+                    mono.graph.num_vertices(),
+                    "blocks = {blocks}"
+                );
+                assert_eq!(
+                    sharded.graph.num_edges(),
+                    mono.graph.num_edges(),
+                    "blocks = {blocks}"
+                );
+            }
+        }
     }
 
     #[test]

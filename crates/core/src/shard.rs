@@ -1,0 +1,167 @@
+//! Name-block sharding for the million-paper fit.
+//!
+//! Disambiguation is bottom-up and never compares mentions across name
+//! blocks: Stage 1 assigns a mention only to vertices of its own name, and
+//! Stage 2 scores candidate pairs strictly within one name group. The
+//! corpus therefore partitions embarrassingly by name — only η-SCR mining,
+//! the stable-triangle proto fold, EM training, and the final merge/derive
+//! passes are global. A [`ShardPlan`] captures that partition as contiguous
+//! ascending name-id ranges, which is what keeps the sharded fit
+//! bit-identical to the monolith: concatenating per-block outputs in block
+//! order reproduces the monolith's ascending-name iteration order exactly.
+
+use iuad_corpus::Corpus;
+
+/// A partition of the name-id space `0..num_names` into contiguous blocks.
+///
+/// Invariants (property-tested in `tests/properties.rs`):
+/// - **exhaustive**: every name id lies in exactly one block;
+/// - **name-disjoint**: blocks are disjoint half-open ranges;
+/// - **ordered**: block `i` covers strictly smaller name ids than block
+///   `i + 1`, so per-block outputs concatenate in ascending name order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// `bounds[i]..bounds[i + 1]` is block `i`; `bounds[0] == 0` and
+    /// `bounds.last() == num_names`.
+    bounds: Vec<u32>,
+}
+
+impl ShardPlan {
+    /// Partition `0..weights.len()` name ids into at most `num_blocks`
+    /// contiguous ranges of roughly equal total weight (greedy linear
+    /// sweep). Zero-weight prefixes attach to the following block; empty
+    /// blocks are never emitted, so the plan may hold fewer than
+    /// `num_blocks` blocks for small corpora.
+    pub fn from_weights(weights: &[u64], num_blocks: usize) -> ShardPlan {
+        let num_names = weights.len();
+        let num_blocks = num_blocks.max(1);
+        let total: u64 = weights.iter().sum();
+        let mut bounds = vec![0u32];
+        if num_names > 0 {
+            // Ideal cumulative cut points: block i ends once cumulative
+            // weight reaches (i + 1) * total / num_blocks.
+            let mut acc: u64 = 0;
+            let mut cut = 1u64;
+            for (n, &w) in weights.iter().enumerate() {
+                acc += w;
+                // Close blocks whose quota this name filled. Strictly less
+                // than `num_names` names remain unclaimed after n, so a
+                // bound at n + 1 never leaves an empty trailing block.
+                while cut < num_blocks as u64
+                    && acc * num_blocks as u64 >= cut * total
+                    && total > 0
+                    && (n + 1) < num_names
+                {
+                    bounds.push((n + 1) as u32);
+                    cut += 1;
+                }
+            }
+            bounds.push(num_names as u32);
+            bounds.dedup();
+        }
+        ShardPlan { bounds }
+    }
+
+    /// Plan for `corpus` with blocks balanced by estimated per-name work:
+    /// `(1 + mentions)²`, a proxy for the quadratic candidate-pair cost
+    /// that dominates Stage 2 (and an upper bound on the linear Stage-1
+    /// scan cost).
+    pub fn for_corpus(corpus: &Corpus, num_blocks: usize) -> ShardPlan {
+        let mut mentions = vec![0u64; corpus.num_names()];
+        for p in &corpus.papers {
+            for &n in &p.authors {
+                mentions[n.index()] += 1;
+            }
+        }
+        let weights: Vec<u64> = mentions.iter().map(|&m| (1 + m) * (1 + m)).collect();
+        Self::from_weights(&weights, num_blocks)
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.bounds.len().saturating_sub(1)
+    }
+
+    /// Iterate the half-open name-id ranges `[lo, hi)` in ascending order.
+    pub fn blocks(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.bounds.windows(2).map(|w| (w[0], w[1]))
+    }
+
+    /// The block containing `name`, if any.
+    pub fn block_of(&self, name: u32) -> Option<usize> {
+        if self.num_blocks() == 0 || name >= *self.bounds.last().unwrap() {
+            return None;
+        }
+        Some(self.bounds.partition_point(|&b| b <= name) - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_invariants(plan: &ShardPlan, num_names: usize) {
+        let blocks: Vec<(u32, u32)> = plan.blocks().collect();
+        if num_names == 0 {
+            assert_eq!(plan.num_blocks(), 0);
+            return;
+        }
+        assert_eq!(blocks.first().unwrap().0, 0);
+        assert_eq!(blocks.last().unwrap().1, num_names as u32);
+        for w in blocks.windows(2) {
+            assert_eq!(w[0].1, w[1].0, "blocks must tile contiguously");
+        }
+        for &(lo, hi) in &blocks {
+            assert!(lo < hi, "no empty blocks");
+        }
+        for n in 0..num_names as u32 {
+            let i = plan.block_of(n).expect("every name in some block");
+            assert!(blocks[i].0 <= n && n < blocks[i].1);
+        }
+    }
+
+    #[test]
+    fn uniform_weights_split_evenly() {
+        let plan = ShardPlan::from_weights(&[1; 12], 4);
+        check_invariants(&plan, 12);
+        assert_eq!(plan.num_blocks(), 4);
+        let sizes: Vec<u32> = plan.blocks().map(|(lo, hi)| hi - lo).collect();
+        assert_eq!(sizes, vec![3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn heavy_head_gets_its_own_block() {
+        let plan = ShardPlan::from_weights(&[100, 1, 1, 1, 1, 1], 3);
+        check_invariants(&plan, 6);
+        assert_eq!(plan.blocks().next().unwrap(), (0, 1));
+    }
+
+    #[test]
+    fn more_blocks_than_names_collapses() {
+        let plan = ShardPlan::from_weights(&[1, 1], 8);
+        check_invariants(&plan, 2);
+        assert!(plan.num_blocks() <= 2);
+    }
+
+    #[test]
+    fn zero_total_weight_is_one_block() {
+        let plan = ShardPlan::from_weights(&[0, 0, 0], 4);
+        check_invariants(&plan, 3);
+        assert_eq!(plan.num_blocks(), 1);
+    }
+
+    #[test]
+    fn empty_name_space() {
+        let plan = ShardPlan::from_weights(&[], 4);
+        check_invariants(&plan, 0);
+        assert_eq!(plan.block_of(0), None);
+    }
+
+    #[test]
+    fn single_block_spans_everything() {
+        let plan = ShardPlan::from_weights(&[5, 1, 9, 2], 1);
+        check_invariants(&plan, 4);
+        assert_eq!(plan.num_blocks(), 1);
+        assert_eq!(plan.blocks().next().unwrap(), (0, 4));
+    }
+}

@@ -158,8 +158,44 @@ impl Corpus {
         Self::generate_with_report(config).0
     }
 
-    /// Generate a corpus together with a [`GeneratorReport`].
+    /// Generate a corpus together with a [`GeneratorReport`]. Equivalent to
+    /// draining a [`PaperGenerator`] and calling
+    /// [`PaperGenerator::into_corpus`] — the streamed path IS this path.
     pub fn generate_with_report(config: &CorpusConfig) -> (Corpus, GeneratorReport) {
+        let mut generator = PaperGenerator::new(config);
+        let mut papers = Vec::with_capacity(config.num_papers);
+        let mut truth = Vec::with_capacity(config.num_papers);
+        for (paper, authors) in generator.by_ref() {
+            papers.push(paper);
+            truth.push(authors);
+        }
+        generator.into_corpus(papers, truth)
+    }
+}
+
+/// Streaming face of the generator: the up-front world model (names,
+/// venues, authors, collaboration graph) is built eagerly by
+/// [`PaperGenerator::new`], then papers are drawn one at a time via the
+/// [`Iterator`] impl. Bit-identical to [`Corpus::generate`] — that path is
+/// implemented on top of this one — but lets million-paper producers
+/// consume papers in chunks (progress reporting, bounded transients)
+/// instead of materialising intermediate structures beyond the corpus
+/// itself.
+pub struct PaperGenerator {
+    config: CorpusConfig,
+    rng: StdRng,
+    name_strings: Vec<String>,
+    venue_strings: Vec<String>,
+    author_names: Vec<NameId>,
+    authors: Vec<AuthorState>,
+    by_topic: Vec<Vec<u32>>,
+    lead_weights: Vec<f64>,
+    next_pid: usize,
+}
+
+impl PaperGenerator {
+    /// Build the generator world model. Deterministic in `config`.
+    pub fn new(config: &CorpusConfig) -> PaperGenerator {
         assert!(config.num_authors > 0, "num_authors must be positive");
         assert!(config.num_topics > 0, "num_topics must be positive");
         assert!(
@@ -189,10 +225,6 @@ impl Corpus {
                 venue_strings.push(format!("conf-t{t}-{v}"));
             }
         }
-        // Topic vocabularies: `topic{t}word{j}`, Zipf-weighted within topic so
-        // rare words exist (they matter for γ₄ and γ₆-style IDF weighting).
-        let topic_word = |t: usize, j: usize| format!("topic{t}word{j}");
-
         // --- Authors --------------------------------------------------------
         let mut authors: Vec<AuthorState> = Vec::with_capacity(config.num_authors);
         for &name in &author_names {
@@ -265,13 +297,40 @@ impl Corpus {
             }
         }
 
-        // --- Papers ---------------------------------------------------------
         let lead_weights: Vec<f64> = authors.iter().map(|a| a.productivity).collect();
-        let mut papers = Vec::with_capacity(config.num_papers);
-        let mut truth = Vec::with_capacity(config.num_papers);
-        for pid in 0..config.num_papers {
-            let lead = weighted_index(&lead_weights, &mut rng) as u32;
-            let team = assemble_team(lead, &authors, &by_topic, config, &mut rng);
+        PaperGenerator {
+            config: config.clone(),
+            rng,
+            name_strings,
+            venue_strings,
+            author_names,
+            authors,
+            by_topic,
+            lead_weights,
+            next_pid: 0,
+        }
+    }
+
+    /// Papers not yet drawn.
+    pub fn papers_remaining(&self) -> usize {
+        self.config.num_papers - self.next_pid
+    }
+
+    /// Draw the next paper and its ground-truth author list, or `None`
+    /// once `config.num_papers` papers have been drawn.
+    fn next_paper(&mut self) -> Option<(Paper, Vec<AuthorId>)> {
+        if self.next_pid >= self.config.num_papers {
+            return None;
+        }
+        let pid = self.next_pid;
+        self.next_pid += 1;
+        let (config, rng, authors) = (&self.config, &mut self.rng, &self.authors);
+        // Topic vocabularies: `topic{t}word{j}`, Zipf-weighted within topic so
+        // rare words exist (they matter for γ₄ and γ₆-style IDF weighting).
+        let topic_word = |t: usize, j: usize| format!("topic{t}word{j}");
+        {
+            let lead = weighted_index(&self.lead_weights, rng) as u32;
+            let team = assemble_team(lead, authors, &self.by_topic, config, rng);
             let lead_st = &authors[lead as usize];
 
             // Title: general filler + the lead's personal niche + broader
@@ -294,13 +353,13 @@ impl Corpus {
                     words.push(topic_word(lead_st.topic, w));
                 } else {
                     // Zipf-ish word rank within the (possibly noisy) topic.
-                    let r = zipf_rank(config.words_per_topic, 1.1, &mut rng);
+                    let r = zipf_rank(config.words_per_topic, 1.1, rng);
                     words.push(topic_word(title_topic, r));
                 }
             }
 
             let venue = if rng.gen::<f64>() < config.venue_noise {
-                VenueId::from(rng.gen_range(0..venue_strings.len()))
+                VenueId::from(rng.gen_range(0..self.venue_strings.len()))
             } else if rng.gen::<f64>() < 0.6 {
                 lead_st.favourite_venue
             } else {
@@ -313,23 +372,37 @@ impl Corpus {
             let (y0, y1) = lead_st.career;
             let year = if y0 >= y1 { y0 } else { rng.gen_range(y0..=y1) };
 
-            papers.push(Paper {
+            let paper = Paper {
                 id: PaperId::from(pid),
                 authors: team.iter().map(|&a| authors[a as usize].name).collect(),
                 title: words.join(" "),
                 venue,
                 year,
-            });
-            truth.push(team.iter().map(|&a| AuthorId(a)).collect());
+            };
+            let truth = team.iter().map(|&a| AuthorId(a)).collect();
+            Some((paper, truth))
         }
+    }
 
+    /// Assemble the corpus from the drained paper stream (every paper the
+    /// iterator yielded, in order) and report what was generated.
+    pub fn into_corpus(
+        self,
+        papers: Vec<Paper>,
+        truth: Vec<Vec<AuthorId>>,
+    ) -> (Corpus, GeneratorReport) {
+        assert_eq!(
+            papers.len(),
+            self.config.num_papers,
+            "the paper stream must be fully drained before corpus assembly"
+        );
         let corpus = Corpus {
             papers,
-            name_strings,
-            venue_strings,
+            name_strings: self.name_strings,
+            venue_strings: self.venue_strings,
             truth,
-            author_names,
-            config: Some(config.clone()),
+            author_names: self.author_names,
+            config: Some(self.config),
         };
         debug_assert_eq!(corpus.validate(), Ok(()));
 
@@ -341,6 +414,28 @@ impl Corpus {
             num_mentions: corpus.num_mentions(),
         };
         (corpus, report)
+    }
+}
+
+impl Iterator for PaperGenerator {
+    type Item = (Paper, Vec<AuthorId>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_paper()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.papers_remaining();
+        (n, Some(n))
+    }
+}
+
+impl std::fmt::Debug for PaperGenerator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PaperGenerator")
+            .field("num_papers", &self.config.num_papers)
+            .field("next_pid", &self.next_pid)
+            .finish_non_exhaustive()
     }
 }
 
@@ -514,5 +609,44 @@ mod tests {
             num_authors: 0,
             ..Default::default()
         });
+    }
+
+    /// Draining the streaming generator in uneven chunks must reproduce
+    /// `Corpus::generate` bit for bit — papers, truth, name/venue tables,
+    /// and the report.
+    #[test]
+    fn chunked_streaming_matches_monolithic_generate() {
+        let cfg = small();
+        let (reference, ref_report) = Corpus::generate_with_report(&cfg);
+
+        let mut gen = PaperGenerator::new(&cfg);
+        let mut papers = Vec::new();
+        let mut truth = Vec::new();
+        for chunk in [1usize, 7, 64, usize::MAX] {
+            for _ in 0..chunk {
+                let Some((p, t)) = gen.next() else { break };
+                papers.push(p);
+                truth.push(t);
+            }
+        }
+        assert_eq!(gen.papers_remaining(), 0);
+        let (streamed, report) = gen.into_corpus(papers, truth);
+
+        assert_eq!(streamed.papers, reference.papers);
+        assert_eq!(streamed.truth, reference.truth);
+        assert_eq!(streamed.name_strings, reference.name_strings);
+        assert_eq!(streamed.venue_strings, reference.venue_strings);
+        assert_eq!(streamed.author_names, reference.author_names);
+        assert_eq!(report.num_mentions, ref_report.num_mentions);
+        assert_eq!(report.ambiguous_names, ref_report.ambiguous_names);
+    }
+
+    #[test]
+    #[should_panic(expected = "fully drained")]
+    fn partial_drain_cannot_assemble_corpus() {
+        let cfg = small();
+        let mut gen = PaperGenerator::new(&cfg);
+        let (p, t) = gen.next().unwrap();
+        let _ = gen.into_corpus(vec![p], vec![t]);
     }
 }

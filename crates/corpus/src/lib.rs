@@ -39,7 +39,7 @@ pub mod scenario;
 mod stats;
 mod testset;
 
-pub use generator::{CorpusConfig, GeneratorReport};
+pub use generator::{CorpusConfig, GeneratorReport, PaperGenerator};
 pub use io::{load_jsonl, save_jsonl, CorpusIoError};
 pub use model::{AuthorId, Corpus, Mention, NameId, Paper, PaperId, VenueId};
 pub use names::NamePools;

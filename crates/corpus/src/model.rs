@@ -23,10 +23,19 @@ macro_rules! id_type {
         }
 
         impl From<usize> for $name {
+            /// Checked narrowing: ids are `u32` on disk and in every slab, so
+            /// an index past `u32::MAX` is a corpus too large for the id
+            /// width — fail loudly instead of silently truncating (the old
+            /// `debug_assert` + `as` pattern wrapped ids in release builds).
             #[inline]
             fn from(v: usize) -> Self {
-                debug_assert!(v <= u32::MAX as usize);
-                Self(v as u32)
+                match u32::try_from(v) {
+                    Ok(raw) => Self(raw),
+                    Err(_) => panic!(
+                        concat!(stringify!($name), " overflow: index {} exceeds u32::MAX"),
+                        v
+                    ),
+                }
             }
         }
     };
@@ -79,13 +88,14 @@ pub struct Mention {
 }
 
 impl Mention {
-    /// Construct a mention from raw indices.
+    /// Construct a mention from raw indices. The slot is narrowed with the
+    /// same checked conversion as the id newtypes: an author list longer
+    /// than `u32::MAX` fails loudly rather than aliasing another slot.
     #[inline]
     pub fn new(paper: PaperId, slot: usize) -> Self {
-        Self {
-            paper,
-            slot: slot as u32,
-        }
+        let slot = u32::try_from(slot)
+            .unwrap_or_else(|_| panic!("Mention slot overflow: slot {slot} exceeds u32::MAX"));
+        Self { paper, slot }
     }
 }
 
@@ -386,5 +396,25 @@ mod tests {
         let by = c.authors_by_name();
         assert_eq!(by[0], vec![AuthorId(0), AuthorId(1)]);
         assert_eq!(by[1], vec![AuthorId(2)]);
+    }
+
+    /// Ids are u32-wide on disk and in every slab; an index past `u32::MAX`
+    /// must fail loudly (the old debug_assert + `as` cast truncated in
+    /// release builds).
+    #[test]
+    #[should_panic(expected = "NameId overflow")]
+    fn id_from_usize_overflow_panics() {
+        let _ = NameId::from(u32::MAX as usize + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "Mention slot overflow")]
+    fn mention_slot_overflow_panics() {
+        let _ = Mention::new(PaperId(0), u32::MAX as usize + 1);
+    }
+
+    #[test]
+    fn id_from_usize_roundtrips_at_the_boundary() {
+        assert_eq!(NameId::from(u32::MAX as usize).index(), u32::MAX as usize);
     }
 }

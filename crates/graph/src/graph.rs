@@ -15,10 +15,15 @@ impl VertexId {
 }
 
 impl From<usize> for VertexId {
+    /// Checked narrowing: a graph with more than `u32::MAX` vertices is a
+    /// corpus too large for the id width — fail loudly instead of wrapping
+    /// (the old `debug_assert` + `as` pattern truncated in release builds).
     #[inline]
     fn from(v: usize) -> Self {
-        debug_assert!(v <= u32::MAX as usize);
-        Self(v as u32)
+        match u32::try_from(v) {
+            Ok(raw) => Self(raw),
+            Err(_) => panic!("VertexId overflow: index {v} exceeds u32::MAX"),
+        }
     }
 }
 
@@ -205,6 +210,12 @@ mod tests {
         g.upsert_edge(vs[0], vs[1], || 1, |e| *e += 1);
         g.upsert_edge(vs[1], vs[2], || 1, |e| *e += 1);
         (g, vs)
+    }
+
+    #[test]
+    #[should_panic(expected = "VertexId overflow")]
+    fn vertex_id_overflow_panics() {
+        let _ = VertexId::from(u32::MAX as usize + 1);
     }
 
     #[test]

@@ -11,7 +11,14 @@ pub struct UnionFind {
 
 impl UnionFind {
     /// `n` singleton sets.
+    ///
+    /// Elements are stored as `u32`, so `n` past `u32::MAX` would wrap
+    /// silently in the parent table — check once at construction instead.
     pub fn new(n: usize) -> Self {
+        assert!(
+            u32::try_from(n).is_ok(),
+            "UnionFind overflow: {n} elements exceed u32::MAX"
+        );
         Self {
             parent: (0..n as u32).collect(),
             size: vec![1; n],

@@ -39,5 +39,5 @@ pub mod runner;
 pub use differential::{score_scenario_methods, MethodScore};
 pub use fingerprint::{canonical_labels, fingerprint_hex, fingerprint_of_labels};
 pub use golden::golden_fingerprint;
-pub use invariants::InvariantReport;
+pub use invariants::{InvariantReport, InvariantStatus};
 pub use runner::{run_scenario, IncrementalOutcome, ScenarioOutcome};

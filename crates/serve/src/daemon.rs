@@ -170,6 +170,8 @@ struct WorkerCtx {
     ingest_tx: SyncSender<IngestMsg>,
     /// Publish batch size, for shed `retry_after_ms` estimates.
     batch: u64,
+    /// Bound of the ingest channel, for clamping shed backlog reports.
+    ingest_capacity: u64,
     faults: Option<Arc<FaultInjector>>,
 }
 
@@ -253,6 +255,7 @@ impl Daemon {
                 shutdown: Arc::clone(&shutdown),
                 ingest_tx: ingest_tx.clone(),
                 batch: cfg.batch_size.max(1) as u64,
+                ingest_capacity: cfg.ingest_queue.max(1) as u64,
                 faults: cfg.faults.clone(),
             };
             workers.push(std::thread::spawn(move || {
@@ -649,10 +652,11 @@ fn ingest(fields: &[(String, Value)], ctx: &WorkerCtx) -> Value {
             ctx.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
             ctx.stats.shed.fetch_add(1, Ordering::Relaxed);
             ctx.stats.shed_ingest_full.fetch_add(1, Ordering::Relaxed);
+            let backlog = shed_ingest_backlog(depth - 1, ctx.ingest_capacity);
             return shed_response(
                 "ingest-queue-full",
-                retry_after_ingest(depth - 1, ctx.batch),
-                depth - 1,
+                retry_after_ingest(backlog, ctx.batch),
+                backlog,
             );
         }
         Err(TrySendError::Disconnected(_)) => {
@@ -813,6 +817,17 @@ fn retry_after_ingest(depth: u64, batch: u64) -> u64 {
     2 * depth + 8 * (depth / batch.max(1) + 1)
 }
 
+/// The backlog a shed ingest reports. The relaxed `queue_depth` gauge is
+/// incremented *before* `try_send` (so the ingest thread's decrement can
+/// never observe a message before its increment), which means concurrent
+/// senders racing into a full queue each read a gauge transiently inflated
+/// past the channel bound. The queue itself never holds more than
+/// `capacity` papers, so both the reported depth and the pacing hint
+/// derived from it clamp to the configured capacity.
+fn shed_ingest_backlog(gauge_depth: u64, capacity: u64) -> u64 {
+    gauge_depth.min(capacity)
+}
+
 /// A shed response: `cause` is `"admission"` or `"ingest-queue-full"`,
 /// `retry_after_ms` is a deterministic pacing hint, and `queue_depth` is
 /// the backlog the request would have joined (in-flight whois count for
@@ -882,6 +897,24 @@ mod tests {
         assert!(
             admission.counts.lock().unwrap().is_empty(),
             "fully released names leave no table entries"
+        );
+    }
+
+    #[test]
+    fn shed_backlog_clamps_gauge_to_capacity() {
+        // In-bound depths pass through untouched...
+        assert_eq!(shed_ingest_backlog(0, 64), 0);
+        assert_eq!(shed_ingest_backlog(63, 64), 63);
+        assert_eq!(shed_ingest_backlog(64, 64), 64);
+        // ...while gauge readings inflated by concurrent in-flight sends
+        // clamp to the channel bound.
+        assert_eq!(shed_ingest_backlog(65, 64), 64);
+        assert_eq!(shed_ingest_backlog(1000, 64), 64);
+        // The pacing hint is monotone in the backlog, so clamping the
+        // input also caps the hint at the full-queue value.
+        assert_eq!(
+            retry_after_ingest(shed_ingest_backlog(1000, 64), 16),
+            retry_after_ingest(64, 16)
         );
     }
 }

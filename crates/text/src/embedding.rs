@@ -41,6 +41,11 @@ impl Embeddings {
     pub fn cosine_ids(&self, a: u32, b: u32) -> f64 {
         cosine(self.get(a), self.get(b))
     }
+
+    /// Approximate heap footprint in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<f32>()
+    }
 }
 
 /// Cosine similarity of two equal-length vectors; 0.0 if either is zero.

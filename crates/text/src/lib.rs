@@ -22,12 +22,14 @@
 
 #![warn(missing_docs)]
 
+mod arena;
 mod embedding;
 mod sampler;
 mod sgns;
 mod tokenize;
 mod vocab;
 
+pub use arena::StrArena;
 pub use embedding::{centroid, cosine, cosine_with_norms, norm, Embeddings};
 pub use sampler::AliasTable;
 pub use sgns::{train_sgns, train_sgns_with_stats, SgnsConfig, SgnsStats};

@@ -1,12 +1,18 @@
 //! Vocabulary: word ↔ id mapping with corpus statistics.
+//!
+//! Words live in a [`StrArena`] — one contiguous buffer, `u32` symbols —
+//! instead of the former `Vec<String>` + `HashMap<String, u32>` pair,
+//! which stored every word as two owned `String`s. Vocabulary ids ARE
+//! arena symbols, assigned densely in first-seen order, so ids from the
+//! streaming [`Vocab::observe_doc`] path are identical to a two-pass
+//! [`Vocab::build`] over the same document stream.
 
-use rustc_hash::FxHashMap;
+use crate::arena::StrArena;
 
 /// An interning vocabulary with term counts and document frequencies.
 #[derive(Debug, Clone, Default)]
 pub struct Vocab {
-    words: Vec<String>,
-    index: FxHashMap<String, u32>,
+    arena: StrArena,
     term_count: Vec<u64>,
     doc_freq: Vec<u32>,
     num_docs: u32,
@@ -17,34 +23,50 @@ impl Vocab {
     pub fn build<D, W>(docs: D) -> Self
     where
         D: IntoIterator<Item = W>,
-        W: IntoIterator<Item = String>,
+        W: IntoIterator,
+        W::Item: AsRef<str>,
     {
         let mut v = Vocab::default();
-        let mut seen_in_doc: Vec<u32> = Vec::new();
+        let mut scratch = Vec::new();
         for doc in docs {
-            v.num_docs += 1;
-            seen_in_doc.clear();
-            for word in doc {
-                let id = v.intern(word);
-                v.term_count[id as usize] += 1;
-                if !seen_in_doc.contains(&id) {
-                    seen_in_doc.push(id);
-                    v.doc_freq[id as usize] += 1;
-                }
-            }
+            scratch.clear();
+            v.observe_doc(doc, &mut scratch);
         }
         v
     }
 
-    fn intern(&mut self, word: String) -> u32 {
-        if let Some(&id) = self.index.get(&word) {
-            return id;
+    /// Intern + count one document in a single pass, appending each
+    /// token's id to `encoded` in token order. This is the streaming
+    /// equivalent of `Vocab::build` followed by `encode`: because every
+    /// token is interned before it is encoded, the two-pass and one-pass
+    /// forms produce identical ids, counts, and encodings.
+    pub fn observe_doc<W>(&mut self, doc: W, encoded: &mut Vec<u32>)
+    where
+        W: IntoIterator,
+        W::Item: AsRef<str>,
+    {
+        self.num_docs += 1;
+        let doc_start = encoded.len();
+        for word in doc {
+            let id = self.intern(word.as_ref());
+            self.term_count[id as usize] += 1;
+            // Small-document linear scan: titles run ~5-10 tokens.
+            if !encoded[doc_start..].contains(&id) {
+                self.doc_freq[id as usize] += 1;
+            }
+            encoded.push(id);
         }
-        let id = self.words.len() as u32;
-        self.index.insert(word.clone(), id);
-        self.words.push(word);
-        self.term_count.push(0);
-        self.doc_freq.push(0);
+        // `encoded[doc_start..]` doubles as the seen-set above, but the
+        // caller wants every occurrence, duplicates included — and that is
+        // exactly what was pushed.
+    }
+
+    fn intern(&mut self, word: &str) -> u32 {
+        let id = self.arena.intern(word);
+        if id as usize == self.term_count.len() {
+            self.term_count.push(0);
+            self.doc_freq.push(0);
+        }
         id
     }
 
@@ -55,22 +77,22 @@ impl Vocab {
 
     /// Id of `word`, if known.
     pub fn id(&self, word: &str) -> Option<u32> {
-        self.index.get(word).copied()
+        self.arena.lookup(word)
     }
 
     /// Word for `id`.
     pub fn word(&self, id: u32) -> &str {
-        &self.words[id as usize]
+        self.arena.resolve(id)
     }
 
     /// Number of distinct words.
     pub fn len(&self) -> usize {
-        self.words.len()
+        self.arena.len()
     }
 
     /// True when no words were seen.
     pub fn is_empty(&self) -> bool {
-        self.words.is_empty()
+        self.arena.is_empty()
     }
 
     /// Total occurrences of `id` across the corpus.
@@ -98,6 +120,11 @@ impl Vocab {
     /// the "frequent words" the paper excludes from keywords.
     pub fn is_frequent(&self, id: u32, fraction: f64) -> bool {
         self.num_docs > 0 && self.doc_freq(id) as f64 / self.num_docs as f64 > fraction
+    }
+
+    /// Approximate heap footprint in bytes (arena + count tables).
+    pub fn heap_bytes(&self) -> usize {
+        self.arena.heap_bytes() + self.term_count.capacity() * 8 + self.doc_freq.capacity() * 4
     }
 }
 
@@ -159,5 +186,38 @@ mod tests {
         let v = Vocab::build(Vec::<Vec<String>>::new());
         assert!(v.is_empty());
         assert_eq!(v.num_docs(), 0);
+    }
+
+    /// The one-pass observe+encode path matches the two-pass build+encode
+    /// path id for id: same interning order, same counts, same encoding.
+    #[test]
+    fn observe_doc_matches_build_then_encode() {
+        let docs: Vec<Vec<&str>> = vec![
+            vec!["graph", "learning", "graph"],
+            vec!["graph", "query"],
+            vec![],
+            vec!["storage", "graph", "storage"],
+        ];
+        let two_pass = Vocab::build(docs.iter().map(|d| d.iter().copied()));
+        let expected: Vec<Vec<u32>> = docs
+            .iter()
+            .map(|d| two_pass.encode(d.iter().copied()))
+            .collect();
+
+        let mut v = Vocab::default();
+        let mut got = Vec::new();
+        for d in &docs {
+            let mut ids = Vec::new();
+            v.observe_doc(d.iter().copied(), &mut ids);
+            got.push(ids);
+        }
+        assert_eq!(got, expected);
+        assert_eq!(v.num_docs(), two_pass.num_docs());
+        assert_eq!(v.len(), two_pass.len());
+        for id in 0..v.len() as u32 {
+            assert_eq!(v.term_count(id), two_pass.term_count(id));
+            assert_eq!(v.doc_freq(id), two_pass.doc_freq(id));
+            assert_eq!(v.word(id), two_pass.word(id));
+        }
     }
 }

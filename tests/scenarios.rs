@@ -18,12 +18,15 @@ fn outcome(name: &str) -> ScenarioOutcome {
 fn check(name: &str) {
     let out = outcome(name);
 
-    // 1. Every metamorphic invariant holds.
+    // 1. No metamorphic invariant is violated (skips are allowed — they
+    // mean the property was not applicable to this regime and are recorded
+    // distinctly in SCENARIOS.json).
     for inv in &out.invariants {
         assert!(
-            inv.passed,
+            !inv.failed(),
             "scenario `{name}`: invariant `{}` failed — {}",
-            inv.name, inv.detail
+            inv.name,
+            inv.detail
         );
     }
 

@@ -674,3 +674,81 @@ fn daemon_checkpoint_op_compacts_and_warm_restart_uses_it() {
 
     scrub_serving_files(&path);
 }
+
+#[test]
+fn ingest_shed_backlog_never_exceeds_queue_capacity() {
+    // The relaxed `queue_depth` gauge is incremented before `try_send`, so
+    // senders racing into a full queue each read a depth transiently
+    // inflated past the channel bound. The shed response must clamp: a
+    // client pacing itself off `queue_depth` / `retry_after_ms` should see
+    // the real backlog bound, not the race artefact.
+    const CAPACITY: u64 = 1;
+    const SENDERS: usize = 8;
+    let (base, tail) = corpus().split_tail(64);
+    let state = ServeState::new(Iuad::fit(&base, &IuadConfig::default()), None);
+    let daemon = Daemon::spawn(
+        state,
+        &DaemonConfig {
+            workers: SENDERS,
+            ingest_queue: CAPACITY as usize,
+            ..DaemonConfig::default()
+        },
+    )
+    .expect("spawn daemon");
+    let addr = daemon.addr();
+    let papers: Vec<Paper> = tail.iter().map(|(p, _)| p.clone()).collect();
+
+    let threads: Vec<_> = (0..SENDERS)
+        .map(|_| {
+            let papers = papers.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect ingest client");
+                let mut sheds = 0u64;
+                for paper in &papers {
+                    let authors: Vec<Value> = paper
+                        .authors
+                        .iter()
+                        .map(|n| Value::U64(u64::from(n.0)))
+                        .collect();
+                    let request = Client::request(
+                        "ingest",
+                        vec![
+                            ("authors", Value::Array(authors)),
+                            ("title", Value::Str(paper.title.clone())),
+                            ("venue", Value::U64(u64::from(paper.venue.0))),
+                            ("year", Value::U64(u64::from(paper.year))),
+                        ],
+                    );
+                    let response = client.call(&request).expect("ingest round-trip");
+                    if response_shed(&response) {
+                        sheds += 1;
+                        match response_field(&response, "queue_depth") {
+                            Some(Value::U64(depth)) => assert!(
+                                *depth <= CAPACITY,
+                                "shed reported backlog {depth} past the \
+                                 {CAPACITY}-slot ingest queue"
+                            ),
+                            other => panic!("shed without a numeric queue_depth: {other:?}"),
+                        }
+                        match response_field(&response, "retry_after_ms") {
+                            Some(Value::U64(ms)) => assert!(*ms > 0, "zero retry hint"),
+                            other => panic!("shed without a numeric retry_after_ms: {other:?}"),
+                        }
+                    } else {
+                        assert!(response_ok(&response), "ingest failed: {response:?}");
+                    }
+                }
+                sheds
+            })
+        })
+        .collect();
+    let total_sheds: u64 = threads.into_iter().map(|t| t.join().expect("sender")).sum();
+
+    // 8 senders against a single-slot queue must collide at least once;
+    // without sheds the clamp above was never exercised.
+    assert!(total_sheds >= 1, "hammer produced no ingest sheds");
+    let stats = daemon.stats();
+    assert_eq!(stats.shed_ingest_full.load(Ordering::Relaxed), total_sheds);
+    assert_eq!(stats.errors.load(Ordering::Relaxed), 0);
+    daemon.shutdown();
+}
