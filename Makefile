@@ -1,7 +1,7 @@
 # Local entrypoints mirroring .github/workflows/ci.yml — keep the two in
 # sync so "it passes locally" means "it passes in CI".
 
-.PHONY: build test lint fmt doc bench bench-smoke bench-json bench-scale perf-guard scale-guard scenarios serve-smoke serve-crash repro all
+.PHONY: build test lint fmt doc bench bench-smoke bench-json bench-scale perf-guard scale-guard scenarios serve-smoke serve-crash serve-replica repro all
 
 all: build test lint doc
 
@@ -44,7 +44,9 @@ perf-guard:
 
 # Regenerate the committed scale-tier baseline (BENCH_scale.json; schema in
 # README § Performance): 100k generated papers through the name-block-sharded
-# fit. The 1M tier is manual/nightly only: IUAD_SCALE_1M=1 make bench-scale.
+# fit. The 1M tier is nightly CI (and manual): IUAD_SCALE_1M=1 make bench-scale.
+# Every tier is held to a hard memory ceiling — profile-context heap at most
+# 1.25x the committed baseline's bytes/mention — and the run exits 1 past it.
 bench-scale:
 	IUAD_BENCH_THREADS=1 cargo run --release -p iuad-bench --bin repro -- scale
 
@@ -74,6 +76,15 @@ serve-smoke:
 # bit-identity with an uncrashed control at each one.
 serve-crash:
 	cargo run --release -p iuad-bench --bin iuad -- serve-crash
+
+# What the CI `serve-replica` job runs: the replication gate — the replica
+# fault matrix (torn ship frame, follower kills around an apply, link
+# partition, primary death; follower pinned bit-identical to the primary's
+# durable prefix at every point) plus the failover smoke (mixed
+# ingest/read run through the failover client across a partition and a
+# primary death, zero client errors).
+serve-replica:
+	cargo run --release -p iuad-bench --bin iuad -- serve-replica
 
 # Regenerate the paper's tables and figures.
 repro:

@@ -28,7 +28,7 @@ use iuad_eval::{pairwise_confusion, Confusion, Table};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  iuad generate [--papers N] [--authors N] [--seed S] <out.jsonl>\n  iuad fit <corpus.jsonl> [--eta N] [--delta X] [--bench-json PATH]\n  iuad evaluate <corpus.jsonl> [--eta N] [--delta X] [--bench-json PATH]\n  iuad serve <corpus.jsonl> [--wal PATH] [--fsync true] [--workers N] [--batch N] [--max-inflight N] [--queue N] [--checkpoint-every N] [--eta N] [--delta X]\n  iuad serve-smoke\n  iuad serve-crash [--json PATH]"
+        "usage:\n  iuad generate [--papers N] [--authors N] [--seed S] <out.jsonl>\n  iuad fit <corpus.jsonl> [--eta N] [--delta X] [--bench-json PATH]\n  iuad evaluate <corpus.jsonl> [--eta N] [--delta X] [--bench-json PATH]\n  iuad serve <corpus.jsonl> [--role primary|follower] [--wal PATH] [--fsync true] [--workers N] [--batch N] [--max-inflight N] [--queue N] [--checkpoint-every N] [--replicate-from ADDR] [--max-lag-epochs N] [--eta N] [--delta X]\n  iuad serve-smoke\n  iuad serve-crash [--json PATH]\n  iuad serve-replica [--json PATH]"
     );
     exit(2)
 }
@@ -186,13 +186,12 @@ fn main() {
             if let Some(delta) = args.get("delta") {
                 config.gcn.delta = delta;
             }
-            let daemon_config = iuad_serve::DaemonConfig {
-                workers: args.get("workers").unwrap_or(4),
-                batch_size: args.get("batch").unwrap_or(16),
-                max_inflight_per_name: args.get("max-inflight").unwrap_or(2),
-                ingest_queue: args.get("queue").unwrap_or(64),
-                checkpoint_every: args.get("checkpoint-every").unwrap_or(0),
-                faults: None,
+            let role_name = args
+                .get::<String>("role")
+                .unwrap_or_else(|| "primary".to_owned());
+            let Some(role) = iuad_serve::Role::parse(&role_name) else {
+                eprintln!("error: --role must be `primary` or `follower`, got `{role_name}`");
+                exit(2);
             };
             let (iuad, elapsed) = iuad_eval::time_it(|| Iuad::fit(&corpus, &config));
             eprintln!(
@@ -200,6 +199,55 @@ fn main() {
                 iuad.network.graph.num_vertices(),
                 corpus.papers.len()
             );
+            if role == iuad_serve::Role::Follower {
+                // Read-only replica: bootstrap from the fitted base and
+                // replay the primary's shipped WAL stream from there. The
+                // cursor handshake resumes the stream exactly; ingest is
+                // refused and routed to the primary by clients.
+                let Some(primary) = args.get::<std::net::SocketAddr>("replicate-from") else {
+                    eprintln!("error: --role follower requires --replicate-from HOST:PORT");
+                    exit(2);
+                };
+                let follower_config = iuad_serve::FollowerConfig {
+                    workers: args.get("workers").unwrap_or(2),
+                    max_inflight_per_name: args.get("max-inflight").unwrap_or(2),
+                    max_lag_epochs: args.get("max-lag-epochs").unwrap_or(4),
+                    ..Default::default()
+                };
+                let state = iuad_serve::ServeState::new(iuad, None);
+                let follower = match iuad_serve::Follower::spawn(state, primary, &follower_config) {
+                    Ok(f) => f,
+                    Err(e) => {
+                        eprintln!("error starting follower: {e}");
+                        exit(1);
+                    }
+                };
+                println!(
+                    "follower serving on {} (replicating from {primary}, \
+                     max lag {} epochs) — send {{\"op\":\"shutdown\"}} to stop",
+                    follower.addr(),
+                    follower_config.max_lag_epochs
+                );
+                while !follower.shutdown_requested() {
+                    if let Some(failure) = follower.status().failure() {
+                        eprintln!("replication failed: {failure}");
+                        break;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(200));
+                }
+                let state = follower.shutdown();
+                println!(
+                    "follower shut down at epoch {} after {} applied papers, fingerprint {}",
+                    state.epoch(),
+                    state.papers_ingested(),
+                    iuad_serve::fingerprint_hex(state.fingerprint())
+                );
+                return;
+            }
+            if args.get::<String>("replicate-from").is_some() {
+                eprintln!("error: --replicate-from only applies to --role follower");
+                exit(2);
+            }
             let fsync = args.get("fsync").unwrap_or(false);
             let state = match args.get::<PathBuf>("wal") {
                 Some(path)
@@ -269,6 +317,48 @@ fn main() {
                 },
                 None => iuad_serve::ServeState::new(iuad, None),
             };
+            // A primary with a durable log ships it: seed the hub with the
+            // folded history (so followers can bootstrap from record 0)
+            // and accept follower connections alongside the query plane.
+            let replication = match args.get::<PathBuf>("wal") {
+                Some(_) => {
+                    let history = match state.durable_history() {
+                        Ok(h) => h,
+                        Err(e) => {
+                            eprintln!("error folding durable history: {e}");
+                            exit(1);
+                        }
+                    };
+                    let hub = iuad_serve::ReplicationHub::new(history);
+                    let server = match iuad_serve::ReplicationServer::spawn(
+                        std::sync::Arc::clone(&hub),
+                        None,
+                    ) {
+                        Ok(s) => s,
+                        Err(e) => {
+                            eprintln!("error starting replication server: {e}");
+                            exit(1);
+                        }
+                    };
+                    eprintln!(
+                        "shipping WAL to followers on {} (--replicate-from target)",
+                        server.addr()
+                    );
+                    Some((hub, server))
+                }
+                None => None,
+            };
+            let daemon_config = iuad_serve::DaemonConfig {
+                workers: args.get("workers").unwrap_or(4),
+                batch_size: args.get("batch").unwrap_or(16),
+                max_inflight_per_name: args.get("max-inflight").unwrap_or(2),
+                ingest_queue: args.get("queue").unwrap_or(64),
+                checkpoint_every: args.get("checkpoint-every").unwrap_or(0),
+                faults: None,
+                ship: replication
+                    .as_ref()
+                    .map(|(hub, _)| std::sync::Arc::clone(hub)),
+            };
             let daemon = match iuad_serve::Daemon::spawn(state, &daemon_config) {
                 Ok(d) => d,
                 Err(e) => {
@@ -282,6 +372,9 @@ fn main() {
             );
             while !daemon.shutdown_requested() {
                 std::thread::sleep(std::time::Duration::from_millis(200));
+            }
+            if let Some((_, server)) = replication {
+                server.shutdown();
             }
             let state = daemon.shutdown();
             println!(
@@ -350,6 +443,93 @@ fn main() {
                 println!("serve crash matrix OK");
             } else {
                 eprintln!("serve crash matrix FAILED");
+                exit(1);
+            }
+        }
+        "serve-replica" => {
+            // The replication gate, two halves mirroring serve-crash +
+            // serve-smoke: (1) the replica fault matrix — one real
+            // primary → TCP → follower pipeline per replication fault
+            // point, follower pinned bit-identical to the primary's
+            // durable prefix; (2) the failover smoke — a seeded mixed
+            // ingest/read run through a FailoverClient across a link
+            // partition and a primary death, with zero client errors.
+            let corpus = Corpus::generate(&CorpusConfig {
+                num_authors: 120,
+                num_papers: 440,
+                seed: 0xc4a5_5eed,
+                ..Default::default()
+            });
+            let (base, tail) = corpus.split_tail(40);
+            let iuad = Iuad::fit(&base, &IuadConfig::default());
+            let state = iuad_serve::ServeState::new(iuad, None);
+            let papers: Vec<_> = tail.iter().map(|(p, _)| p.clone()).collect();
+            let dir = std::env::temp_dir().join("iuad-serve-replica");
+            let report = iuad_serve::run_replica_matrix(
+                &state,
+                &papers,
+                &dir,
+                &iuad_serve::ReplicaSpec::default(),
+            );
+            let mut t = Table::new([
+                "replication point",
+                "nth",
+                "reconnects",
+                "applied",
+                "epoch",
+                "status",
+            ]);
+            for case in &report.cases {
+                let status = if case.passed() {
+                    "bit-identical".to_owned()
+                } else {
+                    case.error.clone().unwrap_or_else(|| "failed".to_owned())
+                };
+                t.row([
+                    &case.point,
+                    &case.nth.to_string(),
+                    &case.reconnects.to_string(),
+                    &format!("{}/{}", case.applied, case.shipped),
+                    &format!("{}≟{}", case.follower_epoch, case.primary_epoch),
+                    &status,
+                ]);
+            }
+            println!("{t}");
+
+            let smoke = iuad_serve::run_replica_smoke();
+            println!(
+                "failover smoke: {} papers ingested, {} follower reads ({} replica-lag sheds), \
+                 {} wrong-epoch reads, {} client errors, partition fired: {}, failover \
+                 completed: {}, min reconnects {}, final epoch {}",
+                smoke.papers_streamed,
+                smoke.follower_reads,
+                smoke.replica_lag_sheds,
+                smoke.wrong_epoch_reads,
+                smoke.client_errors,
+                smoke.partition_fired,
+                smoke.failover_completed,
+                smoke.min_reconnects,
+                smoke.final_epoch
+            );
+            if let Some(path) = args.get::<PathBuf>("json") {
+                let combined = serde_json::to_string(&report)
+                    .and_then(|matrix| {
+                        serde_json::to_string(&smoke)
+                            .map(|s| format!("{{\"matrix\":{matrix},\"smoke\":{s}}}"))
+                    })
+                    .map_err(std::io::Error::other);
+                match combined.and_then(|json| std::fs::write(&path, json)) {
+                    Ok(()) => eprintln!("wrote {}", path.display()),
+                    Err(e) => {
+                        eprintln!("error writing {}: {e}", path.display());
+                        exit(1);
+                    }
+                }
+            }
+            if report.passed() && smoke.passed() {
+                println!("serve replica matrix OK");
+            } else {
+                eprintln!("serve replica matrix FAILED");
                 exit(1);
             }
         }

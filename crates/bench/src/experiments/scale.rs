@@ -28,7 +28,7 @@ use iuad_core::{
 use iuad_corpus::{Corpus, CorpusConfig, PaperGenerator};
 use iuad_eval::Table;
 use iuad_par::ParallelConfig;
-use serde::Serialize;
+use serde::{Serialize, Value};
 
 use super::perf::StageTiming;
 use crate::write_results;
@@ -288,6 +288,93 @@ pub fn render(bench: &ScaleBench) -> String {
     out
 }
 
+/// Headroom multiplier over the committed per-mention budget before the
+/// memory ceiling trips.
+const MEMORY_CEILING_FACTOR: f64 = 1.25;
+
+/// Walk an object field by name (the vendored [`Value`] keeps objects as
+/// ordered field lists).
+fn field<'a>(value: &'a Value, name: &str) -> Option<&'a Value> {
+    value
+        .as_object()?
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v)
+}
+
+fn as_f64(value: &Value) -> Option<f64> {
+    match value {
+        Value::F64(x) => Some(*x),
+        Value::U64(n) => Some(*n as f64),
+        Value::I64(n) => Some(*n as f64),
+        _ => None,
+    }
+}
+
+/// The committed baseline's guarded-tier `bytes_per_mention`, read from
+/// `BENCH_scale.json` before this run overwrites it.
+fn committed_bytes_per_mention() -> Option<f64> {
+    let text = std::fs::read_to_string("BENCH_scale.json").ok()?;
+    let doc: Value = serde_json::from_str(&text).ok()?;
+    let guarded = match field(&doc, "guarded_tier")? {
+        Value::Str(s) => s.clone(),
+        _ => return None,
+    };
+    let Value::Array(tiers) = field(&doc, "tiers")? else {
+        return None;
+    };
+    let tier = tiers
+        .iter()
+        .find(|t| matches!(field(t, "tier"), Some(Value::Str(s)) if *s == guarded))?;
+    as_f64(field(tier, "bytes_per_mention")?)
+}
+
+/// Hard memory ceiling: every measured tier's profile-context heap must
+/// stay within [`MEMORY_CEILING_FACTOR`]× the budget implied by the
+/// committed baseline's per-mention figure — `budget = recorded
+/// bytes_per_mention × tier mentions`. Because the budget is per mention,
+/// the same ceiling covers the guarded 100k tier and the opt-in 1M tier
+/// without recording a separate absolute number for each. Exits 1 on a
+/// breach (before the baseline is overwritten); a missing or unreadable
+/// baseline only warns, so the first run on a fresh checkout still
+/// bootstraps one.
+fn assert_memory_ceiling(tiers: &[ScaleTier]) {
+    let Some(budget_per_mention) = committed_bytes_per_mention() else {
+        eprintln!("scale: no committed BENCH_scale.json baseline — memory ceiling not enforced");
+        return;
+    };
+    let mut breached = false;
+    for tier in tiers {
+        let ceiling = budget_per_mention * tier.mentions as f64 * MEMORY_CEILING_FACTOR;
+        if tier.ctx_heap_bytes as f64 > ceiling {
+            eprintln!(
+                "scale: MEMORY CEILING EXCEEDED — tier {} profile context uses {} bytes \
+                 ({:.2} per mention), over {:.0} ({:.2} committed per mention × {} \
+                 mentions × {MEMORY_CEILING_FACTOR})",
+                tier.tier,
+                tier.ctx_heap_bytes,
+                tier.bytes_per_mention,
+                ceiling,
+                budget_per_mention,
+                tier.mentions
+            );
+            breached = true;
+        } else {
+            eprintln!(
+                "scale: tier {} memory ceiling OK — {:.2} bytes/mention within {:.2} \
+                 (committed {:.2} × {MEMORY_CEILING_FACTOR})",
+                tier.tier,
+                tier.bytes_per_mention,
+                budget_per_mention * MEMORY_CEILING_FACTOR,
+                budget_per_mention
+            );
+        }
+    }
+    if breached {
+        std::process::exit(1);
+    }
+}
+
 /// Serialize `bench` to `BENCH_scale.json` at the repository root (the
 /// committed scale trajectory) and mirror it under `results/` (the mirror
 /// is best-effort).
@@ -315,6 +402,9 @@ pub fn run() -> String {
     } else {
         eprintln!("scale: 1M tier skipped (set IUAD_SCALE_1M=1 to run it)");
     }
+    // The ceiling gates against the *committed* baseline, so it must run
+    // before the baseline is overwritten below.
+    assert_memory_ceiling(&tiers);
     let guarded = &tiers[0];
     let bench = ScaleBench {
         schema_version: 1,

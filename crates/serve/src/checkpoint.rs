@@ -211,6 +211,16 @@ pub fn prune_checkpoints(wal_path: &Path, keep: usize) -> std::io::Result<usize>
     Ok(removed)
 }
 
+/// Remove the log at `wal_path` and every checkpoint sidecar next to it —
+/// scratch hygiene shared by the crash and replica matrix drivers (each
+/// case scrubs before running and after passing).
+pub(crate) fn scrub_wal_and_checkpoints(wal_path: &Path) {
+    std::fs::remove_file(wal_path).ok();
+    for (_, path) in list_checkpoints(wal_path).unwrap_or_default() {
+        std::fs::remove_file(path).ok();
+    }
+}
+
 /// Append one `LEN<TAB>JSON\n` frame of `value` to `out`.
 fn frame_into<T: Serialize>(out: &mut Vec<u8>, value: &T) -> std::io::Result<()> {
     let json = serde_json::to_string(value)

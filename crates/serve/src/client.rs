@@ -125,6 +125,161 @@ impl Client {
     }
 }
 
+/// One endpoint a [`FailoverClient`] knows about. The connection is
+/// opened lazily and dropped on any transport error; `cooldown` is a
+/// count of read picks to skip before re-probing a demoted endpoint —
+/// counted in picks, not wall time, so failover schedules stay fully
+/// deterministic under test.
+#[derive(Debug)]
+struct Endpoint {
+    addr: SocketAddr,
+    client: Option<Client>,
+    cooldown: u32,
+}
+
+/// Picks a demoted endpoint sits out before the next health probe.
+const DEMOTION_PICKS: u32 = 8;
+
+impl Endpoint {
+    fn new(addr: SocketAddr) -> Endpoint {
+        Endpoint {
+            addr,
+            client: None,
+            cooldown: 0,
+        }
+    }
+
+    /// The live connection, dialing if necessary. `None` = demoted now.
+    fn connect(&mut self) -> Option<&mut Client> {
+        if self.client.is_none() {
+            match Client::connect(self.addr) {
+                Ok(client) => self.client = Some(client),
+                Err(_) => {
+                    self.demote();
+                    return None;
+                }
+            }
+        }
+        self.client.as_mut()
+    }
+
+    fn demote(&mut self) {
+        self.client = None;
+        self.cooldown = DEMOTION_PICKS;
+    }
+}
+
+/// A client that knows the whole replica set: writes go to the primary,
+/// reads round-robin across healthy followers (falling back to the
+/// primary when none is healthy). An endpoint is demoted on any transport
+/// error or a failing `health` op — a follower whose replication link
+/// died reports `ok:false` — and sits out `DEMOTION_PICKS` read picks
+/// before being re-probed with `health`. After a primary failover,
+/// [`FailoverClient::set_primary`] repoints writes at the new address.
+#[derive(Debug)]
+pub struct FailoverClient {
+    primary: Endpoint,
+    followers: Vec<Endpoint>,
+    backoff: Backoff,
+    next_read: usize,
+}
+
+impl FailoverClient {
+    /// A client over one primary and any number of read followers.
+    pub fn new(primary: SocketAddr, followers: &[SocketAddr], backoff: Backoff) -> FailoverClient {
+        FailoverClient {
+            primary: Endpoint::new(primary),
+            followers: followers.iter().copied().map(Endpoint::new).collect(),
+            backoff,
+            next_read: 0,
+        }
+    }
+
+    /// Repoint writes (and the read fallback) at a new primary address.
+    pub fn set_primary(&mut self, addr: SocketAddr) {
+        self.primary = Endpoint::new(addr);
+    }
+
+    /// Send a write to the primary under the retry/backoff policy. A
+    /// transport error drops the connection and redials (the daemon may
+    /// have restarted at the same address) before giving up.
+    pub fn call_primary(&mut self, request: &Value) -> std::io::Result<Value> {
+        let mut last_err = None;
+        for _ in 0..=self.backoff.attempts {
+            let Some(client) = self.primary.connect() else {
+                // Dial failed; pace the redial like a shed retry.
+                let mut rng = self.backoff.jitter_seed;
+                std::thread::sleep(self.backoff.wait(0, None, &mut rng));
+                continue;
+            };
+            match client.call_with_backoff(request, &self.backoff) {
+                Ok(response) => return Ok(response),
+                Err(e) => {
+                    self.primary.demote();
+                    last_err = Some(e);
+                }
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::NotConnected, "primary unreachable")
+        }))
+    }
+
+    /// Send a read to the next healthy follower (round-robin), demoting
+    /// endpoints that error or fail their health probe, falling back to
+    /// the primary when every follower is out.
+    pub fn call_read(&mut self, request: &Value) -> std::io::Result<Value> {
+        for _ in 0..self.followers.len().max(1) {
+            if self.followers.is_empty() {
+                break;
+            }
+            let pick = self.next_read % self.followers.len();
+            self.next_read = self.next_read.wrapping_add(1);
+            let endpoint = &mut self.followers[pick];
+            if endpoint.cooldown > 0 {
+                endpoint.cooldown -= 1;
+                // Cooldown expired on this pick: probe before trusting it.
+                if endpoint.cooldown == 0 && !probe(endpoint) {
+                    endpoint.demote();
+                }
+                continue;
+            }
+            let Some(client) = endpoint.connect() else {
+                continue;
+            };
+            match client.call_with_backoff(request, &self.backoff) {
+                Ok(response) => {
+                    if response_field(&response, "error").is_some() && !response_ok(&response) {
+                        // A structural refusal (e.g. a follower whose link
+                        // failed) — not a shed; demote and move on.
+                        endpoint.demote();
+                        continue;
+                    }
+                    return Ok(response);
+                }
+                Err(_) => {
+                    endpoint.demote();
+                    continue;
+                }
+            }
+        }
+        // No healthy follower: the primary serves reads too.
+        self.call_primary(request)
+    }
+}
+
+/// Health-probe an endpoint: `true` only for a live connection answering
+/// the `health` op with `ok:true`.
+fn probe(endpoint: &mut Endpoint) -> bool {
+    let Some(client) = endpoint.connect() else {
+        return false;
+    };
+    match client.call(&Client::request("health", Vec::new())) {
+        Ok(response) => response_ok(&response),
+        Err(_) => false,
+    }
+}
+
 /// Read a named field of a response object.
 pub fn response_field<'v>(response: &'v Value, key: &str) -> Option<&'v Value> {
     response
@@ -142,4 +297,64 @@ pub fn response_ok(response: &Value) -> bool {
 /// Whether a response was load-shed (`"shed": true`).
 pub fn response_shed(response: &Value) -> bool {
     matches!(response_field(response, "shed"), Some(Value::Bool(true)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The full wait schedule a client with this policy would sleep
+    /// through, given the server's per-retry hints.
+    fn schedule(backoff: &Backoff, hints: &[Option<u64>]) -> Vec<Duration> {
+        let mut rng = backoff.jitter_seed;
+        hints
+            .iter()
+            .enumerate()
+            .map(|(attempt, hint)| backoff.wait(attempt as u32, *hint, &mut rng))
+            .collect()
+    }
+
+    #[test]
+    fn backoff_schedule_is_a_pure_function_of_seed_and_hints() {
+        let backoff = Backoff::default();
+        let hints = [None, Some(12), None, Some(40), Some(3), None, None, None];
+        // Two runs over the same seed and the same server hints produce
+        // the identical sleep sequence — the jitter is a seeded stream,
+        // not entropy, so a load-driver run replays its exact pacing.
+        assert_eq!(schedule(&backoff, &hints), schedule(&backoff, &hints));
+        // A different seed de-synchronizes the schedule (concurrent
+        // clients must not retry-stampede in lockstep).
+        let other = Backoff {
+            jitter_seed: 0x00dd_ba11,
+            ..backoff.clone()
+        };
+        assert_ne!(schedule(&backoff, &hints), schedule(&other, &hints));
+    }
+
+    #[test]
+    fn server_hint_floors_the_exponential_term() {
+        let backoff = Backoff {
+            attempts: 8,
+            base_ms: 2,
+            cap_ms: 64,
+            jitter_seed: 1,
+        };
+        // Attempt 0: the exponential term is base_ms = 2ms; a 50ms server
+        // hint must floor the wait at 50ms (before jitter, capped at
+        // 50 + 50/2).
+        let mut rng = backoff.jitter_seed;
+        let wait = backoff.wait(0, Some(50), &mut rng);
+        assert!(wait >= Duration::from_millis(50), "hint floors the wait");
+        assert!(wait <= Duration::from_millis(75), "jitter is at most half");
+        // Once the exponential term passes the hint, the curve keeps
+        // growing instead of hammering at the hint interval: attempt 5
+        // gives 2 << 5 = 64 ≥ 50.
+        let mut rng = backoff.jitter_seed;
+        let late = backoff.wait(5, Some(50), &mut rng);
+        assert!(late >= Duration::from_millis(64));
+        // And the cap bounds everything: a hint beyond cap_ms clamps.
+        let mut rng = backoff.jitter_seed;
+        let capped = backoff.wait(0, Some(10_000), &mut rng);
+        assert!(capped <= Duration::from_millis(64 + 32));
+    }
 }

@@ -88,7 +88,9 @@ impl CrashCase {
 /// All cases of one matrix run.
 #[derive(Debug, Clone, Serialize)]
 pub struct CrashReport {
-    /// One entry per [`CrashPoint`], in [`CrashPoint::ALL`] order.
+    /// One entry per recovery [`CrashPoint`], in [`CrashPoint::RECOVERY`]
+    /// order. (The replication points have their own matrix — see
+    /// [`crate::replica::run_replica_matrix`].)
     pub cases: Vec<CrashCase>,
 }
 
@@ -102,7 +104,7 @@ impl CrashReport {
 /// Install (once) a panic hook that silences [`SimulatedCrash`] unwinds —
 /// they are the matrix working as intended — while delegating every real
 /// panic to the previous hook.
-fn silence_simulated_crashes() {
+pub(crate) fn silence_simulated_crashes() {
     use std::sync::Once;
     static ONCE: Once = Once::new();
     ONCE.call_once(|| {
@@ -164,13 +166,17 @@ fn scheduled_nth(point: CrashPoint, num_papers: usize, spec: &CrashSpec) -> u64 
         CrashPoint::MidCheckpointWrite | CrashPoint::AfterCheckpointRename => {
             1 + u64::from(two_checkpoints)
         }
+        // Replication points are not driven by this matrix; their schedule
+        // lives in `crate::replica`.
+        _ => 1,
     }
 }
 
-/// Run the full crash matrix: one case per [`CrashPoint`]. `base` is a
-/// fresh-fit [`ServeState`] (see [`ServeState::clone_base`]); `papers`
-/// the stream to ingest; `dir` a scratch directory for per-case WAL and
-/// checkpoint files (cleaned per case, removed only on pass).
+/// Run the full recovery crash matrix: one case per
+/// [`CrashPoint::RECOVERY`] point. `base` is a fresh-fit [`ServeState`]
+/// (see [`ServeState::clone_base`]); `papers` the stream to ingest; `dir`
+/// a scratch directory for per-case WAL and checkpoint files (cleaned per
+/// case, removed only on pass).
 ///
 /// # Panics
 /// On scratch-directory I/O failure.
@@ -182,7 +188,7 @@ pub fn run_crash_matrix(
 ) -> CrashReport {
     silence_simulated_crashes();
     std::fs::create_dir_all(dir).expect("create crash-matrix scratch dir");
-    let cases = CrashPoint::ALL
+    let cases = CrashPoint::RECOVERY
         .iter()
         .map(|&point| run_case(base, papers, dir, spec, point))
         .collect();
@@ -213,10 +219,7 @@ fn run_case(
     };
     let wal_path = dir.join(format!("crash-{}.wal", point.name()));
     // Scrub any leftovers from a previous failed run.
-    std::fs::remove_file(&wal_path).ok();
-    for (_, path) in crate::checkpoint::list_checkpoints(&wal_path).unwrap_or_default() {
-        std::fs::remove_file(path).ok();
-    }
+    crate::checkpoint::scrub_wal_and_checkpoints(&wal_path);
 
     // The crashing run.
     let faults = FaultInjector::seeded(spec.seed ^ nth);
@@ -280,10 +283,7 @@ fn run_case(
         case.error = Some(format!("engine differs from control: {diff}"));
     } else {
         // Clean pass: remove the case's scratch files.
-        std::fs::remove_file(&wal_path).ok();
-        for (_, path) in crate::checkpoint::list_checkpoints(&wal_path).unwrap_or_default() {
-            std::fs::remove_file(path).ok();
-        }
+        crate::checkpoint::scrub_wal_and_checkpoints(&wal_path);
     }
     case
 }

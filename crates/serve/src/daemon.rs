@@ -38,6 +38,7 @@ use serde::Value;
 
 use crate::checkpoint::CheckpointMeta;
 use crate::fault::FaultInjector;
+use crate::replica::{ReplicaStatus, ReplicationHub};
 use crate::snapshot::EpochStore;
 use crate::state::ServeState;
 
@@ -60,6 +61,10 @@ pub struct DaemonConfig {
     /// Fault plan for crash-matrix / stall-injection runs (`None` in
     /// production; the hooks then cost one branch each).
     pub faults: Option<Arc<FaultInjector>>,
+    /// Replication hub to ship durable records to (`None` for an
+    /// unreplicated primary). Attached to the state *before* the first
+    /// publish, so even the startup epoch marker reaches followers.
+    pub ship: Option<Arc<ReplicationHub>>,
 }
 
 impl Default for DaemonConfig {
@@ -71,6 +76,7 @@ impl Default for DaemonConfig {
             ingest_queue: 64,
             checkpoint_every: 0,
             faults: None,
+            ship: None,
         }
     }
 }
@@ -99,16 +105,34 @@ pub struct DaemonStats {
     pub queue_hwm: AtomicU64,
     /// WAL compactions performed (automatic + requested).
     pub checkpoints: AtomicU64,
+    /// Follower reads shed because replication lag exceeded
+    /// `max_lag_epochs` (bounded staleness, never silent staleness).
+    pub shed_replica_lag: AtomicU64,
+    /// Record frames shipped to followers (gauge mirrored from the
+    /// replication hub at `stats` / `health` time; 0 off the primary).
+    pub shipped_records: AtomicU64,
+    /// Epochs this follower is behind the primary (gauge mirrored from
+    /// the replica link; 0 on the primary).
+    pub replica_lag_epochs: AtomicU64,
 }
 
 /// Per-name-group admission control: a counting semaphore per name.
 #[derive(Debug)]
-struct Admission {
+pub(crate) struct Admission {
     max: u32,
     counts: Mutex<FxHashMap<u32, u32>>,
 }
 
 impl Admission {
+    /// A fresh admission table with an in-flight cap of `max` per name
+    /// (shared by [`Daemon::spawn`] and the follower's request plane).
+    pub(crate) fn new(max: u32) -> Arc<Admission> {
+        Arc::new(Admission {
+            max: max.max(1),
+            counts: Mutex::new(FxHashMap::default()),
+        })
+    }
+
     /// Acquire an in-flight slot for `name`, or report the current
     /// in-flight count (the shed response's `queue_depth`).
     fn try_acquire(self: &Arc<Admission>, name: u32) -> Result<AdmissionGuard, u32> {
@@ -148,7 +172,7 @@ impl Drop for AdmissionGuard {
     }
 }
 
-enum IngestMsg {
+pub(crate) enum IngestMsg {
     Paper {
         paper: Paper,
         reply: mpsc::Sender<(PaperId, Vec<(NameId, Decision)>)>,
@@ -161,18 +185,37 @@ enum IngestMsg {
     },
 }
 
-/// Everything a worker needs to answer requests.
-struct WorkerCtx {
-    store: Arc<EpochStore>,
-    stats: Arc<DaemonStats>,
-    admission: Arc<Admission>,
-    shutdown: Arc<AtomicBool>,
-    ingest_tx: SyncSender<IngestMsg>,
+/// The follower-side read context: the replica link's shared status plus
+/// the staleness bound past which reads shed with cause `replica-lag`.
+#[derive(Debug)]
+pub(crate) struct ReplicaReadCtx {
+    pub(crate) status: Arc<ReplicaStatus>,
+    pub(crate) max_lag_epochs: u64,
+}
+
+/// Everything a worker needs to answer requests. Shared by the primary
+/// [`Daemon`] and the follower request plane
+/// ([`crate::replica::Follower`]), which differ only in the write path
+/// (`ingest_tx`) and the replica read context.
+pub(crate) struct WorkerCtx {
+    pub(crate) store: Arc<EpochStore>,
+    pub(crate) stats: Arc<DaemonStats>,
+    pub(crate) admission: Arc<Admission>,
+    pub(crate) shutdown: Arc<AtomicBool>,
+    /// `None` on a follower: writes are refused, not forwarded — ingest
+    /// belongs at the primary.
+    pub(crate) ingest_tx: Option<SyncSender<IngestMsg>>,
     /// Publish batch size, for shed `retry_after_ms` estimates.
-    batch: u64,
+    pub(crate) batch: u64,
     /// Bound of the ingest channel, for clamping shed backlog reports.
-    ingest_capacity: u64,
-    faults: Option<Arc<FaultInjector>>,
+    pub(crate) ingest_capacity: u64,
+    pub(crate) faults: Option<Arc<FaultInjector>>,
+    /// `"primary"` or `"follower"` (`health` / `stats` responses).
+    pub(crate) role: &'static str,
+    /// The primary's replication hub (`shipped_records` stat source).
+    pub(crate) ship: Option<Arc<ReplicationHub>>,
+    /// The follower's staleness gate; `None` on the primary.
+    pub(crate) replica: Option<ReplicaReadCtx>,
 }
 
 /// A running daemon: accept thread + worker pool + single ingest thread.
@@ -212,13 +255,14 @@ impl Daemon {
     /// Publish epoch 1 from `state` and start serving on an ephemeral
     /// loopback port (see [`Daemon::addr`]).
     pub fn spawn(mut state: ServeState, cfg: &DaemonConfig) -> std::io::Result<Daemon> {
+        if let Some(ship) = &cfg.ship {
+            // Before the first publish, so the startup epoch marker ships.
+            state.set_ship(Some(Arc::clone(ship)));
+        }
         let store = Arc::new(EpochStore::new(state.publish()));
         let stats = Arc::new(DaemonStats::default());
         let shutdown = Arc::new(AtomicBool::new(false));
-        let admission = Arc::new(Admission {
-            max: cfg.max_inflight_per_name.max(1),
-            counts: Mutex::new(FxHashMap::default()),
-        });
+        let admission = Admission::new(cfg.max_inflight_per_name);
 
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
@@ -253,10 +297,13 @@ impl Daemon {
                 stats: Arc::clone(&stats),
                 admission: Arc::clone(&admission),
                 shutdown: Arc::clone(&shutdown),
-                ingest_tx: ingest_tx.clone(),
+                ingest_tx: Some(ingest_tx.clone()),
                 batch: cfg.batch_size.max(1) as u64,
                 ingest_capacity: cfg.ingest_queue.max(1) as u64,
                 faults: cfg.faults.clone(),
+                role: "primary",
+                ship: cfg.ship.clone(),
+                replica: None,
             };
             workers.push(std::thread::spawn(move || {
                 worker_loop(&conn_rx, &conn_tx, &ctx);
@@ -371,7 +418,11 @@ fn ingest_loop(
     state
 }
 
-fn accept_loop(listener: &TcpListener, conn_tx: &mpsc::Sender<TcpStream>, shutdown: &AtomicBool) {
+pub(crate) fn accept_loop(
+    listener: &TcpListener,
+    conn_tx: &mpsc::Sender<TcpStream>,
+    shutdown: &AtomicBool,
+) {
     while !shutdown.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((stream, _)) => {
@@ -407,7 +458,7 @@ enum ConnState {
 /// Worker body: serve connections off the shared queue, rotating an idle
 /// connection to the back whenever another one is waiting, so clients
 /// beyond the worker count are multiplexed instead of starved.
-fn worker_loop(
+pub(crate) fn worker_loop(
     conn_rx: &Mutex<Receiver<TcpStream>>,
     conn_tx: &mpsc::Sender<TcpStream>,
     ctx: &WorkerCtx,
@@ -519,6 +570,7 @@ fn handle_request(line: &str, ctx: &WorkerCtx) -> Value {
         Some("flush") => flush(ctx),
         Some("checkpoint") => checkpoint(ctx),
         Some("stats") => stats(ctx),
+        Some("health") => health(ctx),
         Some("shutdown") => {
             ctx.shutdown.store(true, Ordering::Relaxed);
             obj(vec![("ok", Value::Bool(true))])
@@ -532,6 +584,10 @@ fn handle_request(line: &str, ctx: &WorkerCtx) -> Value {
 
 fn whois(fields: &[(String, Value)], ctx: &WorkerCtx) -> Value {
     ctx.stats.queries.fetch_add(1, Ordering::Relaxed);
+    let staleness = match replica_gate(ctx) {
+        Ok(staleness) => staleness,
+        Err(shed) => return shed,
+    };
     let Some(name) = get_u64(fields, "name") else {
         ctx.stats.errors.fetch_add(1, Ordering::Relaxed);
         return err_response("whois requires a numeric `name`");
@@ -542,9 +598,7 @@ fn whois(fields: &[(String, Value)], ctx: &WorkerCtx) -> Value {
         Err(inflight) => {
             ctx.stats.shed.fetch_add(1, Ordering::Relaxed);
             ctx.stats.shed_admission.fetch_add(1, Ordering::Relaxed);
-            // The slots ahead of this request are whois scorings; budget
-            // a couple of milliseconds per in-flight scoring for each.
-            let retry_after_ms = 2 * u64::from(ctx.admission.max);
+            let retry_after_ms = retry_after_admission(u64::from(inflight));
             return shed_response("admission", retry_after_ms, u64::from(inflight));
         }
     };
@@ -571,11 +625,15 @@ fn whois(fields: &[(String, Value)], ctx: &WorkerCtx) -> Value {
     };
     let snapshot = ctx.store.load();
     let decision = snapshot.whois(&paper, 0);
-    decision_fields(snapshot.epoch, &decision)
+    decision_fields(snapshot.epoch, staleness, &decision)
 }
 
 fn profile(fields: &[(String, Value)], ctx: &WorkerCtx) -> Value {
     ctx.stats.queries.fetch_add(1, Ordering::Relaxed);
+    let staleness = match replica_gate(ctx) {
+        Ok(staleness) => staleness,
+        Err(shed) => return shed,
+    };
     let Some(vertex) = get_u64(fields, "vertex") else {
         ctx.stats.errors.fetch_add(1, Ordering::Relaxed);
         return err_response("profile requires a numeric `vertex`");
@@ -585,6 +643,7 @@ fn profile(fields: &[(String, Value)], ctx: &WorkerCtx) -> Value {
         Some(view) => obj(vec![
             ("ok", Value::Bool(true)),
             ("epoch", Value::U64(snapshot.epoch)),
+            ("staleness", Value::U64(staleness)),
             ("name", Value::U64(u64::from(view.name.0))),
             ("mentions", Value::U64(view.mentions as u64)),
             ("papers", Value::U64(view.papers as u64)),
@@ -604,6 +663,10 @@ fn profile(fields: &[(String, Value)], ctx: &WorkerCtx) -> Value {
 
 fn name_group(fields: &[(String, Value)], ctx: &WorkerCtx) -> Value {
     ctx.stats.queries.fetch_add(1, Ordering::Relaxed);
+    let staleness = match replica_gate(ctx) {
+        Ok(staleness) => staleness,
+        Err(shed) => return shed,
+    };
     let Some(name) = get_u64(fields, "name") else {
         ctx.stats.errors.fetch_add(1, Ordering::Relaxed);
         return err_response("name_group requires a numeric `name`");
@@ -617,11 +680,16 @@ fn name_group(fields: &[(String, Value)], ctx: &WorkerCtx) -> Value {
     obj(vec![
         ("ok", Value::Bool(true)),
         ("epoch", Value::U64(snapshot.epoch)),
+        ("staleness", Value::U64(staleness)),
         ("vertices", Value::Array(vertices)),
     ])
 }
 
 fn ingest(fields: &[(String, Value)], ctx: &WorkerCtx) -> Value {
+    let Some(ingest_tx) = &ctx.ingest_tx else {
+        ctx.stats.errors.fetch_add(1, Ordering::Relaxed);
+        return err_response("read-only replica: ingest at the primary");
+    };
     let Some(authors) = get_u32_list(fields, "authors") else {
         ctx.stats.errors.fetch_add(1, Ordering::Relaxed);
         return err_response("ingest requires an `authors` array");
@@ -643,7 +711,7 @@ fn ingest(fields: &[(String, Value)], ctx: &WorkerCtx) -> Value {
     // over-count by in-flight sends, never under-count).
     let depth = ctx.stats.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
     ctx.stats.queue_hwm.fetch_max(depth, Ordering::Relaxed);
-    match ctx.ingest_tx.try_send(IngestMsg::Paper {
+    match ingest_tx.try_send(IngestMsg::Paper {
         paper,
         reply: reply_tx,
     }) {
@@ -689,9 +757,11 @@ fn ingest(fields: &[(String, Value)], ctx: &WorkerCtx) -> Value {
 }
 
 fn flush(ctx: &WorkerCtx) -> Value {
+    let Some(ingest_tx) = &ctx.ingest_tx else {
+        return err_response("read-only replica: flush at the primary");
+    };
     let (reply_tx, reply_rx) = mpsc::channel();
-    if ctx
-        .ingest_tx
+    if ingest_tx
         .send(IngestMsg::Flush { reply: reply_tx })
         .is_err()
     {
@@ -707,9 +777,11 @@ fn flush(ctx: &WorkerCtx) -> Value {
 }
 
 fn checkpoint(ctx: &WorkerCtx) -> Value {
+    let Some(ingest_tx) = &ctx.ingest_tx else {
+        return err_response("read-only replica: checkpoint at the primary");
+    };
     let (reply_tx, reply_rx) = mpsc::channel();
-    if ctx
-        .ingest_tx
+    if ingest_tx
         .send(IngestMsg::Checkpoint { reply: reply_tx })
         .is_err()
     {
@@ -729,6 +801,18 @@ fn checkpoint(ctx: &WorkerCtx) -> Value {
 
 fn stats(ctx: &WorkerCtx) -> Value {
     let snapshot = ctx.store.load();
+    // Mirror the replication gauges before reporting them, so a bare
+    // `stats` poll (no reads in between) still sees live positions.
+    if let Some(ship) = &ctx.ship {
+        ctx.stats
+            .shipped_records
+            .store(ship.shipped_frames(), Ordering::Relaxed);
+    }
+    if let Some(replica) = &ctx.replica {
+        ctx.stats
+            .replica_lag_epochs
+            .store(replica.status.lag_epochs(), Ordering::Relaxed);
+    }
     let held = ctx
         .store
         .epochs_still_held()
@@ -737,6 +821,7 @@ fn stats(ctx: &WorkerCtx) -> Value {
         .collect();
     obj(vec![
         ("ok", Value::Bool(true)),
+        ("role", Value::Str(ctx.role.to_owned())),
         ("epoch", Value::U64(snapshot.epoch)),
         (
             "queries",
@@ -771,12 +856,28 @@ fn stats(ctx: &WorkerCtx) -> Value {
             "checkpoints",
             Value::U64(ctx.stats.checkpoints.load(Ordering::Relaxed)),
         ),
+        (
+            "shed_replica_lag",
+            Value::U64(ctx.stats.shed_replica_lag.load(Ordering::Relaxed)),
+        ),
+        (
+            "shipped_records",
+            Value::U64(ctx.stats.shipped_records.load(Ordering::Relaxed)),
+        ),
+        (
+            "replica_lag_epochs",
+            Value::U64(ctx.stats.replica_lag_epochs.load(Ordering::Relaxed)),
+        ),
         ("retained_epochs", Value::Array(held)),
     ])
 }
 
-fn decision_fields(epoch: u64, decision: &Decision) -> Value {
-    let mut fields = vec![("ok", Value::Bool(true)), ("epoch", Value::U64(epoch))];
+fn decision_fields(epoch: u64, staleness: u64, decision: &Decision) -> Value {
+    let mut fields = vec![
+        ("ok", Value::Bool(true)),
+        ("epoch", Value::U64(epoch)),
+        ("staleness", Value::U64(staleness)),
+    ];
     fields.extend(decision_kind_fields(decision));
     obj(fields)
 }
@@ -815,6 +916,83 @@ fn err_response(message: &str) -> Value {
 /// is a pacing signal for well-behaved clients, not a latency model.
 fn retry_after_ingest(depth: u64, batch: u64) -> u64 {
     2 * depth + 8 * (depth / batch.max(1) + 1)
+}
+
+/// Deterministic retry hint for an admission shed: ~2ms of scoring time
+/// per request already in flight for the name (the same per-item constant
+/// as [`retry_after_ingest`]), floored at one slot's worth so a hint is
+/// never 0. Sized from the *observed* in-flight count, not the configured
+/// cap — a name at twice its cap (transiently possible only through
+/// reconfiguration) waits proportionally longer.
+fn retry_after_admission(inflight: u64) -> u64 {
+    (2 * inflight).max(2)
+}
+
+/// Deterministic retry hint for a `replica-lag` shed: ~8ms of publish
+/// cadence per epoch the follower is behind (the publish-interval
+/// constant from [`retry_after_ingest`]), floored at one epoch's worth.
+fn retry_after_replica(lag: u64) -> u64 {
+    (8 * lag).max(8)
+}
+
+/// The bounded-staleness gate every read passes through. On the primary
+/// (no replica context) staleness is 0 by definition. On a follower, a
+/// lag within `max_lag_epochs` is *reported* (the `staleness` response
+/// field); a lag beyond it is *refused* with cause `replica-lag` — the
+/// bound converts silent staleness into an explicit, retryable shed.
+fn replica_gate(ctx: &WorkerCtx) -> Result<u64, Value> {
+    let Some(replica) = &ctx.replica else {
+        return Ok(0);
+    };
+    let lag = replica.status.lag_epochs();
+    ctx.stats.replica_lag_epochs.store(lag, Ordering::Relaxed);
+    if lag > replica.max_lag_epochs {
+        ctx.stats.shed.fetch_add(1, Ordering::Relaxed);
+        ctx.stats.shed_replica_lag.fetch_add(1, Ordering::Relaxed);
+        return Err(shed_response("replica-lag", retry_after_replica(lag), lag));
+    }
+    Ok(lag)
+}
+
+/// The `health` op: role, served epoch, and replication position. A
+/// follower whose link hit a non-recoverable failure (a stream gap)
+/// reports `ok:false` so failover clients demote it immediately instead
+/// of reading ever-staler snapshots until the lag bound trips.
+fn health(ctx: &WorkerCtx) -> Value {
+    let snapshot = ctx.store.load();
+    let mut ok = true;
+    let mut fields = Vec::new();
+    let (primary_epoch, lag, connected) = match &ctx.replica {
+        Some(replica) => {
+            if let Some(failure) = replica.status.failure() {
+                ok = false;
+                fields.push(("error", Value::Str(failure)));
+            }
+            let lag = replica.status.lag_epochs();
+            ctx.stats.replica_lag_epochs.store(lag, Ordering::Relaxed);
+            (
+                replica.status.primary_epoch(),
+                lag,
+                replica.status.connected(),
+            )
+        }
+        None => (snapshot.epoch, 0, true),
+    };
+    if let Some(ship) = &ctx.ship {
+        ctx.stats
+            .shipped_records
+            .store(ship.shipped_frames(), Ordering::Relaxed);
+    }
+    let mut response = vec![
+        ("ok", Value::Bool(ok)),
+        ("role", Value::Str(ctx.role.to_owned())),
+        ("epoch", Value::U64(snapshot.epoch)),
+        ("primary_epoch", Value::U64(primary_epoch)),
+        ("lag_epochs", Value::U64(lag)),
+        ("connected", Value::Bool(connected)),
+    ];
+    response.append(&mut fields);
+    obj(response)
 }
 
 /// The backlog a shed ingest reports. The relaxed `queue_depth` gauge is
@@ -898,6 +1076,29 @@ mod tests {
             admission.counts.lock().unwrap().is_empty(),
             "fully released names leave no table entries"
         );
+    }
+
+    #[test]
+    fn admission_retry_hint_scales_with_observed_inflight() {
+        // The hint derives from the *observed* in-flight count (~2ms of
+        // scoring per request ahead), floored at one slot's worth — it
+        // must never read the configured permit cap, whose unit is a
+        // count, not milliseconds.
+        assert_eq!(retry_after_admission(0), 2);
+        assert_eq!(retry_after_admission(1), 2);
+        assert_eq!(retry_after_admission(2), 4);
+        assert_eq!(retry_after_admission(5), 10);
+        // Monotone: a deeper in-flight pile never shortens the hint.
+        for inflight in 0..64 {
+            assert!(retry_after_admission(inflight + 1) >= retry_after_admission(inflight));
+        }
+    }
+
+    #[test]
+    fn replica_lag_retry_hint_scales_with_lag() {
+        assert_eq!(retry_after_replica(0), 8);
+        assert_eq!(retry_after_replica(1), 8);
+        assert_eq!(retry_after_replica(3), 24);
     }
 
     #[test]

@@ -42,18 +42,63 @@ pub enum CrashPoint {
     /// directory fsynced), before the WAL is truncated — both the
     /// checkpoint and the full WAL it folded exist on disk.
     AfterCheckpointRename,
+    /// Mid-way through shipping a replication frame: a seeded prefix of
+    /// the framed bytes reaches the follower's socket, then the link dies
+    /// (torn ship — the follower must drop the tear and resync).
+    MidShipFrame,
+    /// On the follower, after a shipped record is received and decoded but
+    /// before it is applied to the replica state (the record is lost with
+    /// the process; the cursor handshake must re-fetch it).
+    FollowerBeforeApply,
+    /// On the follower, after a shipped record is applied but before the
+    /// link acknowledges it (reconnect must skip it idempotently).
+    FollowerAfterApply,
+    /// The replication link drops and the primary refuses reconnects for a
+    /// seeded duration (network partition; the follower retries into it).
+    LinkPartition,
+    /// The primary process dies wholesale; followers keep serving their
+    /// durable prefix until a restarted primary comes back.
+    PrimaryDeath,
 }
 
+/// Total number of named crash points (sizes the per-point hit counters).
+const POINTS: usize = 11;
+
 impl CrashPoint {
-    /// Every crash point, in pipeline order (the crash-matrix iteration
-    /// order).
-    pub const ALL: [CrashPoint; 6] = [
+    /// Every crash point, in pipeline order.
+    pub const ALL: [CrashPoint; POINTS] = [
         CrashPoint::AfterWalAppend,
         CrashPoint::MidRecordWrite,
         CrashPoint::BeforePublish,
         CrashPoint::AfterPublish,
         CrashPoint::MidCheckpointWrite,
         CrashPoint::AfterCheckpointRename,
+        CrashPoint::MidShipFrame,
+        CrashPoint::FollowerBeforeApply,
+        CrashPoint::FollowerAfterApply,
+        CrashPoint::LinkPartition,
+        CrashPoint::PrimaryDeath,
+    ];
+
+    /// The original single-process durability points, in pipeline order —
+    /// the iteration set of the recovery crash matrix (`make serve-crash`).
+    pub const RECOVERY: [CrashPoint; 6] = [
+        CrashPoint::AfterWalAppend,
+        CrashPoint::MidRecordWrite,
+        CrashPoint::BeforePublish,
+        CrashPoint::AfterPublish,
+        CrashPoint::MidCheckpointWrite,
+        CrashPoint::AfterCheckpointRename,
+    ];
+
+    /// The replication-layer fault points, in pipeline order — the
+    /// iteration set of the replica matrix (`make serve-replica`).
+    pub const REPLICATION: [CrashPoint; 5] = [
+        CrashPoint::MidShipFrame,
+        CrashPoint::FollowerBeforeApply,
+        CrashPoint::FollowerAfterApply,
+        CrashPoint::LinkPartition,
+        CrashPoint::PrimaryDeath,
     ];
 
     /// Stable kebab-case name (reports, logs).
@@ -65,6 +110,11 @@ impl CrashPoint {
             CrashPoint::AfterPublish => "after-publish",
             CrashPoint::MidCheckpointWrite => "mid-checkpoint-write",
             CrashPoint::AfterCheckpointRename => "after-checkpoint-rename",
+            CrashPoint::MidShipFrame => "mid-ship-frame",
+            CrashPoint::FollowerBeforeApply => "follower-before-apply",
+            CrashPoint::FollowerAfterApply => "follower-after-apply",
+            CrashPoint::LinkPartition => "link-partition",
+            CrashPoint::PrimaryDeath => "primary-death",
         }
     }
 
@@ -76,6 +126,11 @@ impl CrashPoint {
             CrashPoint::AfterPublish => 3,
             CrashPoint::MidCheckpointWrite => 4,
             CrashPoint::AfterCheckpointRename => 5,
+            CrashPoint::MidShipFrame => 6,
+            CrashPoint::FollowerBeforeApply => 7,
+            CrashPoint::FollowerAfterApply => 8,
+            CrashPoint::LinkPartition => 9,
+            CrashPoint::PrimaryDeath => 10,
         }
     }
 }
@@ -95,10 +150,14 @@ struct FaultState {
     /// Armed kill: crash on the `nth` (1-based) hit of `point`.
     crash: Option<(CrashPoint, u64)>,
     /// Hits seen per crash point so far.
-    hits: [u64; 6],
+    hits: [u64; POINTS],
     /// Stall every `0`-th `whois` for `1` milliseconds (slow-client /
     /// slow-handler injection); `2` counts requests seen.
     whois_stall: Option<(u64, u64, u64)>,
+    /// Stall every `0`-th replica apply for `1` milliseconds (slow-apply
+    /// injection, how the replica matrix manufactures bounded lag); `2`
+    /// counts records seen.
+    apply_stall: Option<(u64, u64, u64)>,
 }
 
 /// A seeded, shareable fault plan. See the module docs for the lifecycle;
@@ -128,8 +187,9 @@ impl FaultInjector {
             inner: Mutex::new(FaultState {
                 rng: seed,
                 crash: None,
-                hits: [0; 6],
+                hits: [0; POINTS],
                 whois_stall: None,
+                apply_stall: None,
             }),
         })
     }
@@ -139,7 +199,13 @@ impl FaultInjector {
     pub fn arm_crash(&self, point: CrashPoint, nth: u64) {
         let mut state = self.inner.lock().expect("fault injector poisoned");
         state.crash = Some((point, nth.max(1)));
-        state.hits = [0; 6];
+        state.hits = [0; POINTS];
+    }
+
+    /// Disarm any scheduled kill (hit counters keep running).
+    pub fn disarm_crash(&self) {
+        let mut state = self.inner.lock().expect("fault injector poisoned");
+        state.crash = None;
     }
 
     /// Arm a stall of `ms` milliseconds on every `every`-th `whois`
@@ -160,6 +226,13 @@ impl FaultInjector {
             Some((armed, nth)) => armed == point && state.hits[point.index()] == nth,
             None => false,
         }
+    }
+
+    /// Hits of `point` recorded so far — matrix drivers verify the
+    /// scheduled fault actually fired (`hits(point) >= nth`).
+    pub fn hits(&self, point: CrashPoint) -> u64 {
+        let state = self.inner.lock().expect("fault injector poisoned");
+        state.hits[point.index()]
     }
 
     /// Die at `point` now (unwinds with a [`SimulatedCrash`] payload).
@@ -197,6 +270,33 @@ impl FaultInjector {
         *seen += 1;
         (*seen % *every == 0).then(|| Duration::from_millis(*ms))
     }
+
+    /// Arm a stall of `ms` milliseconds on every `every`-th replica apply
+    /// (1-based; `every = 1` stalls all of them). This is how the replica
+    /// matrix manufactures deterministic lag: the primary keeps publishing
+    /// while the follower's apply loop crawls, driving
+    /// `primary_epoch - applied_epoch` past the staleness bound.
+    pub fn arm_apply_stall(&self, every: u64, ms: u64) {
+        let mut state = self.inner.lock().expect("fault injector poisoned");
+        state.apply_stall = Some((every.max(1), ms, 0));
+    }
+
+    /// The stall (if any) the current replica apply should sleep for.
+    pub fn apply_stall(&self) -> Option<Duration> {
+        let mut state = self.inner.lock().expect("fault injector poisoned");
+        let (every, ms, seen) = state.apply_stall.as_mut()?;
+        *seen += 1;
+        (*seen % *every == 0).then(|| Duration::from_millis(*ms))
+    }
+
+    /// Seeded partition duration for a [`CrashPoint::LinkPartition`] kill:
+    /// how long the primary refuses reconnect handshakes after dropping
+    /// the link. Bounded (40..=200 ms) so matrix runs stay fast but the
+    /// follower provably retries into a closed door at least once.
+    pub fn partition_duration(&self) -> Duration {
+        let mut state = self.inner.lock().expect("fault injector poisoned");
+        Duration::from_millis(40 + splitmix(&mut state.rng) % 161)
+    }
 }
 
 #[cfg(test)]
@@ -233,6 +333,40 @@ mod tests {
             assert!(cut >= 1 && cut < len, "cut {cut} of {len}");
             assert_eq!(cut, b.torn_prefix(len), "same seed, same schedule");
         }
+    }
+
+    #[test]
+    fn point_sets_partition_all_and_names_are_stable() {
+        assert_eq!(CrashPoint::ALL.len(), POINTS);
+        let recovery: Vec<_> = CrashPoint::RECOVERY.to_vec();
+        let replication: Vec<_> = CrashPoint::REPLICATION.to_vec();
+        for point in CrashPoint::ALL {
+            assert_ne!(
+                recovery.contains(&point),
+                replication.contains(&point),
+                "{} must be in exactly one matrix",
+                point.name()
+            );
+        }
+        assert_eq!(CrashPoint::MidShipFrame.name(), "mid-ship-frame");
+        assert_eq!(CrashPoint::LinkPartition.name(), "link-partition");
+        assert_eq!(CrashPoint::PrimaryDeath.name(), "primary-death");
+    }
+
+    #[test]
+    fn apply_stall_cadence_and_partition_window_are_seeded() {
+        let faults = FaultInjector::seeded(11);
+        assert!(faults.apply_stall().is_none(), "unarmed: no stalls");
+        faults.arm_apply_stall(3, 7);
+        assert!(faults.apply_stall().is_none());
+        assert!(faults.apply_stall().is_none());
+        assert_eq!(faults.apply_stall(), Some(Duration::from_millis(7)));
+
+        let a = FaultInjector::seeded(42);
+        let b = FaultInjector::seeded(42);
+        let window = a.partition_duration();
+        assert_eq!(window, b.partition_duration(), "same seed, same window");
+        assert!(window >= Duration::from_millis(40) && window <= Duration::from_millis(200));
     }
 
     #[test]

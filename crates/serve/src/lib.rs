@@ -34,6 +34,18 @@
 //!   replay — and is pinned bit-identical to the never-crashed daemon at
 //!   every named [`CrashPoint`] by the crash matrix
 //!   ([`crash::run_crash_matrix`]).
+//! * **Replication & failover** ([`replica`]): the primary ships its
+//!   durable WAL stream — records enter the [`ReplicationHub`] only after
+//!   the WAL append returns — over length-prefixed TCP to read-only
+//!   [`Follower`] daemons, which bootstrap from the newest checkpoint,
+//!   resume via a state-derived cursor handshake, stamp every response
+//!   with `{epoch, staleness}`, and shed reads past `max_lag_epochs` with
+//!   cause `replica-lag`. The replica fault matrix
+//!   ([`replica::run_replica_matrix`]) pins followers bit-identical to
+//!   the primary across torn ship frames, follower kills, seeded link
+//!   partitions, and primary death; [`client::FailoverClient`] routes
+//!   ingest to the primary and reads round-robin across healthy
+//!   followers, demoting endpoints that fail the `health` op.
 //!
 //! The wire protocol, WAL format, checkpoint format, and recovery state
 //! machine are documented in the repository README ("Serving" section).
@@ -47,6 +59,7 @@ pub mod daemon;
 pub mod fault;
 pub mod fingerprint;
 pub mod load;
+pub mod replica;
 pub mod snapshot;
 pub mod state;
 pub mod wal;
@@ -54,12 +67,18 @@ pub mod wal;
 pub use checkpoint::{
     checkpoint_path, list_checkpoints, read_checkpoint, Checkpoint, CheckpointMeta,
 };
-pub use client::{response_field, response_ok, response_shed, Backoff, Client};
+pub use client::{response_field, response_ok, response_shed, Backoff, Client, FailoverClient};
 pub use crash::{run_crash_matrix, CrashCase, CrashReport, CrashSpec};
 pub use daemon::{Daemon, DaemonConfig, DaemonStats};
 pub use fault::{CrashPoint, FaultInjector, SimulatedCrash};
 pub use fingerprint::{fingerprint_hex, partition_fingerprint};
-pub use load::{run_load, run_smoke, LoadReport, LoadSpec, SmokeOutcome};
+pub use load::{
+    run_load, run_replica_smoke, run_smoke, LoadReport, LoadSpec, ReplicaSmokeOutcome, SmokeOutcome,
+};
+pub use replica::{
+    run_replica_matrix, Follower, FollowerConfig, ReplicaCase, ReplicaLink, ReplicaReport,
+    ReplicaSpec, ReplicaStatus, ReplicationHub, ReplicationServer, Role, SyncFrame,
+};
 pub use snapshot::{EpochStore, ProfileView, Snapshot};
 pub use state::{Recovery, ServeState};
 pub use wal::{read_wal, Wal, WalDecision, WalRecord};

@@ -53,6 +53,26 @@ pub struct ServeState {
     papers_ingested: u64,
     wal: Option<Wal>,
     faults: Option<Arc<FaultInjector>>,
+    /// Replication hub, when this state is a primary shipping its WAL to
+    /// followers. Records are offered to the hub only *after* the WAL
+    /// append returns (flushed, and fsynced under `--fsync`), so a
+    /// follower can never observe a record ahead of the primary's durable
+    /// horizon.
+    ship: Option<Arc<crate::replica::ReplicationHub>>,
+}
+
+/// What applying one record did to the state — see
+/// [`ServeState::apply_record`].
+#[derive(Debug)]
+pub enum RecordOutcome {
+    /// The state already contained the record (idempotent resume skip).
+    Skipped,
+    /// A paper record was registered and absorbed.
+    Paper,
+    /// An epoch marker re-published; the frozen snapshot it produced
+    /// (boxed — a snapshot is hundreds of bytes of headers over its
+    /// `Arc`-shared slabs, dwarfing the other variants).
+    Published(Box<Snapshot>),
 }
 
 /// How a [`ServeState::recover`] run rebuilt the state — which checkpoint
@@ -89,6 +109,7 @@ impl ServeState {
             papers_ingested: 0,
             wal,
             faults: None,
+            ship: None,
         }
     }
 
@@ -133,7 +154,14 @@ impl ServeState {
             papers_ingested: self.papers_ingested,
             wal: None,
             faults: None,
+            ship: None,
         }
+    }
+
+    /// Attach a replication hub: every durably-logged record from here on
+    /// is also offered to connected followers. `None` detaches.
+    pub fn set_ship(&mut self, ship: Option<Arc<crate::replica::ReplicationHub>>) {
+        self.ship = ship;
     }
 
     /// Ingest one paper: rewrite its id to the next slot, register its
@@ -153,8 +181,14 @@ impl ServeState {
                 .iter()
                 .map(|(_, d)| WalDecision::from_decision(d))
                 .collect();
-            wal.append(&WalRecord::paper(paper.clone(), logged))
+            let record = WalRecord::paper(paper.clone(), logged);
+            wal.append(&record)
                 .expect("WAL append failed; refusing to acknowledge ingest");
+            if let Some(ship) = &self.ship {
+                // The append above returned, so the record is durable —
+                // only now may followers see it.
+                ship.append(record);
+            }
         }
         self.papers_ingested += 1;
         (paper.id, decisions)
@@ -260,47 +294,61 @@ impl ServeState {
     pub fn apply_records(&mut self, records: &[WalRecord], resume: bool) -> Result<usize, String> {
         let mut applied = 0usize;
         for record in records {
-            match record.t.as_str() {
-                "paper" => {
-                    let paper = record.paper.as_ref().ok_or("paper record without paper")?;
-                    let decisions = record
-                        .decisions
-                        .as_ref()
-                        .ok_or("paper record without decisions")?;
-                    if resume && paper.id.0 < self.next_paper {
-                        continue;
-                    }
-                    if paper.id != PaperId(self.next_paper) {
-                        return Err(format!(
-                            "paper-id gap: record {} but the next slot is {} — \
-                             the stream does not continue this state",
-                            paper.id.0, self.next_paper
-                        ));
-                    }
-                    self.next_paper += 1;
-                    self.ctx.register_paper(paper);
-                    self.apply_recorded(paper, decisions)?;
-                    self.papers_ingested += 1;
-                    applied += 1;
-                }
-                "epoch" => {
-                    let marker = record.epoch.ok_or("epoch record without epoch")?;
-                    if resume && marker <= self.epoch {
-                        continue;
-                    }
-                    if marker != self.epoch + 1 {
-                        return Err(format!(
-                            "epoch drift: marker {marker} after epoch {}",
-                            self.epoch
-                        ));
-                    }
-                    self.publish();
-                    applied += 1;
-                }
-                other => return Err(format!("unknown WAL record tag `{other}`")),
+            if !matches!(self.apply_record(record, resume)?, RecordOutcome::Skipped) {
+                applied += 1;
             }
         }
         Ok(applied)
+    }
+
+    /// Apply one recorded operation — the single-step form of
+    /// [`ServeState::apply_records`], with identical resume/gap semantics.
+    /// The replication follower applies shipped records through this one
+    /// at a time so it can hand each published [`Snapshot`] to its epoch
+    /// store as it happens rather than after the whole batch.
+    pub fn apply_record(
+        &mut self,
+        record: &WalRecord,
+        resume: bool,
+    ) -> Result<RecordOutcome, String> {
+        match record.t.as_str() {
+            "paper" => {
+                let paper = record.paper.as_ref().ok_or("paper record without paper")?;
+                let decisions = record
+                    .decisions
+                    .as_ref()
+                    .ok_or("paper record without decisions")?;
+                if resume && paper.id.0 < self.next_paper {
+                    return Ok(RecordOutcome::Skipped);
+                }
+                if paper.id != PaperId(self.next_paper) {
+                    return Err(format!(
+                        "paper-id gap: record {} but the next slot is {} — \
+                         the stream does not continue this state",
+                        paper.id.0, self.next_paper
+                    ));
+                }
+                self.next_paper += 1;
+                self.ctx.register_paper(paper);
+                self.apply_recorded(paper, decisions)?;
+                self.papers_ingested += 1;
+                Ok(RecordOutcome::Paper)
+            }
+            "epoch" => {
+                let marker = record.epoch.ok_or("epoch record without epoch")?;
+                if resume && marker <= self.epoch {
+                    return Ok(RecordOutcome::Skipped);
+                }
+                if marker != self.epoch + 1 {
+                    return Err(format!(
+                        "epoch drift: marker {marker} after epoch {}",
+                        self.epoch
+                    ));
+                }
+                Ok(RecordOutcome::Published(Box::new(self.publish())))
+            }
+            other => Err(format!("unknown WAL record tag `{other}`")),
+        }
     }
 
     /// Publish the next epoch: canonicalize the live engine over the
@@ -323,8 +371,12 @@ impl ServeState {
         self.engine = Some(published.clone());
         self.epoch += 1;
         if let Some(wal) = &mut self.wal {
-            wal.append(&WalRecord::epoch(self.epoch))
+            let record = WalRecord::epoch(self.epoch);
+            wal.append(&record)
                 .expect("WAL append failed at epoch publish");
+            if let Some(ship) = &self.ship {
+                ship.append(record);
+            }
         }
         if let Some(faults) = &self.faults {
             faults.check(CrashPoint::AfterPublish);
@@ -335,6 +387,25 @@ impl ServeState {
             csr: self.network.csr(),
             ctx: self.ctx.clone(),
             engine: published,
+            model: self.gcn.model.clone(),
+            delta: self.config.gcn.delta,
+        }
+    }
+
+    /// A [`Snapshot`] of the state as it stands, labelled with the last
+    /// *published* epoch — no publish happens, the live engine is used as
+    /// is. This seeds a follower's [`crate::EpochStore`] at bootstrap:
+    /// the recovered state sits exactly at its last epoch marker plus any
+    /// durable tail papers, all of which are the primary's durable prefix,
+    /// so serving them under the last published epoch label never exposes
+    /// an epoch the primary did not publish.
+    pub fn snapshot_now(&self) -> Snapshot {
+        Snapshot {
+            epoch: self.epoch,
+            network: self.network.clone(),
+            csr: self.network.csr(),
+            ctx: self.ctx.clone(),
+            engine: self.engine.clone().expect("engine present"),
             model: self.gcn.model.clone(),
             delta: self.config.gcn.delta,
         }
@@ -394,25 +465,7 @@ impl ServeState {
             .to_path_buf();
         let listed = list_checkpoints(&wal_path).map_err(|e| e.to_string())?;
         let next_seq = listed.last().map_or(1, |&(seq, _)| seq + 1);
-        let prior = listed
-            .iter()
-            .rev()
-            .find_map(|(_, path)| read_checkpoint(path).ok());
-        let tail = read_wal(&wal_path).map_err(|e| e.to_string())?;
-        let (mut records, skip_paper, skip_epoch) = match prior {
-            Some(cp) => (cp.records, cp.meta.next_paper, cp.meta.epoch),
-            None => (Vec::new(), 0, 0),
-        };
-        for record in tail {
-            let folded = match record.t.as_str() {
-                "paper" => record.paper.as_ref().is_none_or(|p| p.id.0 >= skip_paper),
-                "epoch" => record.epoch.is_none_or(|e| e > skip_epoch),
-                _ => true,
-            };
-            if folded {
-                records.push(record);
-            }
-        }
+        let records = Self::fold_history(&wal_path)?;
         // The fold must describe exactly the live state; a mismatch means
         // the prior checkpoint lied (or the WAL lost records) and folding
         // would bake the damage into the new base.
@@ -443,6 +496,70 @@ impl ServeState {
             .map_err(|e| format!("WAL truncation after checkpoint: {e}"))?;
         prune_checkpoints(&wal_path, 2).map_err(|e| e.to_string())?;
         Ok(meta)
+    }
+
+    /// The complete durable record stream from record 0: the newest
+    /// readable checkpoint's records plus the current WAL contents, minus
+    /// the idempotent overlap left by a crash between a checkpoint's
+    /// rename and its WAL truncation. Because every checkpoint folds its
+    /// predecessor (see [`ServeState::checkpoint`]), this *is* the full
+    /// history — the replication hub seeds itself from it so a follower
+    /// can cursor-handshake at any offset, not just the live tail.
+    fn fold_history(wal_path: &Path) -> Result<Vec<WalRecord>, String> {
+        let listed = list_checkpoints(wal_path).map_err(|e| e.to_string())?;
+        let prior = listed
+            .iter()
+            .rev()
+            .find_map(|(_, path)| read_checkpoint(path).ok());
+        let tail = if wal_path.exists() {
+            read_wal(wal_path).map_err(|e| e.to_string())?
+        } else {
+            Vec::new()
+        };
+        let (mut records, skip_paper, skip_epoch) = match prior {
+            Some(cp) => (cp.records, cp.meta.next_paper, cp.meta.epoch),
+            None => (Vec::new(), 0, 0),
+        };
+        for record in tail {
+            let folded = match record.t.as_str() {
+                "paper" => record.paper.as_ref().is_none_or(|p| p.id.0 >= skip_paper),
+                "epoch" => record.epoch.is_none_or(|e| e > skip_epoch),
+                _ => true,
+            };
+            if folded {
+                records.push(record);
+            }
+        }
+        Ok(records)
+    }
+
+    /// The folded durable history (newest checkpoint + WAL tail, from
+    /// record 0) of this state's attached WAL, cross-checked against the
+    /// live counters — the record stream a replication hub must be
+    /// seeded with before this state starts shipping.
+    ///
+    /// # Errors
+    /// Without an attached WAL, on I/O failure, or if the fold does not
+    /// reproduce the live counters (history that cannot rebuild this
+    /// state must not be shipped to followers).
+    pub fn durable_history(&self) -> Result<Vec<WalRecord>, String> {
+        let wal_path = self
+            .wal
+            .as_ref()
+            .ok_or("durable history requires an attached WAL")?
+            .path()
+            .to_path_buf();
+        let records = Self::fold_history(&wal_path)?;
+        let papers = records.iter().filter(|r| r.t == "paper").count() as u64;
+        let epochs = records.iter().filter(|r| r.t == "epoch").count() as u64;
+        if papers != self.papers_ingested || epochs != self.epoch {
+            return Err(format!(
+                "durable history has {papers} papers / {epochs} epochs but the live \
+                 state has {} / {} — refusing to ship a stream that cannot rebuild it",
+                self.papers_ingested, self.epoch
+            ));
+        }
+        Ok(records)
     }
 
     /// Rebuild the serving state from disk: the recovery state machine.

@@ -132,6 +132,20 @@ impl WalRecord {
             decisions: None,
         }
     }
+
+    /// A replication-stream heartbeat (`t == "hb"`): never logged to disk
+    /// and never applied — it only keeps an idle follower's view of the
+    /// primary's epoch fresh, so staleness stays measurable between
+    /// records. [`crate::ServeState::apply_record`] rejects the tag as a
+    /// defence; the follower link consumes heartbeats before apply.
+    pub fn heartbeat(epoch: u64) -> WalRecord {
+        WalRecord {
+            t: "hb".to_owned(),
+            epoch: Some(epoch),
+            paper: None,
+            decisions: None,
+        }
+    }
 }
 
 /// An open write-ahead log. Every append is flushed to the OS before

@@ -17,8 +17,9 @@ use iuad_suite::core::{CacheScope, Iuad, IuadConfig, SimilarityEngine};
 use iuad_suite::corpus::{Corpus, CorpusConfig, Paper};
 use iuad_suite::serve::{
     checkpoint_path, list_checkpoints, read_wal, response_field, response_ok, response_shed,
-    run_crash_matrix, Backoff, Client, CrashSpec, Daemon, DaemonConfig, EpochStore, FaultInjector,
-    ServeState, Wal,
+    run_crash_matrix, run_replica_matrix, run_replica_smoke, Backoff, Client, CrashSpec, Daemon,
+    DaemonConfig, EpochStore, FaultInjector, Follower, FollowerConfig, ReplicaSpec, ReplicationHub,
+    ReplicationServer, ServeState, Wal,
 };
 use serde::Value;
 
@@ -673,6 +674,199 @@ fn daemon_checkpoint_op_compacts_and_warm_restart_uses_it() {
     );
 
     scrub_serving_files(&path);
+}
+
+#[test]
+fn replica_matrix_pins_followers_bit_identical_at_every_point() {
+    let (base, tail) = corpus().split_tail(40);
+    let state = ServeState::new(Iuad::fit(&base, &IuadConfig::default()), None);
+    let papers: Vec<Paper> = tail.iter().map(|(p, _)| p.clone()).collect();
+    let dir = std::env::temp_dir()
+        .join("iuad-serve-tests")
+        .join("replica-matrix");
+
+    let report = run_replica_matrix(&state, &papers, &dir, &ReplicaSpec::default());
+    for case in &report.cases {
+        assert!(
+            case.passed(),
+            "replication point `{}` (hit {}) failed: fired={} reconnects={} \
+             applied={}/{} epochs={}≟{} fp_match={} engine_identical={} error={:?}",
+            case.point,
+            case.nth,
+            case.fault_fired,
+            case.reconnects,
+            case.applied,
+            case.shipped,
+            case.follower_epoch,
+            case.primary_epoch,
+            case.fingerprint_match,
+            case.engine_identical,
+            case.error
+        );
+        // The consistency contract, point by point: the follower ends at
+        // exactly the primary's published epoch (it can never observe an
+        // epoch the primary never published — epoch snapshots come only
+        // from applying the primary's own markers) and is bit-identical
+        // to the primary's durable prefix.
+        assert_eq!(case.follower_epoch, case.primary_epoch);
+        assert!(case.fingerprint_match && case.engine_identical);
+        assert!(
+            case.reconnects >= 2,
+            "`{}`: the follower must have survived a link death and come back",
+            case.point
+        );
+    }
+    assert_eq!(
+        report.cases.len(),
+        5,
+        "one case per replication fault point"
+    );
+    assert!(report.passed());
+}
+
+#[test]
+fn follower_sheds_past_staleness_bound_and_recovers_when_lag_drains() {
+    let (base, tail) = corpus().split_tail(16);
+    let fit_state = ServeState::new(Iuad::fit(&base, &IuadConfig::default()), None);
+    let path = scratch_wal("replica-lag.wal");
+    scrub_serving_files(&path);
+
+    let mut primary = fit_state.clone_base();
+    primary.set_wal(Some(Wal::create(&path).expect("create WAL")));
+    let hub = ReplicationHub::new(primary.durable_history().expect("empty history"));
+    primary.set_ship(Some(std::sync::Arc::clone(&hub)));
+    let server =
+        ReplicationServer::spawn(std::sync::Arc::clone(&hub), None).expect("replication server");
+
+    let faults = FaultInjector::seeded(0x1a6_5eed);
+    let follower = Follower::spawn(
+        fit_state.clone_base(),
+        server.addr(),
+        &FollowerConfig {
+            max_lag_epochs: 1,
+            faults: Some(std::sync::Arc::clone(&faults)),
+            ..FollowerConfig::default()
+        },
+    )
+    .expect("spawn follower");
+
+    // Let the follower sync cleanly first.
+    primary.publish();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while follower.status().applied_epoch() < 1 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "follower never synced epoch 1"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Stall every apply while the primary publishes several epochs: lag
+    // grows past the bound while the records are still in flight.
+    faults.arm_apply_stall(1, 400);
+    for chunk in tail.chunks(2) {
+        for (paper, _) in chunk {
+            primary.ingest(paper.clone());
+        }
+        primary.publish();
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while follower.status().lag_epochs() <= 1 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "stalled follower never exceeded the staleness bound \
+             (lag = {})",
+            follower.status().lag_epochs()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // A read past the bound sheds with the structured replica-lag cause.
+    let whois = Client::request(
+        "whois",
+        vec![("name", Value::U64(3)), ("year", Value::U64(2005))],
+    );
+    let mut client = Client::connect(follower.addr()).expect("connect follower");
+    let response = client.call(&whois).expect("whois round-trip");
+    assert!(response_shed(&response), "expected a shed: {response:?}");
+    assert_eq!(
+        response_field(&response, "cause"),
+        Some(&Value::Str("replica-lag".to_owned()))
+    );
+    assert!(matches!(
+        response_field(&response, "retry_after_ms"),
+        Some(Value::U64(ms)) if *ms >= 8
+    ));
+    assert!(
+        follower.stats().shed_replica_lag.load(Ordering::Relaxed) >= 1,
+        "per-cause replica-lag counter did not record the shed"
+    );
+
+    // Writes are refused outright on a follower — they belong at the
+    // primary, lagging or not.
+    let refused = client
+        .call(&Client::request(
+            "ingest",
+            vec![("authors", Value::Array(vec![Value::U64(3)]))],
+        ))
+        .expect("ingest round-trip");
+    assert!(!response_ok(&refused) && !response_shed(&refused));
+
+    // Drain the lag (stall off) and the same read succeeds, stamped with
+    // the primary's exact epoch and zero staleness.
+    faults.arm_apply_stall(1, 0);
+    let target = primary.epoch();
+    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+    while follower.status().applied_epoch() < target {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "follower never drained its backlog"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let response = client.call(&whois).expect("whois after catch-up");
+    assert!(
+        response_ok(&response),
+        "caught-up read failed: {response:?}"
+    );
+    assert_eq!(
+        response_field(&response, "epoch"),
+        Some(&Value::U64(target))
+    );
+    assert_eq!(response_field(&response, "staleness"), Some(&Value::U64(0)));
+
+    // The follower's health op reports role and replication position.
+    let health = client
+        .call(&Client::request("health", vec![]))
+        .expect("health round-trip");
+    assert!(response_ok(&health));
+    assert_eq!(
+        response_field(&health, "role"),
+        Some(&Value::Str("follower".to_owned()))
+    );
+    assert_eq!(response_field(&health, "lag_epochs"), Some(&Value::U64(0)));
+
+    let follower_state = follower.shutdown();
+    server.shutdown();
+    assert_eq!(follower_state.fingerprint(), primary.fingerprint());
+    assert_eq!(
+        follower_state.engine().diff_from(primary.engine()),
+        None,
+        "caught-up follower must be bit-identical to the primary"
+    );
+    scrub_serving_files(&path);
+}
+
+#[test]
+fn replica_smoke_survives_partition_and_primary_death_with_zero_errors() {
+    let outcome = run_replica_smoke();
+    assert!(
+        outcome.passed(),
+        "replica smoke failed its gates: {outcome:?}"
+    );
+    assert_eq!(outcome.wrong_epoch_reads, 0);
+    assert_eq!(outcome.client_errors, 0);
+    assert!(outcome.partition_fired && outcome.failover_completed);
 }
 
 #[test]
